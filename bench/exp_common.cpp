@@ -1,0 +1,57 @@
+#include "exp_common.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace zenesis::bench {
+
+void run_sample(core::Session& session, const fibsem::SyntheticVolume& vol,
+                const MethodSet& methods) {
+  const std::string name = fibsem::sample_type_name(vol.type);
+  const char* prompt = fibsem::default_prompt(vol.type);
+
+  core::VolumeResult zen;
+  if (methods.zenesis) {
+    zen = session.mode_b_segment_volume(vol.volume, prompt);
+  }
+  for (std::int64_t z = 0; z < vol.depth(); ++z) {
+    const auto zi = static_cast<std::size_t>(z);
+    const image::ImageF32 ready =
+        session.pipeline().make_ready(image::AnyImage(vol.volume.slice(z)));
+    if (methods.zenesis) {
+      session.mode_c_evaluate(name, "zenesis", z, zen.slices[zi].mask,
+                              vol.ground_truth[zi]);
+    }
+    if (methods.otsu) {
+      session.mode_c_evaluate(name, "otsu", z, core::baseline_otsu(ready),
+                              vol.ground_truth[zi]);
+    }
+    if (methods.sam_only) {
+      session.mode_c_evaluate(
+          name, "sam_only", z,
+          core::baseline_sam_only(session.pipeline().sam(), ready),
+          vol.ground_truth[zi]);
+    }
+  }
+}
+
+core::Session run_comparison(const ExperimentConfig& cfg,
+                             const MethodSet& methods) {
+  const fibsem::BenchmarkDataset ds =
+      fibsem::make_benchmark_dataset(cfg.image_size, cfg.seed);
+  core::Session session;
+  run_sample(session, ds.crystalline, methods);
+  run_sample(session, ds.amorphous, methods);
+  return session;
+}
+
+std::string ensure_out_dir(const ExperimentConfig& cfg) {
+  std::filesystem::create_directories(cfg.out_dir);
+  return cfg.out_dir;
+}
+
+void print_header(const std::string& id, const std::string& caption) {
+  std::printf("\n=== %s — %s ===\n", id.c_str(), caption.c_str());
+}
+
+}  // namespace zenesis::bench

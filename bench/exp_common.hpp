@@ -1,0 +1,46 @@
+#pragma once
+// Shared experiment harness for the table/figure reproduction binaries.
+//
+// Every bench binary regenerates one artifact of the paper's evaluation
+// section on the synthetic benchmark dataset (10 crystalline + 10
+// amorphous slices). The harness runs the three methods (Otsu, SAM-only,
+// Zenesis) and returns a populated dashboard; binaries print the relevant
+// table and write CSV/PGM artifacts next to the binary under out/.
+
+#include <string>
+
+#include "zenesis/core/session.hpp"
+#include "zenesis/fibsem/synth.hpp"
+
+namespace zenesis::bench {
+
+struct ExperimentConfig {
+  std::int64_t image_size = 256;
+  std::int64_t slices = 10;
+  std::uint64_t seed = 20250704;
+  std::string out_dir = "out";
+};
+
+/// Which methods to run (Zenesis is always run by run_comparison).
+struct MethodSet {
+  bool otsu = true;
+  bool sam_only = true;
+  bool zenesis = true;
+};
+
+/// Generates the dataset and evaluates the selected methods on both
+/// sample types, returning the session whose dashboard holds all records.
+core::Session run_comparison(const ExperimentConfig& cfg,
+                             const MethodSet& methods = {});
+
+/// Runs one sample type only (used by figure benches needing fewer runs).
+void run_sample(core::Session& session, const fibsem::SyntheticVolume& vol,
+                const MethodSet& methods);
+
+/// Ensures cfg.out_dir exists and returns it.
+std::string ensure_out_dir(const ExperimentConfig& cfg);
+
+/// Prints a paper-style header for experiment `id` ("Table 1", ...).
+void print_header(const std::string& id, const std::string& caption);
+
+}  // namespace zenesis::bench

@@ -1,0 +1,52 @@
+// Fig. 1 reproduction: "Transforming non-AI-ready scientific data".
+// Pushes the same scene through 8/16/32-bit raw representations and the
+// readiness layer, reporting the dynamic-range statistics before/after
+// and writing before/after previews.
+#include <cstdio>
+
+#include "exp_common.hpp"
+#include "zenesis/image/normalize.hpp"
+#include "zenesis/io/pnm.hpp"
+
+int main() {
+  using namespace zenesis;
+  bench::ExperimentConfig cfg;
+  const std::string out = bench::ensure_out_dir(cfg);
+
+  fibsem::SynthConfig scfg;
+  scfg.type = fibsem::SampleType::kCrystalline;
+  scfg.width = cfg.image_size;
+  scfg.height = cfg.image_size;
+  scfg.seed = cfg.seed;
+  const fibsem::SyntheticSlice slice = fibsem::generate_slice(scfg, 0);
+
+  bench::print_header("Figure 1", "raw -> AI-ready transform across bit depths");
+  io::Table t({"bit_depth", "raw_min", "raw_max", "raw_used_range",
+               "ready_min", "ready_max", "ready_used_range"});
+
+  // The instrument image is 16-bit; derive 8- and 32-bit variants the way
+  // acquisition software would (pure bit-shift rescale, preserving the
+  // same narrow used range).
+  const image::ImageF32 as_float = image::to_float(image::AnyImage(slice.raw));
+  for (int bits : {8, 16, 32}) {
+    const image::AnyImage raw = image::quantize(as_float, bits);
+    const image::ImageF32 raw_f = image::to_float(raw);
+    const image::Stats rs = image::compute_stats(raw_f);
+    const image::ImageF32 ready = image::make_ai_ready(raw);
+    const image::Stats ns = image::compute_stats(ready);
+    t.add_row({static_cast<std::int64_t>(bits), static_cast<double>(rs.min),
+               static_cast<double>(rs.max), static_cast<double>(rs.max - rs.min),
+               static_cast<double>(ns.min), static_cast<double>(ns.max),
+               static_cast<double>(ns.max - ns.min)});
+    if (bits == 16) {
+      io::write_pgm_f32(out + "/fig1_raw_16bit.pgm", raw_f);
+      io::write_pgm_f32(out + "/fig1_ai_ready.pgm", ready);
+    }
+  }
+  std::printf("%s", t.to_ascii().c_str());
+  std::printf("Raw instrument data occupies a sliver of its container range;"
+              " the readiness layer restores full [0,1] contrast.\n");
+  std::printf("Previews written to %s/fig1_*.pgm\n", out.c_str());
+  t.write_csv(out + "/fig1_data_readiness.csv");
+  return 0;
+}

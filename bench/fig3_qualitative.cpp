@@ -1,0 +1,66 @@
+// Fig. 3 reproduction: qualitative comparison of Otsu, SAM-only and
+// Zenesis on (a) a crystalline and (b) an amorphous slice. Writes the
+// per-method mask overlays and prints each mask's metrics row.
+#include <cstdio>
+
+#include "exp_common.hpp"
+#include "zenesis/eval/metrics.hpp"
+#include "zenesis/image/roi.hpp"
+#include "zenesis/io/pnm.hpp"
+
+namespace {
+
+using namespace zenesis;
+
+void run_panel(const bench::ExperimentConfig& cfg, fibsem::SampleType type,
+               const char* panel, io::Table& table, const std::string& out) {
+  fibsem::SynthConfig scfg;
+  scfg.type = type;
+  scfg.width = cfg.image_size;
+  scfg.height = cfg.image_size;
+  scfg.seed = cfg.seed;
+  const fibsem::SyntheticSlice slice = fibsem::generate_slice(scfg, 5);
+
+  core::Session session;
+  const image::ImageF32 ready =
+      session.pipeline().make_ready(image::AnyImage(slice.raw));
+  const std::string name = fibsem::sample_type_name(type);
+
+  const image::Mask otsu = core::baseline_otsu(ready);
+  const image::Mask sam = core::baseline_sam_only(session.pipeline().sam(), ready);
+  const core::SliceResult zen = session.mode_a_segment(
+      image::AnyImage(slice.raw), fibsem::default_prompt(type));
+
+  const struct {
+    const char* method;
+    const image::Mask& mask;
+  } rows[] = {{"otsu", otsu}, {"sam_only", sam}, {"zenesis", zen.mask}};
+  for (const auto& row : rows) {
+    const eval::Metrics m = eval::compute_metrics(row.mask, slice.ground_truth);
+    table.add_row({std::string(panel), std::string(name), std::string(row.method),
+                   m.accuracy, m.iou, m.dice});
+    io::write_ppm(out + "/fig3_" + name + "_" + row.method + ".ppm",
+                  image::overlay_mask(ready, row.mask));
+  }
+  io::write_ppm(out + "/fig3_" + name + "_ground_truth.ppm",
+                image::overlay_mask(ready, slice.ground_truth));
+}
+
+}  // namespace
+
+int main() {
+  using namespace zenesis;
+  bench::ExperimentConfig cfg;
+  const std::string out = bench::ensure_out_dir(cfg);
+  bench::print_header("Figure 3",
+                      "qualitative Otsu vs SAM-only vs Zenesis comparison");
+  io::Table t({"panel", "sample", "method", "accuracy", "iou", "dice"});
+  run_panel(cfg, fibsem::SampleType::kCrystalline, "(a)", t, out);
+  run_panel(cfg, fibsem::SampleType::kAmorphous, "(b)", t, out);
+  std::printf("%s", t.to_ascii().c_str());
+  std::printf("Overlays written to %s/fig3_*.ppm — Otsu/SAM-only lock onto "
+              "the dark holder on crystalline; Zenesis follows the text-"
+              "grounded catalyst.\n", out.c_str());
+  t.write_csv(out + "/fig3_qualitative.csv");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig. 6 reproduction: Rectify Segmentation — random candidate boxes,
+// annotator selection, nearest-segment snap, SAM re-run. Reports
+// before/after IoU per episode.
+#include <cstdio>
+
+#include "exp_common.hpp"
+#include "zenesis/image/roi.hpp"
+#include "zenesis/io/pnm.hpp"
+
+int main() {
+  using namespace zenesis;
+  bench::ExperimentConfig cfg;
+  const std::string out = bench::ensure_out_dir(cfg);
+
+  fibsem::SynthConfig scfg;
+  scfg.type = fibsem::SampleType::kCrystalline;
+  scfg.width = cfg.image_size;
+  scfg.height = cfg.image_size;
+  scfg.seed = cfg.seed;
+
+  bench::print_header("Figure 6", "HITL random-box rectification episodes");
+  core::Session session;
+  io::Table t({"episode", "slice", "before_iou", "after_iou", "improved"});
+  hitl::SimulatedAnnotator annotator(0.9, 42);
+
+  int improved = 0, episodes = 0;
+  for (std::int64_t z = 0; z < 5; ++z) {
+    const fibsem::SyntheticSlice slice = fibsem::generate_slice(scfg, z);
+    // Simulate a grounding failure: segment with a deliberately bad prompt
+    // so the automated mask misses the catalyst.
+    const core::SliceResult automated =
+        session.mode_a_segment(image::AnyImage(slice.raw), "dark background");
+    const hitl::RectifyResult r = session.rectify(
+        automated, slice.ground_truth, annotator, {},
+        static_cast<std::uint64_t>(z) + 1);
+    ++episodes;
+    improved += r.after_iou > r.before_iou;
+    t.add_row({static_cast<std::int64_t>(episodes), z, r.before_iou, r.after_iou,
+               std::string(r.after_iou > r.before_iou ? "yes" : "no")});
+    if (z == 0) {
+      io::write_ppm(out + "/fig6_before.ppm",
+                    image::overlay_mask(automated.ai_ready, automated.mask));
+      io::write_ppm(out + "/fig6_after.ppm",
+                    image::overlay_mask(automated.ai_ready, r.refined.mask));
+    }
+  }
+  std::printf("%s", t.to_ascii().c_str());
+  std::printf("%d/%d episodes improved by weak human supervision. "
+              "Overlays in %s/fig6_*.ppm\n", improved, episodes, out.c_str());
+  t.write_csv(out + "/fig6_hitl_rectify.csv");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fig. 7 reproduction: heuristic volumetric box refinement. Injects
+// GroundingDINO failures (blown-up and missing boxes) into a stable box
+// track and shows the sliding-window correction restoring the series,
+// plus the end-to-end effect on mask quality for the affected slices.
+#include <cstdio>
+
+#include "exp_common.hpp"
+#include "zenesis/image/roi.hpp"
+
+int main() {
+  using namespace zenesis;
+  bench::ExperimentConfig cfg;
+  const std::string out = bench::ensure_out_dir(cfg);
+
+  fibsem::SynthConfig scfg;
+  scfg.type = fibsem::SampleType::kCrystalline;
+  scfg.width = cfg.image_size;
+  scfg.height = cfg.image_size;
+  scfg.depth = cfg.slices;
+  scfg.seed = cfg.seed;
+  const fibsem::SyntheticVolume vol = fibsem::generate_volume(scfg);
+
+  core::Session session;
+  const char* prompt = fibsem::default_prompt(scfg.type);
+
+  // Collect the genuine per-slice primary boxes, then inject failures.
+  std::vector<image::Box> boxes;
+  std::vector<core::SliceResult> slices;
+  for (std::int64_t z = 0; z < vol.depth(); ++z) {
+    slices.push_back(session.mode_a_segment(image::AnyImage(vol.volume.slice(z)), prompt));
+    boxes.push_back(slices.back().primary_box);
+  }
+  std::vector<image::Box> corrupted = boxes;
+  corrupted[4] = {0, 0, scfg.width, scfg.height};  // full-frame blow-up
+  corrupted[7] = {};                               // missed detection
+
+  const volume3d::RefineOutcome refined = volume3d::refine_box_sequence(corrupted);
+
+  bench::print_header("Figure 7", "sliding-window box refinement on a volume");
+  io::Table t({"slice", "w_raw", "h_raw", "w_refined", "h_refined", "replaced",
+               "iou_raw_box_mask", "iou_refined_box_mask"});
+  for (std::int64_t z = 0; z < vol.depth(); ++z) {
+    const auto zi = static_cast<std::size_t>(z);
+    double iou_raw = 0.0, iou_ref = 0.0;
+    if (!corrupted[zi].empty()) {
+      const core::SliceResult r =
+          session.pipeline().segment_with_box(slices[zi].ai_ready, corrupted[zi], prompt);
+      iou_raw = image::mask_iou(r.mask, vol.ground_truth[zi]);
+    }
+    if (!refined.boxes[zi].empty()) {
+      const core::SliceResult r =
+          session.pipeline().segment_with_box(slices[zi].ai_ready, refined.boxes[zi], prompt);
+      iou_ref = image::mask_iou(r.mask, vol.ground_truth[zi]);
+    }
+    t.add_row({z, corrupted[zi].w, corrupted[zi].h, refined.boxes[zi].w,
+               refined.boxes[zi].h,
+               std::string(refined.replaced[zi] ? "yes" : "no"), iou_raw,
+               iou_ref});
+  }
+  std::printf("%s", t.to_ascii().c_str());
+  std::printf("%d corrupted slices repaired by the window-average heuristic.\n",
+              refined.replaced_count);
+  t.write_csv(out + "/fig7_heuristic_refine.csv");
+  return 0;
+}

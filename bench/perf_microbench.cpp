@@ -1,0 +1,155 @@
+// Performance microbenchmarks (the venue's HPC angle): tensor kernels,
+// attention, feature extraction, model inference, and end-to-end slice
+// latency, plus thread-scaling of the parallel substrate.
+#include <benchmark/benchmark.h>
+
+#include "zenesis/core/pipeline.hpp"
+#include "zenesis/fibsem/synth.hpp"
+#include "zenesis/models/auto_mask.hpp"
+#include "zenesis/parallel/parallel_for.hpp"
+#include "zenesis/tensor/init.hpp"
+#include "zenesis/tensor/ops.hpp"
+
+namespace {
+
+using namespace zenesis;
+
+image::ImageF32 bench_slice(std::int64_t size) {
+  fibsem::SynthConfig cfg;
+  cfg.type = fibsem::SampleType::kCrystalline;
+  cfg.width = size;
+  cfg.height = size;
+  cfg.seed = 123;
+  const auto s = fibsem::generate_slice(cfg, 0);
+  return image::make_ai_ready(image::AnyImage(s.raw));
+}
+
+void BM_MatmulNt(benchmark::State& state) {
+  const auto n = state.range(0);
+  const tensor::Tensor a = tensor::xavier_uniform(n, n, 1, 1);
+  const tensor::Tensor b = tensor::xavier_uniform(n, n, 1, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul_nt(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulNt)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Attention(benchmark::State& state) {
+  const auto l = state.range(0);
+  const tensor::Tensor q = tensor::xavier_uniform(l, 64, 2, 1);
+  const tensor::Tensor k = tensor::xavier_uniform(l, 64, 2, 2);
+  const tensor::Tensor v = tensor::xavier_uniform(l, 64, 2, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::attention(q, k, v));
+  }
+}
+BENCHMARK(BM_Attention)->Arg(256)->Arg(1024);
+
+void BM_Softmax(benchmark::State& state) {
+  tensor::Tensor a = tensor::xavier_uniform(1024, 1024, 3, 1);
+  for (auto _ : state) {
+    tensor::Tensor copy = a;
+    tensor::softmax_rows(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_Softmax);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const image::ImageF32 img = bench_slice(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(models::compute_features(img));
+  }
+}
+BENCHMARK(BM_FeatureExtraction)->Arg(256)->Arg(512);
+
+void BM_GroundingDetect(benchmark::State& state) {
+  const image::ImageF32 img = bench_slice(256);
+  const models::GroundingDetector dino;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dino.detect(img, "bright needle-like crystalline catalyst"));
+  }
+}
+BENCHMARK(BM_GroundingDetect);
+
+void BM_SamEncode(benchmark::State& state) {
+  const image::ImageF32 img = bench_slice(256);
+  const models::SamModel sam;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sam.encode(img));
+  }
+}
+BENCHMARK(BM_SamEncode);
+
+void BM_SamPredictBox(benchmark::State& state) {
+  const image::ImageF32 img = bench_slice(256);
+  const models::SamModel sam;
+  const models::SamEncoded enc = sam.encode(img);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sam.predict_box(enc, {32, 32, 192, 128}));
+  }
+}
+BENCHMARK(BM_SamPredictBox);
+
+void BM_SamOnlyAutoMask(benchmark::State& state) {
+  const image::ImageF32 img = bench_slice(256);
+  const models::SamModel sam;
+  const models::AutomaticMaskGenerator gen(sam);
+  const models::SamEncoded enc = sam.encode(img);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.generate(enc));
+  }
+}
+BENCHMARK(BM_SamOnlyAutoMask);
+
+void BM_EndToEndSlice(benchmark::State& state) {
+  fibsem::SynthConfig cfg;
+  cfg.type = fibsem::SampleType::kCrystalline;
+  cfg.width = state.range(0);
+  cfg.height = state.range(0);
+  cfg.seed = 123;
+  const auto s = fibsem::generate_slice(cfg, 0);
+  const core::ZenesisPipeline pipe;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipe.segment(
+        image::AnyImage(s.raw), "bright needle-like crystalline catalyst"));
+  }
+}
+BENCHMARK(BM_EndToEndSlice)->Arg(128)->Arg(256);
+
+void BM_SliceGeneration(benchmark::State& state) {
+  fibsem::SynthConfig cfg;
+  cfg.type = fibsem::SampleType::kAmorphous;
+  cfg.width = 256;
+  cfg.height = 256;
+  cfg.seed = 9;
+  std::int64_t z = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fibsem::generate_slice(cfg, z++ % 10));
+  }
+}
+BENCHMARK(BM_SliceGeneration);
+
+void BM_ParallelForScaling(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  parallel::ThreadPool pool(threads);
+  std::vector<double> data(1 << 20, 1.0);
+  for (auto _ : state) {
+    parallel::parallel_for(0, static_cast<std::int64_t>(data.size()),
+                           [&](std::int64_t i) {
+                             data[static_cast<std::size_t>(i)] =
+                                 data[static_cast<std::size_t>(i)] * 1.0000001 + 0.5;
+                           },
+                           pool);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_ParallelForScaling)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

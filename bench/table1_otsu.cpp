@@ -1,0 +1,24 @@
+// Table 1 reproduction: Otsu threshold — average performance metrics
+// (accuracy / IoU / Dice, mean±std over 10 slices per sample type).
+// Paper reference: crystalline 0.586 / 0.161 / 0.274,
+//                  amorphous   0.581 / 0.407 / 0.578.
+#include <cstdio>
+
+#include "exp_common.hpp"
+
+int main() {
+  using namespace zenesis;
+  bench::ExperimentConfig cfg;
+  bench::MethodSet methods;
+  methods.sam_only = false;
+  methods.zenesis = false;
+  core::Session session = bench::run_comparison(cfg, methods);
+
+  bench::print_header("Table 1", "Otsu threshold: Average Performance Metrics");
+  const io::Table t = session.dashboard().method_table("otsu");
+  std::printf("%s", t.to_ascii().c_str());
+  std::printf("Paper reports: crystalline 0.586/0.161/0.274, "
+              "amorphous 0.581/0.407/0.578 (acc/IoU/Dice)\n");
+  t.write_csv(bench::ensure_out_dir(cfg) + "/table1_otsu.csv");
+  return 0;
+}

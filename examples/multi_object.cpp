@@ -1,0 +1,74 @@
+// Multi-object example (the paper's future-work item 2): segment several
+// object classes of one slice with one prompt each and export a label
+// map. Conflicting claims are resolved by pixel-level text alignment.
+//
+//   ./multi_object ["prompt1" "prompt2" ...]
+//
+// Defaults to {"bright needle-like crystalline catalyst",
+// "dark background"} on a synthetic crystalline slice, which separates
+// the catalyst from the sample holder in one pass.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "zenesis/core/session.hpp"
+#include "zenesis/fibsem/synth.hpp"
+#include "zenesis/image/roi.hpp"
+#include "zenesis/io/pnm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace zenesis;
+
+  std::vector<std::string> prompts;
+  for (int i = 1; i < argc; ++i) prompts.emplace_back(argv[i]);
+  if (prompts.empty()) {
+    prompts = {"bright needle-like crystalline catalyst", "dark background"};
+  }
+
+  fibsem::SynthConfig cfg;
+  cfg.type = fibsem::SampleType::kCrystalline;
+  const fibsem::SyntheticSlice slice = fibsem::generate_slice(cfg, 1);
+
+  core::Session session;
+  const auto res =
+      session.mode_a_segment_multi(image::AnyImage(slice.raw), prompts);
+
+  std::printf("classes:\n");
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    std::int64_t area = 0;
+    for (auto v : res.labels.pixels()) area += v == static_cast<std::int32_t>(i) + 1;
+    std::printf("  %zu: \"%s\" -> %lld px (%.1f%%), %zu detection(s)\n", i + 1,
+                prompts[i].c_str(), static_cast<long long>(area),
+                100.0 * static_cast<double>(area) /
+                    static_cast<double>(res.labels.pixel_count()),
+                res.per_prompt[i].grounding.boxes.size());
+  }
+
+  // Render the label map with a fixed small palette.
+  const std::uint8_t palette[][3] = {{40, 200, 80},  {230, 80, 60},
+                                     {70, 120, 240}, {240, 200, 60},
+                                     {180, 80, 220}, {80, 220, 220}};
+  image::ImageU8 vis(res.labels.width(), res.labels.height(), 3);
+  const image::ImageF32 ready =
+      session.pipeline().make_ready(image::AnyImage(slice.raw));
+  for (std::int64_t y = 0; y < vis.height(); ++y) {
+    for (std::int64_t x = 0; x < vis.width(); ++x) {
+      const std::int32_t l = res.labels.at(x, y);
+      const auto g = static_cast<std::uint8_t>(
+          std::clamp(ready.at(x, y), 0.0f, 1.0f) * 255.0f);
+      if (l == 0) {
+        vis.at(x, y, 0) = g;
+        vis.at(x, y, 1) = g;
+        vis.at(x, y, 2) = g;
+      } else {
+        const auto& c = palette[(l - 1) % 6];
+        vis.at(x, y, 0) = static_cast<std::uint8_t>((g + 2 * c[0]) / 3);
+        vis.at(x, y, 1) = static_cast<std::uint8_t>((g + 2 * c[1]) / 3);
+        vis.at(x, y, 2) = static_cast<std::uint8_t>((g + 2 * c[2]) / 3);
+      }
+    }
+  }
+  io::write_ppm("multi_object_labels.ppm", vis);
+  std::printf("wrote multi_object_labels.ppm\n");
+  return 0;
+}

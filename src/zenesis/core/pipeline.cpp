@@ -1,0 +1,305 @@
+#include "zenesis/core/pipeline.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "zenesis/cv/morphology.hpp"
+#include "zenesis/cv/threshold.hpp"
+#include "zenesis/image/roi.hpp"
+
+namespace zenesis::core {
+
+ZenesisPipeline::ZenesisPipeline(const PipelineConfig& cfg)
+    : cfg_(cfg), dino_(cfg.grounding), sam_(cfg.sam) {}
+
+image::ImageF32 ZenesisPipeline::make_ready(const image::AnyImage& raw) const {
+  return image::make_ai_ready(raw, cfg_.readiness);
+}
+
+SliceResult ZenesisPipeline::segment(const image::AnyImage& raw,
+                                     const std::string& prompt) const {
+  return segment_ready(make_ready(raw), prompt);
+}
+
+SliceResult ZenesisPipeline::segment_ready(const image::ImageF32& ready,
+                                           const std::string& prompt) const {
+  models::GroundingResult g = dino_.detect(ready, prompt);
+  return assemble(ready, std::move(g));
+}
+
+SliceResult ZenesisPipeline::segment_with_box(const image::ImageF32& ready,
+                                              const image::Box& box) const {
+  models::GroundingResult g;
+  g.boxes.push_back({box, 1.0});
+  return assemble(ready, std::move(g));
+}
+
+SliceResult ZenesisPipeline::segment_with_box(const image::ImageF32& ready,
+                                              const image::Box& box,
+                                              const std::string& prompt) const {
+  return assemble(ready, dino_.ground_box(box, prompt));
+}
+
+namespace {
+
+/// Pixel-level text alignment: the prompt's aggregated concept direction
+/// dotted with a pixel's mean-centered engineered features.
+class AlignmentScorer {
+ public:
+  AlignmentScorer(const models::GroundingResult& g,
+                  const models::SamEncoded& enc, const image::Box& box)
+      : g_(g), enc_(enc), box_(box.clipped(enc.maps.width, enc.maps.height)) {
+    if (!g.has_direction || box_.empty()) return;
+    for (int c = 0; c < models::kFeatureChannels; ++c) {
+      mean_[static_cast<std::size_t>(c)] = enc.enc.mean_feature.at(c);
+    }
+    // Background level θ (box median alignment) and a light area penalty
+    // λ derived from the box's alignment spread: a candidate is rewarded
+    // for every pixel whose alignment clears the box's typical level by
+    // more than the penalty. This prefers covering all prompt-consistent
+    // pixels (dim agglomerate cores included) while still dropping bulk
+    // background whose alignment hovers at θ.
+    std::vector<float> values;
+    values.reserve(static_cast<std::size_t>(box_.area()));
+    for (std::int64_t y = box_.y; y < box_.bottom(); ++y) {
+      for (std::int64_t x = box_.x; x < box_.right(); ++x) {
+        values.push_back(at(x, y));
+      }
+    }
+    auto mid = values.begin() + static_cast<std::ptrdiff_t>(values.size() / 2);
+    std::nth_element(values.begin(), mid, values.end());
+    theta_ = *mid;
+    const auto p90 =
+        static_cast<std::size_t>(0.9 * static_cast<double>(values.size() - 1));
+    std::nth_element(values.begin(),
+                     values.begin() + static_cast<std::ptrdiff_t>(p90),
+                     values.end());
+    lambda_ = 0.40 * std::max(0.0f, values[p90] - theta_);
+    valid_ = true;
+  }
+
+  bool valid() const noexcept { return valid_; }
+
+  /// Alignment of one pixel.
+  float at(std::int64_t x, std::int64_t y) const {
+    float dot = 0.0f;
+    for (int c = 0; c < models::kFeatureChannels; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      dot += g_.concept_direction[ci] *
+             (enc_.maps.channels[ci].at(x, y) - mean_[ci]);
+    }
+    return dot;
+  }
+
+  /// Total evidence of a mask: Σ over foreground of (alignment − θ − λ).
+  double score(const image::Mask& mask) const {
+    double sum = 0.0;
+    for (std::int64_t y = box_.y; y < box_.bottom(); ++y) {
+      for (std::int64_t x = box_.x; x < box_.right(); ++x) {
+        if (mask.at(x, y) == 0) continue;
+        sum += static_cast<double>(at(x, y)) - theta_ - lambda_;
+      }
+    }
+    return sum;
+  }
+
+ private:
+  const models::GroundingResult& g_;
+  const models::SamEncoded& enc_;
+  image::Box box_;
+  std::array<float, models::kFeatureChannels> mean_{};
+  float theta_ = 0.0f;
+  double lambda_ = 0.0;
+  bool valid_ = false;
+};
+
+}  // namespace
+
+SliceResult ZenesisPipeline::assemble(image::ImageF32 ready,
+                                      models::GroundingResult grounding) const {
+  SliceResult res;
+  res.mask = image::Mask(ready.width(), ready.height());
+  const models::SamEncoded enc = sam_.encode(ready);
+  const bool have_relevance = grounding.has_direction;
+  const int k = std::max(1, cfg_.max_boxes);
+  const std::size_t n =
+      std::min<std::size_t>(grounding.boxes.size(), static_cast<std::size_t>(k));
+  for (std::size_t i = 0; i < n; ++i) {
+    // SAM's multimask output: the pipeline selects the candidate whose
+    // pixels carry the highest text relevance (the Grounded-SAM pattern of
+    // ranking mask proposals with the grounding signal). Without a
+    // relevance map (explicit user box), fall back to SAM's own ranking.
+    models::MaskPrediction pred;
+    const AlignmentScorer scorer(grounding, enc, grounding.boxes[i].box);
+    if (have_relevance && scorer.valid()) {
+      auto candidates = sam_.predict_box_candidates(enc, grounding.boxes[i].box);
+      // Two-stage selection: text-alignment evidence shortlists the
+      // candidates (right phase, right coverage); boundary adherence —
+      // mean edge strength along the mask outline — breaks ties between
+      // scales (a crisp fine-scale outline hugs real interfaces, a
+      // blurred coarse outline floats in the halo).
+      std::vector<double> scores(candidates.size());
+      double smax = -1e30;
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        scores[c] = scorer.score(candidates[c].mask);
+        smax = std::max(smax, scores[c]);
+      }
+      const auto boundary_adherence = [&](const image::Mask& mask) {
+        const image::Mask boundary = cv::boundary_gradient(mask);
+        double sum = 0.0;
+        std::int64_t count = 0;
+        for (std::int64_t y = 0; y < boundary.height(); ++y) {
+          for (std::int64_t x = 0; x < boundary.width(); ++x) {
+            if (boundary.at(x, y) == 0) continue;
+            sum += enc.maps.channels[models::kEdge].at(x, y);
+            ++count;
+          }
+        }
+        return count > 0 ? sum / static_cast<double>(count) : 0.0;
+      };
+      double best_adherence = -1.0;
+      std::size_t best_idx = candidates.size();
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        const bool shortlisted =
+            smax > 0.0 ? scores[c] >= 0.7 * smax : scores[c] == smax;
+        if (!shortlisted) continue;
+        const double adherence = boundary_adherence(candidates[c].mask);
+        if (adherence > best_adherence) {
+          best_adherence = adherence;
+          best_idx = c;
+        }
+      }
+      if (best_idx < candidates.size()) {
+        pred = std::move(candidates[best_idx]);
+      } else {
+        pred.mask = image::Mask(ready.width(), ready.height());
+      }
+    } else {
+      pred = sam_.predict_box(enc, grounding.boxes[i].box);
+    }
+    res.mask = image::mask_or(res.mask, pred.mask);
+    res.box_masks.push_back(std::move(pred));
+  }
+  if (!grounding.boxes.empty()) {
+    res.primary_box = grounding.boxes.front().box;
+    res.confidence = grounding.boxes.front().score;
+  }
+  res.grounding = std::move(grounding);
+  res.ai_ready = std::move(ready);
+  return res;
+}
+
+VolumeResult ZenesisPipeline::segment_volume(const image::VolumeU16& volume,
+                                             const std::string& prompt) const {
+  VolumeResult res;
+  res.slices.reserve(static_cast<std::size_t>(volume.depth()));
+  for (std::int64_t z = 0; z < volume.depth(); ++z) {
+    res.slices.push_back(segment(image::AnyImage(volume.slice(z)), prompt));
+    res.raw_boxes.push_back(res.slices.back().primary_box);
+  }
+  res.refined_boxes = res.raw_boxes;
+  res.replaced.assign(res.raw_boxes.size(), false);
+  if (cfg_.enable_heuristic_refine) {
+    const volume3d::RefineOutcome refined =
+        volume3d::refine_box_sequence(res.raw_boxes, cfg_.heuristic);
+    res.refined_boxes = refined.boxes;
+    res.replaced = refined.replaced;
+    res.replaced_count = refined.replaced_count;
+    // Re-segment the corrected slices from their replacement box.
+    for (std::size_t i = 0; i < res.slices.size(); ++i) {
+      if (!res.replaced[i] || res.refined_boxes[i].empty()) continue;
+      SliceResult fixed =
+          segment_with_box(res.slices[i].ai_ready, res.refined_boxes[i], prompt);
+      res.slices[i].mask = std::move(fixed.mask);
+      res.slices[i].box_masks = std::move(fixed.box_masks);
+      res.slices[i].primary_box = res.refined_boxes[i];
+    }
+  }
+  return res;
+}
+
+SliceResult ZenesisPipeline::further_segment(const SliceResult& parent,
+                                             const image::Box& roi,
+                                             const std::string& prompt) const {
+  const image::Box clipped =
+      roi.clipped(parent.ai_ready.width(), parent.ai_ready.height());
+  SliceResult child;
+  child.ai_ready = parent.ai_ready;
+  child.mask = image::Mask(parent.ai_ready.width(), parent.ai_ready.height());
+  if (clipped.empty()) return child;
+
+  const image::ImageF32 cropped = image::crop(parent.ai_ready, clipped);
+  SliceResult local = segment_ready(cropped, prompt);
+
+  // Lift the child's result back into parent coordinates.
+  image::paste_mask(child.mask, local.mask, clipped);
+  child.grounding = local.grounding;
+  for (auto& sb : child.grounding.boxes) {
+    sb.box.x += clipped.x;
+    sb.box.y += clipped.y;
+  }
+  if (!child.grounding.boxes.empty()) {
+    child.primary_box = child.grounding.boxes.front().box;
+    child.confidence = child.grounding.boxes.front().score;
+  }
+  child.box_masks = std::move(local.box_masks);
+  for (auto& bm : child.box_masks) {
+    image::Mask lifted(child.ai_ready.width(), child.ai_ready.height());
+    image::paste_mask(lifted, bm.mask, clipped);
+    bm.mask = std::move(lifted);
+  }
+  return child;
+}
+
+ZenesisPipeline::MultiObjectResult ZenesisPipeline::segment_multi(
+    const image::AnyImage& raw, const std::vector<std::string>& prompts) const {
+  const image::ImageF32 ready = make_ready(raw);
+  MultiObjectResult res;
+  res.labels = image::Image<std::int32_t>(ready.width(), ready.height(), 1);
+  res.per_prompt.reserve(prompts.size());
+  for (const auto& prompt : prompts) {
+    res.per_prompt.push_back(segment_ready(ready, prompt));
+  }
+  // Conflicts go to the class whose concept direction aligns best with
+  // the pixel's features (same signal the single-object path uses for
+  // mask selection).
+  const models::SamEncoded enc = sam_.encode(ready);
+  std::array<float, models::kFeatureChannels> mean{};
+  for (int c = 0; c < models::kFeatureChannels; ++c) {
+    mean[static_cast<std::size_t>(c)] = enc.enc.mean_feature.at(c);
+  }
+  for (std::int64_t y = 0; y < ready.height(); ++y) {
+    for (std::int64_t x = 0; x < ready.width(); ++x) {
+      std::int32_t best_label = 0;
+      float best_score = -1e30f;
+      for (std::size_t i = 0; i < res.per_prompt.size(); ++i) {
+        if (res.per_prompt[i].mask.at(x, y) == 0) continue;
+        float dot = 0.0f;
+        for (int c = 0; c < models::kFeatureChannels; ++c) {
+          const auto ci = static_cast<std::size_t>(c);
+          dot += res.per_prompt[i].grounding.concept_direction[ci] *
+                 (enc.maps.channels[ci].at(x, y) - mean[ci]);
+        }
+        if (dot > best_score) {
+          best_score = dot;
+          best_label = static_cast<std::int32_t>(i) + 1;
+        }
+      }
+      res.labels.at(x, y) = best_label;
+    }
+  }
+  return res;
+}
+
+image::Mask baseline_otsu(const image::ImageF32& ready) {
+  return cv::otsu_threshold(ready).mask;
+}
+
+image::Mask baseline_sam_only(const models::SamModel& sam,
+                              const image::ImageF32& ready,
+                              const models::AutoMaskConfig& cfg) {
+  const models::AutomaticMaskGenerator gen(sam, cfg);
+  return gen.segment_best(ready);
+}
+
+}  // namespace zenesis::core

@@ -1,0 +1,135 @@
+#pragma once
+// The Zenesis pipeline: data readiness → GroundingDINO surrogate →
+// SAM surrogate → optional volumetric heuristic refinement, with
+// hierarchical "Further Segment" recursion. This is the paper's Core
+// Processing Pipeline; the Session in session.hpp wraps it in the three
+// platform modes.
+
+#include <string>
+#include <vector>
+
+#include "zenesis/image/geometry.hpp"
+#include "zenesis/image/image.hpp"
+#include "zenesis/image/normalize.hpp"
+#include "zenesis/models/auto_mask.hpp"
+#include "zenesis/models/grounding.hpp"
+#include "zenesis/models/sam.hpp"
+#include "zenesis/volume3d/heuristic.hpp"
+
+namespace zenesis::core {
+
+struct PipelineConfig {
+  image::ReadinessConfig readiness;
+  models::GroundingConfig grounding;
+  models::SamConfig sam;
+  volume3d::HeuristicConfig heuristic;
+  /// Use the k highest-confidence DINO boxes per slice; their SAM masks
+  /// are unioned (multi-scale box prompting).
+  int max_boxes = 6;
+  /// Apply the sliding-window box correction in volume mode.
+  bool enable_heuristic_refine = true;
+};
+
+/// Everything the platform produced for one image/slice (the UI state of
+/// Mode A: preview, DINO boxes, mask overlay, extracted segments).
+struct SliceResult {
+  image::ImageF32 ai_ready;
+  models::GroundingResult grounding;
+  std::vector<models::MaskPrediction> box_masks;  ///< one per used box
+  image::Mask mask;                               ///< final (union) mask
+  image::Box primary_box;                         ///< top detection
+  double confidence = 0.0;                        ///< top detection score
+};
+
+/// Volume (Mode B) output: per-slice results plus the box sequences
+/// before/after heuristic refinement.
+struct VolumeResult {
+  std::vector<SliceResult> slices;
+  std::vector<image::Box> raw_boxes;
+  std::vector<image::Box> refined_boxes;
+  std::vector<bool> replaced;
+  int replaced_count = 0;
+
+  std::vector<image::Mask> masks() const {
+    std::vector<image::Mask> out;
+    out.reserve(slices.size());
+    for (const auto& s : slices) out.push_back(s.mask);
+    return out;
+  }
+};
+
+class ZenesisPipeline {
+ public:
+  explicit ZenesisPipeline(const PipelineConfig& cfg = {});
+
+  const PipelineConfig& config() const noexcept { return cfg_; }
+  const models::SamModel& sam() const noexcept { return sam_; }
+  const models::GroundingDetector& detector() const noexcept { return dino_; }
+
+  /// Readiness layer only (Fig. 1 transform).
+  image::ImageF32 make_ready(const image::AnyImage& raw) const;
+
+  /// Mode A on raw instrument data.
+  SliceResult segment(const image::AnyImage& raw, const std::string& prompt) const;
+
+  /// Mode A on an already AI-ready image.
+  SliceResult segment_ready(const image::ImageF32& ready,
+                            const std::string& prompt) const;
+
+  /// Segment with an explicit user box instead of text grounding
+  /// (interactive bounding-box guidance). Pure SAM ranking.
+  SliceResult segment_with_box(const image::ImageF32& ready,
+                               const image::Box& box) const;
+
+  /// Segment with an explicit box but keep the prompt's concept direction
+  /// for mask selection (the path taken when the temporal heuristic
+  /// replaces a failed detection: the box is corrected, the text intent
+  /// is unchanged).
+  SliceResult segment_with_box(const image::ImageF32& ready,
+                               const image::Box& box,
+                               const std::string& prompt) const;
+
+  /// Mode B: batch volume with temporal refinement.
+  VolumeResult segment_volume(const image::VolumeU16& volume,
+                              const std::string& prompt) const;
+
+  /// Hierarchical Further Segment: crops `roi` from the parent's AI-ready
+  /// image, re-runs DINO+SAM inside it, and returns the child result in
+  /// parent coordinates (mask pasted back at the ROI offset).
+  SliceResult further_segment(const SliceResult& parent, const image::Box& roi,
+                              const std::string& prompt) const;
+
+  /// Multi-object segmentation (the paper's future-work item 2): one
+  /// prompt per object class. Each prompt is grounded and segmented
+  /// independently; pixels claimed by several classes go to the prompt
+  /// with the highest pixel-level text alignment. Label 0 = background,
+  /// label i = prompts[i-1].
+  struct MultiObjectResult {
+    image::Image<std::int32_t> labels;
+    std::vector<SliceResult> per_prompt;
+  };
+  MultiObjectResult segment_multi(const image::AnyImage& raw,
+                                  const std::vector<std::string>& prompts) const;
+
+ private:
+  /// Runs SAM over the top-k grounded boxes and unions the masks.
+  SliceResult assemble(image::ImageF32 ready,
+                       models::GroundingResult grounding) const;
+
+  PipelineConfig cfg_;
+  models::GroundingDetector dino_;
+  models::SamModel sam_;
+};
+
+// --- Baselines (the paper's comparison columns) ---
+
+/// Otsu thresholding on the AI-ready image (Table 1). On these datasets
+/// the catalyst phase is the brighter one, so the mask is `> threshold`.
+image::Mask baseline_otsu(const image::ImageF32& ready);
+
+/// SAM-only: automatic mask generation, max-confidence pick (Table 2).
+image::Mask baseline_sam_only(const models::SamModel& sam,
+                              const image::ImageF32& ready,
+                              const models::AutoMaskConfig& cfg = {});
+
+}  // namespace zenesis::core

@@ -1,0 +1,63 @@
+#include "zenesis/core/session.hpp"
+
+namespace zenesis::core {
+
+Session::Session(const PipelineConfig& cfg) : pipeline_(cfg) {}
+
+SliceResult Session::mode_a_segment(const image::AnyImage& raw,
+                                    const std::string& prompt) const {
+  return pipeline_.segment(raw, prompt);
+}
+
+SliceResult Session::mode_a_segment_slice(const image::VolumeU16& volume,
+                                          std::int64_t slice,
+                                          const std::string& prompt) const {
+  return pipeline_.segment(image::AnyImage(volume.slice(slice)), prompt);
+}
+
+ZenesisPipeline::MultiObjectResult Session::mode_a_segment_multi(
+    const image::AnyImage& raw, const std::vector<std::string>& prompts) const {
+  return pipeline_.segment_multi(raw, prompts);
+}
+
+VolumeResult Session::mode_b_segment_volume(const image::VolumeU16& volume,
+                                            const std::string& prompt) const {
+  return pipeline_.segment_volume(volume, prompt);
+}
+
+std::vector<SliceResult> Session::mode_b_segment_images(
+    const std::vector<image::AnyImage>& images, const std::string& prompt) const {
+  std::vector<SliceResult> out;
+  out.reserve(images.size());
+  for (const auto& img : images) out.push_back(pipeline_.segment(img, prompt));
+  return out;
+}
+
+eval::Metrics Session::mode_c_evaluate(const std::string& dataset,
+                                       const std::string& method,
+                                       std::int64_t slice,
+                                       const image::Mask& prediction,
+                                       const image::Mask& ground_truth) {
+  const eval::Metrics m = eval::compute_metrics(prediction, ground_truth);
+  dashboard_.add(dataset, method, slice, m);
+  return m;
+}
+
+hitl::RectifyResult Session::rectify(const SliceResult& automated,
+                                     const image::Mask& reference,
+                                     hitl::SimulatedAnnotator& annotator,
+                                     const hitl::RandomBoxConfig& boxes,
+                                     std::uint64_t episode_seed) const {
+  const models::SamEncoded enc = pipeline_.sam().encode(automated.ai_ready);
+  parallel::Rng rng(episode_seed, 4242);
+  return hitl::rectify_segmentation(pipeline_.sam(), enc, automated.mask,
+                                    reference, boxes, annotator, rng);
+}
+
+SliceResult Session::further_segment(const SliceResult& parent,
+                                     const image::Box& roi,
+                                     const std::string& prompt) const {
+  return pipeline_.further_segment(parent, roi, prompt);
+}
+
+}  // namespace zenesis::core

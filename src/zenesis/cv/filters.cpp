@@ -1,0 +1,304 @@
+#include "zenesis/cv/filters.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "zenesis/parallel/parallel_for.hpp"
+
+namespace zenesis::cv {
+namespace {
+
+using image::ImageF32;
+
+void require_gray(const ImageF32& img, const char* what) {
+  if (img.channels() != 1) throw std::invalid_argument(what);
+}
+
+std::int64_t clampi(std::int64_t v, std::int64_t lo, std::int64_t hi) {
+  return std::clamp(v, lo, hi);
+}
+
+/// Summed-area table; sat[(y+1)*(w+1)+(x+1)] = sum of img[0..y][0..x].
+std::vector<double> summed_area(const ImageF32& img) {
+  const std::int64_t w = img.width(), h = img.height();
+  std::vector<double> sat(static_cast<std::size_t>((w + 1) * (h + 1)), 0.0);
+  for (std::int64_t y = 0; y < h; ++y) {
+    double row = 0.0;
+    for (std::int64_t x = 0; x < w; ++x) {
+      row += img.at(x, y);
+      sat[static_cast<std::size_t>((y + 1) * (w + 1) + (x + 1))] =
+          sat[static_cast<std::size_t>(y * (w + 1) + (x + 1))] + row;
+    }
+  }
+  return sat;
+}
+
+double sat_sum(const std::vector<double>& sat, std::int64_t w, std::int64_t x0,
+               std::int64_t y0, std::int64_t x1, std::int64_t y1) {
+  // Inclusive box [x0,x1]×[y0,y1].
+  const auto idx = [w](std::int64_t y, std::int64_t x) {
+    return static_cast<std::size_t>(y * (w + 1) + x);
+  };
+  return sat[idx(y1 + 1, x1 + 1)] - sat[idx(y0, x1 + 1)] -
+         sat[idx(y1 + 1, x0)] + sat[idx(y0, x0)];
+}
+
+}  // namespace
+
+ImageF32 gaussian_blur(const ImageF32& img, float sigma) {
+  require_gray(img, "gaussian_blur: single channel required");
+  if (sigma <= 0.0f || img.pixel_count() == 0) return img;
+  const int radius = std::max(1, static_cast<int>(std::ceil(3.0f * sigma)));
+  std::vector<float> kernel(static_cast<std::size_t>(2 * radius + 1));
+  float sum = 0.0f;
+  for (int i = -radius; i <= radius; ++i) {
+    const float v = std::exp(-0.5f * static_cast<float>(i * i) / (sigma * sigma));
+    kernel[static_cast<std::size_t>(i + radius)] = v;
+    sum += v;
+  }
+  for (float& v : kernel) v /= sum;
+
+  const std::int64_t w = img.width(), h = img.height();
+  ImageF32 tmp(w, h, 1), out(w, h, 1);
+  parallel::parallel_for(0, h, [&](std::int64_t y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int i = -radius; i <= radius; ++i) {
+        acc += kernel[static_cast<std::size_t>(i + radius)] *
+               img.at(clampi(x + i, 0, w - 1), y);
+      }
+      tmp.at(x, y) = acc;
+    }
+  });
+  parallel::parallel_for(0, h, [&](std::int64_t y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int i = -radius; i <= radius; ++i) {
+        acc += kernel[static_cast<std::size_t>(i + radius)] *
+               tmp.at(x, clampi(y + i, 0, h - 1));
+      }
+      out.at(x, y) = acc;
+    }
+  });
+  return out;
+}
+
+ImageF32 box_filter(const ImageF32& img, int radius) {
+  require_gray(img, "box_filter: single channel required");
+  if (radius <= 0 || img.pixel_count() == 0) return img;
+  const std::int64_t w = img.width(), h = img.height();
+  const auto sat = summed_area(img);
+  ImageF32 out(w, h, 1);
+  parallel::parallel_for(0, h, [&](std::int64_t y) {
+    const std::int64_t y0 = clampi(y - radius, 0, h - 1);
+    const std::int64_t y1 = clampi(y + radius, 0, h - 1);
+    for (std::int64_t x = 0; x < w; ++x) {
+      const std::int64_t x0 = clampi(x - radius, 0, w - 1);
+      const std::int64_t x1 = clampi(x + radius, 0, w - 1);
+      const double area = static_cast<double>((x1 - x0 + 1) * (y1 - y0 + 1));
+      out.at(x, y) = static_cast<float>(sat_sum(sat, w, x0, y0, x1, y1) / area);
+    }
+  });
+  return out;
+}
+
+ImageF32 median_filter(const ImageF32& img, int radius) {
+  require_gray(img, "median_filter: single channel required");
+  if (radius <= 0 || img.pixel_count() == 0) return img;
+  if (radius > 7) throw std::invalid_argument("median_filter: radius > 7");
+  const std::int64_t w = img.width(), h = img.height();
+  ImageF32 out(w, h, 1);
+  parallel::parallel_for(0, h, [&](std::int64_t y) {
+    std::vector<float> window;
+    window.reserve(static_cast<std::size_t>((2 * radius + 1) * (2 * radius + 1)));
+    for (std::int64_t x = 0; x < w; ++x) {
+      window.clear();
+      for (int dy = -radius; dy <= radius; ++dy) {
+        for (int dx = -radius; dx <= radius; ++dx) {
+          window.push_back(
+              img.at(clampi(x + dx, 0, w - 1), clampi(y + dy, 0, h - 1)));
+        }
+      }
+      auto mid = window.begin() + static_cast<std::ptrdiff_t>(window.size() / 2);
+      std::nth_element(window.begin(), mid, window.end());
+      out.at(x, y) = *mid;
+    }
+  });
+  return out;
+}
+
+ImageF32 median_filter_large(const ImageF32& img, int radius) {
+  require_gray(img, "median_filter_large: single channel required");
+  if (radius <= 0 || img.pixel_count() == 0) return img;
+  constexpr int kBins = 256;
+  const std::int64_t w = img.width(), h = img.height();
+  const auto bin_of = [](float v) {
+    return std::clamp(static_cast<int>(std::clamp(v, 0.0f, 1.0f) * kBins), 0,
+                      kBins - 1);
+  };
+  ImageF32 out(w, h, 1);
+  // One sliding histogram per output row: initialize for x=0, then slide
+  // right by exchanging columns. Rows are independent → parallel.
+  parallel::parallel_for(0, h, [&](std::int64_t y) {
+    const std::int64_t y0 = clampi(y - radius, 0, h - 1);
+    const std::int64_t y1 = clampi(y + radius, 0, h - 1);
+    std::array<std::int32_t, kBins> hist{};
+    std::int64_t count = 0;
+    const auto add_col = [&](std::int64_t x) {
+      for (std::int64_t yy = y0; yy <= y1; ++yy) {
+        ++hist[static_cast<std::size_t>(bin_of(img.at(x, yy)))];
+        ++count;
+      }
+    };
+    const auto del_col = [&](std::int64_t x) {
+      for (std::int64_t yy = y0; yy <= y1; ++yy) {
+        --hist[static_cast<std::size_t>(bin_of(img.at(x, yy)))];
+        --count;
+      }
+    };
+    for (std::int64_t x = 0; x <= clampi(radius, 0, w - 1); ++x) add_col(x);
+    for (std::int64_t x = 0; x < w; ++x) {
+      if (x > 0) {
+        const std::int64_t enter = x + radius;
+        if (enter < w) add_col(enter);
+        const std::int64_t leave = x - radius - 1;
+        if (leave >= 0) del_col(leave);
+      }
+      // Median from the histogram.
+      std::int64_t seen = 0;
+      int median_bin = 0;
+      const std::int64_t half = (count + 1) / 2;
+      for (int b = 0; b < kBins; ++b) {
+        seen += hist[static_cast<std::size_t>(b)];
+        if (seen >= half) {
+          median_bin = b;
+          break;
+        }
+      }
+      out.at(x, y) = (static_cast<float>(median_bin) + 0.5f) / kBins;
+    }
+  });
+  return out;
+}
+
+ImageF32 median_filter_large_masked(const ImageF32& img, int radius,
+                                    const image::Mask& exclude) {
+  require_gray(img, "median_filter_large_masked: single channel required");
+  if (img.width() != exclude.width() || img.height() != exclude.height()) {
+    throw std::invalid_argument("median_filter_large_masked: size mismatch");
+  }
+  if (radius <= 0 || img.pixel_count() == 0) return img;
+  constexpr int kBins = 256;
+  const std::int64_t w = img.width(), h = img.height();
+  const auto bin_of = [](float v) {
+    return std::clamp(static_cast<int>(std::clamp(v, 0.0f, 1.0f) * kBins), 0,
+                      kBins - 1);
+  };
+  const ImageF32 fallback = median_filter_large(img, radius);
+  ImageF32 out(w, h, 1);
+  parallel::parallel_for(0, h, [&](std::int64_t y) {
+    const std::int64_t y0 = clampi(y - radius, 0, h - 1);
+    const std::int64_t y1 = clampi(y + radius, 0, h - 1);
+    std::array<std::int32_t, kBins> hist{};
+    std::int64_t count = 0, window = 0;
+    const auto add_col = [&](std::int64_t x) {
+      for (std::int64_t yy = y0; yy <= y1; ++yy) {
+        ++window;
+        if (exclude.at(x, yy) != 0) continue;
+        ++hist[static_cast<std::size_t>(bin_of(img.at(x, yy)))];
+        ++count;
+      }
+    };
+    const auto del_col = [&](std::int64_t x) {
+      for (std::int64_t yy = y0; yy <= y1; ++yy) {
+        --window;
+        if (exclude.at(x, yy) != 0) continue;
+        --hist[static_cast<std::size_t>(bin_of(img.at(x, yy)))];
+        --count;
+      }
+    };
+    for (std::int64_t x = 0; x <= clampi(radius, 0, w - 1); ++x) add_col(x);
+    for (std::int64_t x = 0; x < w; ++x) {
+      if (x > 0) {
+        const std::int64_t enter = x + radius;
+        if (enter < w) add_col(enter);
+        const std::int64_t leave = x - radius - 1;
+        if (leave >= 0) del_col(leave);
+      }
+      if (count * 4 < window) {
+        out.at(x, y) = fallback.at(x, y);
+        continue;
+      }
+      std::int64_t seen = 0;
+      int median_bin = 0;
+      const std::int64_t half = (count + 1) / 2;
+      for (int b = 0; b < kBins; ++b) {
+        seen += hist[static_cast<std::size_t>(b)];
+        if (seen >= half) {
+          median_bin = b;
+          break;
+        }
+      }
+      out.at(x, y) = (static_cast<float>(median_bin) + 0.5f) / kBins;
+    }
+  });
+  return out;
+}
+
+ImageF32 sobel_magnitude(const ImageF32& img) {
+  require_gray(img, "sobel_magnitude: single channel required");
+  const std::int64_t w = img.width(), h = img.height();
+  ImageF32 out(w, h, 1);
+  if (img.pixel_count() == 0) return out;
+  parallel::parallel_for(0, h, [&](std::int64_t y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      auto px = [&](std::int64_t xx, std::int64_t yy) {
+        return img.at(clampi(xx, 0, w - 1), clampi(yy, 0, h - 1));
+      };
+      const float gx = (px(x + 1, y - 1) + 2.0f * px(x + 1, y) + px(x + 1, y + 1)) -
+                       (px(x - 1, y - 1) + 2.0f * px(x - 1, y) + px(x - 1, y + 1));
+      const float gy = (px(x - 1, y + 1) + 2.0f * px(x, y + 1) + px(x + 1, y + 1)) -
+                       (px(x - 1, y - 1) + 2.0f * px(x, y - 1) + px(x + 1, y - 1));
+      out.at(x, y) = std::sqrt(gx * gx + gy * gy);
+    }
+  });
+  return out;
+}
+
+ImageF32 local_variance(const ImageF32& img, int radius) {
+  require_gray(img, "local_variance: single channel required");
+  if (radius <= 0 || img.pixel_count() == 0) {
+    return ImageF32(img.width(), img.height(), 1);
+  }
+  const ImageF32 mean = box_filter(img, radius);
+  ImageF32 sq(img.width(), img.height(), 1);
+  auto s = img.pixels();
+  auto d = sq.pixels();
+  for (std::size_t i = 0; i < s.size(); ++i) d[i] = s[i] * s[i];
+  const ImageF32 mean_sq = box_filter(sq, radius);
+  ImageF32 out(img.width(), img.height(), 1);
+  for (std::int64_t y = 0; y < img.height(); ++y) {
+    for (std::int64_t x = 0; x < img.width(); ++x) {
+      out.at(x, y) = std::max(0.0f, mean_sq.at(x, y) - mean.at(x, y) * mean.at(x, y));
+    }
+  }
+  return out;
+}
+
+ImageF32 abs_diff(const ImageF32& a, const ImageF32& b) {
+  if (a.width() != b.width() || a.height() != b.height() ||
+      a.channels() != b.channels()) {
+    throw std::invalid_argument("abs_diff: shape mismatch");
+  }
+  ImageF32 out(a.width(), a.height(), a.channels());
+  auto pa = a.pixels();
+  auto pb = b.pixels();
+  auto po = out.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) po[i] = std::fabs(pa[i] - pb[i]);
+  return out;
+}
+
+}  // namespace zenesis::cv

@@ -1,0 +1,45 @@
+#pragma once
+// Spatial filters over single-channel float images. Border handling is
+// clamp-to-edge throughout (the FIB-SEM field of view has no wrap-around
+// semantics).
+
+#include "zenesis/image/image.hpp"
+
+namespace zenesis::cv {
+
+/// Separable Gaussian blur; sigma <= 0 returns the input unchanged.
+image::ImageF32 gaussian_blur(const image::ImageF32& img, float sigma);
+
+/// Boxcar mean filter with square radius `radius` (side 2r+1), O(1) per
+/// pixel via summed-area table.
+image::ImageF32 box_filter(const image::ImageF32& img, int radius);
+
+/// Median filter with square radius (exact, sort-based, radius <= 7).
+image::ImageF32 median_filter(const image::ImageF32& img, int radius);
+
+/// Large-window approximate median filter: sliding 256-bin histogram over
+/// values clamped to [0,1], O(w·h·r) updates. Quantization error is
+/// <= 1/256, irrelevant for context estimation. Used by the SAM surrogate
+/// as a robust local-background model (immune to thin bright structures
+/// and to boundary halos that corrupt a mean filter).
+image::ImageF32 median_filter_large(const image::ImageF32& img, int radius);
+
+/// median_filter_large over only the pixels NOT set in `exclude`. Windows
+/// whose valid count falls below a quarter of their size fall back to the
+/// unmasked median. Used for background re-estimation after a first
+/// segmentation pass has explained away the foreground.
+image::ImageF32 median_filter_large_masked(const image::ImageF32& img,
+                                           int radius,
+                                           const image::Mask& exclude);
+
+/// Sobel gradient magnitude (L2 of the 3x3 Sobel pair).
+image::ImageF32 sobel_magnitude(const image::ImageF32& img);
+
+/// Local variance within a square window of radius `radius` — a texture
+/// descriptor feeding the surrogate backbones' engineered channels.
+image::ImageF32 local_variance(const image::ImageF32& img, int radius);
+
+/// Elementwise absolute difference.
+image::ImageF32 abs_diff(const image::ImageF32& a, const image::ImageF32& b);
+
+}  // namespace zenesis::cv

@@ -1,0 +1,81 @@
+#include "zenesis/cv/morphology.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "zenesis/image/geometry.hpp"
+#include "zenesis/parallel/parallel_for.hpp"
+
+namespace zenesis::cv {
+namespace {
+
+/// Offsets of the structuring element.
+std::vector<image::Point> element_offsets(int radius, Element el) {
+  std::vector<image::Point> offs;
+  const std::int64_t r2 = static_cast<std::int64_t>(radius) * radius;
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      if (el == Element::kDisk &&
+          static_cast<std::int64_t>(dx) * dx + static_cast<std::int64_t>(dy) * dy > r2) {
+        continue;
+      }
+      offs.push_back({dx, dy});
+    }
+  }
+  return offs;
+}
+
+image::Mask morph(const image::Mask& mask, int radius, Element el, bool is_dilate) {
+  if (radius < 0) throw std::invalid_argument("morphology: negative radius");
+  if (radius == 0) return mask;
+  const auto offs = element_offsets(radius, el);
+  const std::int64_t w = mask.width(), h = mask.height();
+  image::Mask out(w, h);
+  parallel::parallel_for(0, h, [&](std::int64_t y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      bool hit = false, all = true;
+      for (const auto& o : offs) {
+        const std::int64_t nx = x + o.x, ny = y + o.y;
+        // Outside the raster counts as background.
+        const bool fg = mask.contains(nx, ny) && mask.at(nx, ny) != 0;
+        hit = hit || fg;
+        all = all && fg;
+        if (is_dilate ? hit : !all) break;
+      }
+      out.at(x, y) = is_dilate ? (hit ? 1 : 0) : (all ? 1 : 0);
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+image::Mask erode(const image::Mask& mask, int radius, Element el) {
+  return morph(mask, radius, el, /*is_dilate=*/false);
+}
+
+image::Mask dilate(const image::Mask& mask, int radius, Element el) {
+  return morph(mask, radius, el, /*is_dilate=*/true);
+}
+
+image::Mask open(const image::Mask& mask, int radius, Element el) {
+  return dilate(erode(mask, radius, el), radius, el);
+}
+
+image::Mask close(const image::Mask& mask, int radius, Element el) {
+  return erode(dilate(mask, radius, el), radius, el);
+}
+
+image::Mask boundary_gradient(const image::Mask& mask) {
+  const image::Mask d = dilate(mask, 1, Element::kSquare);
+  const image::Mask e = erode(mask, 1, Element::kSquare);
+  image::Mask out(mask.width(), mask.height());
+  for (std::int64_t y = 0; y < mask.height(); ++y) {
+    for (std::int64_t x = 0; x < mask.width(); ++x) {
+      out.at(x, y) = (d.at(x, y) != 0 && e.at(x, y) == 0) ? 1 : 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace zenesis::cv

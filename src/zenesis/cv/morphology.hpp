@@ -1,0 +1,27 @@
+#pragma once
+// Binary morphology with square or disk structuring elements. Used to
+// clean model masks (SAM post-processing) and by the synthetic generator.
+
+#include "zenesis/image/image.hpp"
+
+namespace zenesis::cv {
+
+enum class Element { kSquare, kDisk };
+
+image::Mask erode(const image::Mask& mask, int radius,
+                  Element el = Element::kDisk);
+image::Mask dilate(const image::Mask& mask, int radius,
+                   Element el = Element::kDisk);
+
+/// Erosion then dilation: removes specks smaller than the element.
+image::Mask open(const image::Mask& mask, int radius,
+                 Element el = Element::kDisk);
+
+/// Dilation then erosion: closes gaps smaller than the element.
+image::Mask close(const image::Mask& mask, int radius,
+                  Element el = Element::kDisk);
+
+/// Morphological gradient (dilate − erode): 1-pixel-thick boundary band.
+image::Mask boundary_gradient(const image::Mask& mask);
+
+}  // namespace zenesis::cv

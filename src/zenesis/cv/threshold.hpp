@@ -1,0 +1,40 @@
+#pragma once
+// Histogram-based thresholding. Otsu is the paper's classical baseline
+// (Table 1); multi-level Otsu and adaptive mean thresholding support the
+// ablations and the volumetric outlier-correction heuristics.
+
+#include <vector>
+
+#include "zenesis/image/image.hpp"
+
+namespace zenesis::cv {
+
+/// Result of a global threshold: the cut value (in [0,1]) and the
+/// foreground mask (pixel > threshold).
+struct ThresholdResult {
+  float threshold = 0.0f;
+  image::Mask mask;
+};
+
+/// Otsu's method over a 256-bin histogram of a [0,1] float image:
+/// maximizes between-class variance. Deterministic, the exact algorithm
+/// the paper benchmarks against.
+ThresholdResult otsu_threshold(const image::ImageF32& img);
+
+/// Otsu's cut value for an arbitrary histogram (exposed for tests and for
+/// the multi-level variant). Returns the bin index of the cut.
+int otsu_bin(const std::vector<std::int64_t>& hist);
+
+/// Multi-level Otsu: exhaustive search for `levels-1` cuts maximizing
+/// between-class variance (levels ∈ {2, 3, 4}). Returns thresholds in
+/// ascending order, values in [0,1].
+std::vector<float> multi_otsu(const image::ImageF32& img, int levels);
+
+/// Mean-offset adaptive threshold: pixel > (local boxcar mean + offset).
+image::Mask adaptive_mean_threshold(const image::ImageF32& img, int radius,
+                                    float offset);
+
+/// Fixed threshold.
+image::Mask fixed_threshold(const image::ImageF32& img, float t);
+
+}  // namespace zenesis::cv

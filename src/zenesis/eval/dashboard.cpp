@@ -1,0 +1,125 @@
+#include "zenesis/eval/dashboard.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace zenesis::eval {
+namespace {
+
+std::vector<const Record*> select(const std::vector<Record>& records,
+                                  const std::string& dataset,
+                                  const std::string& method) {
+  std::vector<const Record*> out;
+  for (const auto& r : records) {
+    if (r.dataset == dataset && r.method == method) out.push_back(&r);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Record* a, const Record* b) { return a->slice < b->slice; });
+  return out;
+}
+
+}  // namespace
+
+void Dashboard::add(const std::string& dataset, const std::string& method,
+                    std::int64_t slice, const Metrics& metrics) {
+  records_.push_back({dataset, method, slice, metrics});
+}
+
+io::Table Dashboard::per_slice_table(const std::string& dataset,
+                                     const std::string& method) const {
+  io::Table t({"slice", "accuracy", "iou", "dice", "precision", "recall"});
+  for (const Record* r : select(records_, dataset, method)) {
+    t.add_row({r->slice, r->metrics.accuracy, r->metrics.iou, r->metrics.dice,
+               r->metrics.precision, r->metrics.recall});
+  }
+  return t;
+}
+
+MetricSummary Dashboard::summary(const std::string& dataset,
+                                 const std::string& method) const {
+  std::vector<Metrics> ms;
+  for (const Record* r : select(records_, dataset, method)) {
+    ms.push_back(r->metrics);
+  }
+  return summarize(ms);
+}
+
+io::Table Dashboard::summary_table() const {
+  io::Table t({"dataset", "method", "slices", "accuracy", "iou", "dice"});
+  std::set<std::pair<std::string, std::string>> pairs;
+  for (const auto& r : records_) pairs.insert({r.dataset, r.method});
+  for (const auto& [dataset, method] : pairs) {
+    const MetricSummary s = summary(dataset, method);
+    t.add_row({dataset, method, s.accuracy.count,
+               format_aggregate(s.accuracy), format_aggregate(s.iou),
+               format_aggregate(s.dice)});
+  }
+  return t;
+}
+
+io::Table Dashboard::method_table(const std::string& method) const {
+  io::Table t({"Sample", "Accuracy", "IOU", "Dice"});
+  std::set<std::string> datasets;
+  for (const auto& r : records_) {
+    if (r.method == method) datasets.insert(r.dataset);
+  }
+  for (const auto& dataset : datasets) {
+    const MetricSummary s = summary(dataset, method);
+    t.add_row({dataset, format_aggregate(s.accuracy), format_aggregate(s.iou),
+               format_aggregate(s.dice)});
+  }
+  return t;
+}
+
+std::string Dashboard::render() const {
+  std::string out = "=== Zenesis evaluation dashboard ===\n\n";
+  out += "Dataset-level summary (mean±std over slices):\n";
+  out += summary_table().to_ascii();
+  std::set<std::pair<std::string, std::string>> pairs;
+  for (const auto& r : records_) pairs.insert({r.dataset, r.method});
+  for (const auto& [dataset, method] : pairs) {
+    out += "\nPer-slice [" + dataset + " / " + method + "]:\n";
+    out += per_slice_table(dataset, method).to_ascii();
+  }
+  return out;
+}
+
+io::JsonObject Dashboard::to_json() const {
+  io::JsonObject root;
+  root.set("records", static_cast<std::int64_t>(records_.size()));
+  std::vector<io::JsonObject> items;
+  items.reserve(records_.size());
+  for (const auto& r : records_) {
+    io::JsonObject o;
+    o.set("dataset", r.dataset);
+    o.set("method", r.method);
+    o.set("slice", r.slice);
+    o.set("accuracy", r.metrics.accuracy);
+    o.set("iou", r.metrics.iou);
+    o.set("dice", r.metrics.dice);
+    o.set("precision", r.metrics.precision);
+    o.set("recall", r.metrics.recall);
+    items.push_back(std::move(o));
+  }
+  root.set_array("per_slice", std::move(items));
+  std::set<std::pair<std::string, std::string>> pairs;
+  for (const auto& r : records_) pairs.insert({r.dataset, r.method});
+  std::vector<io::JsonObject> sums;
+  for (const auto& [dataset, method] : pairs) {
+    const MetricSummary s = summary(dataset, method);
+    io::JsonObject o;
+    o.set("dataset", dataset);
+    o.set("method", method);
+    o.set("accuracy_mean", s.accuracy.mean);
+    o.set("accuracy_std", s.accuracy.stddev);
+    o.set("iou_mean", s.iou.mean);
+    o.set("iou_std", s.iou.stddev);
+    o.set("dice_mean", s.dice.mean);
+    o.set("dice_std", s.dice.stddev);
+    sums.push_back(std::move(o));
+  }
+  root.set_array("summaries", std::move(sums));
+  return root;
+}
+
+}  // namespace zenesis::eval

@@ -1,0 +1,56 @@
+#pragma once
+// Evaluation dashboard (the paper's Mode C, Fig. 8): collects per-slice
+// metrics for any number of (dataset, method) pairs and renders them at
+// sample and dataset granularity as ASCII, CSV and JSON.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "zenesis/eval/metrics.hpp"
+#include "zenesis/io/report.hpp"
+
+namespace zenesis::eval {
+
+/// One recorded evaluation: which dataset, which method, which slice.
+struct Record {
+  std::string dataset;
+  std::string method;
+  std::int64_t slice = 0;
+  Metrics metrics;
+};
+
+class Dashboard {
+ public:
+  void add(const std::string& dataset, const std::string& method,
+           std::int64_t slice, const Metrics& metrics);
+
+  const std::vector<Record>& records() const noexcept { return records_; }
+
+  /// Per-slice table for one (dataset, method); all slices in order.
+  io::Table per_slice_table(const std::string& dataset,
+                            const std::string& method) const;
+
+  /// Dataset-level summary across all (dataset, method) pairs — one row
+  /// each, in the "a±b" format of the paper's tables.
+  io::Table summary_table() const;
+
+  /// Summary restricted to one method, rows = datasets (exactly the shape
+  /// of the paper's Tables 1–3).
+  io::Table method_table(const std::string& method) const;
+
+  /// Aggregated metrics for one (dataset, method) pair.
+  MetricSummary summary(const std::string& dataset,
+                        const std::string& method) const;
+
+  /// Full multi-section ASCII dashboard.
+  std::string render() const;
+
+  /// JSON export of every record plus summaries.
+  io::JsonObject to_json() const;
+
+ private:
+  std::vector<Record> records_;
+};
+
+}  // namespace zenesis::eval

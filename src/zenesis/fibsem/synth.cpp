@@ -1,0 +1,415 @@
+#include "zenesis/fibsem/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "zenesis/cv/filters.hpp"
+#include "zenesis/parallel/parallel_for.hpp"
+#include "zenesis/parallel/rng.hpp"
+
+namespace zenesis::fibsem {
+namespace {
+
+using image::ImageF32;
+using parallel::Rng;
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Stream ids carved out of the (seed, stream) space. Every logical entity
+// gets its own stream so output is independent of generation order.
+constexpr std::uint64_t kStreamVolume = 100;
+constexpr std::uint64_t kStreamHolder = 200;
+constexpr std::uint64_t kStreamNeedleBase = 10000;
+constexpr std::uint64_t kStreamFieldA = 300;
+constexpr std::uint64_t kStreamFieldB = 301;
+constexpr std::uint64_t kStreamShading = 400;
+constexpr std::uint64_t kStreamCurtain = 500;
+constexpr std::uint64_t kStreamSliceBase = 600;
+constexpr std::uint64_t kStreamNoiseBase = 20000;
+constexpr std::uint64_t kStreamTextureBase = 30000;
+
+/// White-noise image from one sequential stream (row-major, deterministic).
+ImageF32 white_noise(std::int64_t w, std::int64_t h, std::uint64_t seed,
+                     std::uint64_t stream) {
+  ImageF32 img(w, h, 1);
+  Rng rng(seed, stream);
+  for (float& v : img.pixels()) v = static_cast<float>(rng.normal());
+  return img;
+}
+
+/// Smooth zero-mean unit-variance random field.
+ImageF32 smooth_field(std::int64_t w, std::int64_t h, std::uint64_t seed,
+                      std::uint64_t stream, float sigma) {
+  ImageF32 f = cv::gaussian_blur(white_noise(w, h, seed, stream), sigma);
+  // Re-standardize: blurring shrinks the variance.
+  double sum = 0.0, sum2 = 0.0;
+  for (float v : f.pixels()) {
+    sum += v;
+    sum2 += v * v;
+  }
+  const double n = static_cast<double>(f.pixels().size());
+  const double mean = sum / n;
+  const double sd = std::sqrt(std::max(1e-12, sum2 / n - mean * mean));
+  for (float& v : f.pixels()) {
+    v = static_cast<float>((v - mean) / sd);
+  }
+  return f;
+}
+
+/// Smoothstep with clamped input.
+float smoothstep(float t) {
+  t = std::clamp(t, 0.0f, 1.0f);
+  return t * t * (3.0f - 2.0f * t);
+}
+
+/// One needle of the crystalline ensemble: a 3-D line segment that
+/// intersects a few adjacent slices, drifting slightly between them.
+struct Needle {
+  double cx, cy;      // in-plane center at z_center
+  double z_center;    // slice of maximal extent
+  double z_halfspan;  // appears on |z - z_center| <= z_halfspan
+  double angle;       // in-plane orientation
+  double length;
+  double width_sigma;
+  double drift_x, drift_y;  // per-slice positional drift
+  float brightness;
+};
+
+std::vector<Needle> make_needles(const SynthConfig& cfg) {
+  Rng vol_rng(cfg.seed, kStreamVolume);
+  const double preferred = vol_rng.uniform(0.0, kPi);
+  std::vector<Needle> needles;
+  // needle_count is calibrated for a 256x256 field of view; scale the
+  // ensemble with the imaged area so phase fractions stay constant.
+  const double area_scale = static_cast<double>(cfg.width) *
+                            static_cast<double>(cfg.height) / (256.0 * 256.0);
+  const int per_slice =
+      std::max(1, static_cast<int>(cfg.needle_count * area_scale));
+  // Oversample in z so each slice sees ~per_slice active needles.
+  const int total = per_slice * static_cast<int>(cfg.depth) / 3;
+  needles.reserve(static_cast<std::size_t>(total));
+  for (int n = 0; n < total; ++n) {
+    Rng rng(cfg.seed, kStreamNeedleBase + static_cast<std::uint64_t>(n));
+    Needle nd;
+    nd.cx = rng.uniform(0.0, static_cast<double>(cfg.width));
+    nd.cy = rng.uniform(0.0, static_cast<double>(cfg.height));
+    nd.z_center = rng.uniform(-1.0, static_cast<double>(cfg.depth) + 1.0);
+    nd.z_halfspan = rng.uniform(1.0, 3.0);
+    nd.angle = preferred + rng.normal(0.0, 0.45);
+    nd.length = std::max(6.0, rng.normal(cfg.needle_len_mean,
+                                         cfg.needle_len_mean * 0.35));
+    nd.width_sigma = std::max(0.7, rng.normal(cfg.needle_width / 2.0, 0.35));
+    nd.drift_x = rng.normal(0.0, 1.2);
+    nd.drift_y = rng.normal(0.0, 1.2);
+    nd.brightness = static_cast<float>(rng.uniform(0.85, 1.1));
+    needles.push_back(nd);
+  }
+  return needles;
+}
+
+/// Holder boundary: y below which the membrane lives. Wobbles along x and
+/// creeps slowly with z (serial sectioning mills material away).
+double holder_boundary(const SynthConfig& cfg, std::int64_t z, double x) {
+  Rng rng(cfg.seed, kStreamHolder);
+  const double phase = rng.uniform(0.0, 2.0 * kPi);
+  const double amp = rng.uniform(4.0, 10.0);
+  const double freq = rng.uniform(1.0, 2.2);
+  const double creep = rng.uniform(-0.8, 0.8);
+  const double base =
+      static_cast<double>(cfg.height) * (1.0 - cfg.holder_fraction);
+  return base + amp * std::sin(freq * 2.0 * kPi * x / static_cast<double>(cfg.width) + phase) +
+         creep * static_cast<double>(z);
+}
+
+/// Renders the clean crystalline phase image + ground truth.
+void render_crystalline(const SynthConfig& cfg, std::int64_t z, ImageF32& clean,
+                        image::Mask& gt) {
+  const std::int64_t w = cfg.width, h = cfg.height;
+
+  // Membrane with mild low-frequency mottle, holder below the boundary.
+  const ImageF32 mottle = smooth_field(w, h, cfg.seed,
+                                       kStreamTextureBase + static_cast<std::uint64_t>(z),
+                                       6.0f);
+  std::vector<double> boundary(static_cast<std::size_t>(w));
+  for (std::int64_t x = 0; x < w; ++x) {
+    boundary[static_cast<std::size_t>(x)] =
+        holder_boundary(cfg, z, static_cast<double>(x));
+  }
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      if (static_cast<double>(y) > boundary[static_cast<std::size_t>(x)]) {
+        clean.at(x, y) = cfg.holder_level;
+      } else {
+        clean.at(x, y) = cfg.membrane_level + 0.022f * mottle.at(x, y);
+      }
+    }
+  }
+
+  // Needles: Gaussian cross-profile along each active segment, clipped to
+  // the membrane side of the boundary.
+  const auto needles = make_needles(cfg);
+  for (const auto& nd : needles) {
+    const double dz = static_cast<double>(z) - nd.z_center;
+    if (std::abs(dz) > nd.z_halfspan) continue;
+    const double extent =
+        std::sqrt(std::max(0.0, 1.0 - (dz / nd.z_halfspan) * (dz / nd.z_halfspan)));
+    const double len = nd.length * extent;
+    if (len < 3.0) continue;
+    const double cx = nd.cx + nd.drift_x * dz;
+    const double cy = nd.cy + nd.drift_y * dz;
+    const double dx = std::cos(nd.angle), dy = std::sin(nd.angle);
+    const double half = len / 2.0;
+    const double reach = 3.0 * nd.width_sigma;
+    const auto x0 = static_cast<std::int64_t>(
+        std::floor(cx - half * std::abs(dx) - reach));
+    const auto x1 = static_cast<std::int64_t>(
+        std::ceil(cx + half * std::abs(dx) + reach));
+    const auto y0 = static_cast<std::int64_t>(
+        std::floor(cy - half * std::abs(dy) - reach));
+    const auto y1 = static_cast<std::int64_t>(
+        std::ceil(cy + half * std::abs(dy) + reach));
+    for (std::int64_t y = std::max<std::int64_t>(0, y0);
+         y <= std::min<std::int64_t>(h - 1, y1); ++y) {
+      for (std::int64_t x = std::max<std::int64_t>(0, x0);
+           x <= std::min<std::int64_t>(w - 1, x1); ++x) {
+        if (static_cast<double>(y) > boundary[static_cast<std::size_t>(x)]) {
+          continue;  // needles do not exist inside the holder
+        }
+        // Distance from pixel to the segment.
+        const double px = static_cast<double>(x) - cx;
+        const double py = static_cast<double>(y) - cy;
+        const double t = std::clamp(px * dx + py * dy, -half, half);
+        const double qx = px - t * dx, qy = py - t * dy;
+        const double d2 = qx * qx + qy * qy;
+        const double prof =
+            std::exp(-d2 / (2.0 * nd.width_sigma * nd.width_sigma));
+        if (prof < 0.05) continue;
+        const float target = cfg.needle_level * nd.brightness;
+        const auto m = static_cast<float>(prof);
+        clean.at(x, y) = clean.at(x, y) * (1.0f - m) + target * m;
+        if (prof > 0.5) gt.at(x, y) = 1;
+      }
+    }
+  }
+}
+
+/// One amorphous agglomerate: a lumpy cluster of overlapping soft
+/// spheres, continuous across a few slices (a 3-D particle cluster cut by
+/// serial sections).
+struct Agglomerate {
+  double cx, cy, cz;   // center (cz in slice units)
+  double radius;       // in-plane radius of the main lobe, pixels
+  double z_radius;     // half-extent along z, slices
+  double lobes[3][3];  // up to 3 sub-lobes: dx, dy, radius scale
+  int lobe_count;
+  float brightness;
+};
+
+std::vector<Agglomerate> make_agglomerates(const SynthConfig& cfg) {
+  // Calibrated for 256x256: enough clusters to hit particle_fraction.
+  const double area_scale = static_cast<double>(cfg.width) *
+                            static_cast<double>(cfg.height) / (256.0 * 256.0);
+  const double mean_r = cfg.particle_scale * 0.62;
+  const double mean_area = 1.6 * mean_r * mean_r;  // lumpy multi-lobe blobs (empirical, incl. z-shrink and overlap losses)
+  const int per_slice = std::max(
+      1, static_cast<int>(cfg.particle_fraction * 65536.0 * area_scale / mean_area));
+  // Each cluster is active on ~5 slices (z_radius 1.5-3.5) out of a
+  // (depth+3)-slice spawn range, so scale the pool to keep the
+  // per-slice density depth-independent.
+  const int total = std::max(
+      1, static_cast<int>(per_slice * (static_cast<double>(cfg.depth) + 3.0) / 5.0));
+  std::vector<Agglomerate> blobs;
+  blobs.reserve(static_cast<std::size_t>(total));
+  for (int n = 0; n < total; ++n) {
+    Rng rng(cfg.seed, kStreamNeedleBase + 500000 + static_cast<std::uint64_t>(n));
+    Agglomerate a;
+    a.cx = rng.uniform(0.0, static_cast<double>(cfg.width));
+    a.cy = rng.uniform(0.0, static_cast<double>(cfg.height));
+    a.cz = rng.uniform(-1.5, static_cast<double>(cfg.depth) + 1.5);
+    a.radius = std::max(5.0, rng.normal(mean_r, mean_r * 0.35));
+    a.z_radius = rng.uniform(1.5, 3.5);
+    a.lobe_count = 1 + static_cast<int>(rng.uniform_index(3));
+    for (int l = 0; l < a.lobe_count; ++l) {
+      a.lobes[l][0] = rng.normal(0.0, a.radius * 0.8);
+      a.lobes[l][1] = rng.normal(0.0, a.radius * 0.8);
+      a.lobes[l][2] = rng.uniform(0.45, 0.85);
+    }
+    a.brightness = static_cast<float>(rng.uniform(0.88, 1.12));
+    blobs.push_back(a);
+  }
+  return blobs;
+}
+
+/// Renders the clean amorphous phase image + ground truth: discrete lumpy
+/// agglomerates with diffuse (smoothstep) edges in a uniform matrix.
+void render_amorphous(const SynthConfig& cfg, std::int64_t z, ImageF32& clean,
+                      image::Mask& gt) {
+  const std::int64_t w = cfg.width, h = cfg.height;
+  const ImageF32 grain = smooth_field(
+      w, h, cfg.seed, kStreamTextureBase + static_cast<std::uint64_t>(z), 1.5f);
+  const ImageF32 mottle = smooth_field(
+      w, h, cfg.seed, kStreamTextureBase + 7000 + static_cast<std::uint64_t>(z),
+      8.0f);
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      clean.at(x, y) = cfg.matrix_level + 0.018f * mottle.at(x, y);
+    }
+  }
+
+  constexpr double kSoftEdge = 2.0;  // diffuse boundary width, pixels
+  const auto blobs = make_agglomerates(cfg);
+  for (const auto& blob : blobs) {
+    const double dz = static_cast<double>(z) - blob.cz;
+    if (std::abs(dz) > blob.z_radius) continue;
+    // Spherical cross-section: the cluster shrinks toward its z ends.
+    const double shrink =
+        std::sqrt(std::max(0.0, 1.0 - (dz / blob.z_radius) * (dz / blob.z_radius)));
+    if (shrink * blob.radius < 3.0) continue;
+    const double reach = blob.radius * 2.2 * shrink + kSoftEdge * 2.0;
+    const auto x0 = std::max<std::int64_t>(0, static_cast<std::int64_t>(blob.cx - reach));
+    const auto x1 = std::min<std::int64_t>(w - 1, static_cast<std::int64_t>(blob.cx + reach));
+    const auto y0 = std::max<std::int64_t>(0, static_cast<std::int64_t>(blob.cy - reach));
+    const auto y1 = std::min<std::int64_t>(h - 1, static_cast<std::int64_t>(blob.cy + reach));
+    for (std::int64_t y = y0; y <= y1; ++y) {
+      for (std::int64_t x = x0; x <= x1; ++x) {
+        // Signed distance to the lumpy union: min over lobes of
+        // (distance to lobe center − lobe radius).
+        double sd = 1e9;
+        for (int l = 0; l < blob.lobe_count; ++l) {
+          const double lx = blob.cx + blob.lobes[l][0] * shrink;
+          const double ly = blob.cy + blob.lobes[l][1] * shrink;
+          const double lr = blob.radius * blob.lobes[l][2] * shrink;
+          const double dx = static_cast<double>(x) - lx;
+          const double dy = static_cast<double>(y) - ly;
+          sd = std::min(sd, std::sqrt(dx * dx + dy * dy) - lr);
+        }
+        const float s = smoothstep(static_cast<float>(0.5 - sd / (2.0 * kSoftEdge)));
+        if (s <= 0.0f) continue;
+        float level = cfg.matrix_level +
+                      (cfg.particle_level - cfg.matrix_level) * blob.brightness * s;
+        level += 0.040f * grain.at(x, y) * s;  // intra-particle texture
+        clean.at(x, y) = std::max(clean.at(x, y), level);
+        if (sd < 0.0) gt.at(x, y) = 1;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const char* sample_type_name(SampleType t) {
+  return t == SampleType::kCrystalline ? "crystalline" : "amorphous";
+}
+
+const char* default_prompt(SampleType t) {
+  return t == SampleType::kCrystalline
+             ? "bright needle-like crystalline catalyst"
+             : "bright amorphous catalyst particles";
+}
+
+SyntheticSlice generate_slice(const SynthConfig& cfg, std::int64_t z) {
+  if (cfg.width <= 0 || cfg.height <= 0) {
+    throw std::invalid_argument("generate_slice: empty geometry");
+  }
+  const std::int64_t w = cfg.width, h = cfg.height;
+  ImageF32 clean(w, h, 1);
+  image::Mask gt(w, h);
+  if (cfg.type == SampleType::kCrystalline) {
+    render_crystalline(cfg, z, clean, gt);
+  } else {
+    render_amorphous(cfg, z, clean, gt);
+  }
+
+  // --- degradation chain (raw instrument model) ---
+  SyntheticSlice out;
+  Rng slice_rng(cfg.seed, kStreamSliceBase + static_cast<std::uint64_t>(z));
+  out.defocus_sigma =
+      static_cast<float>(slice_rng.uniform(0.0, cfg.defocus_sigma_max));
+  out.contrast_gain = static_cast<float>(
+      1.0 + cfg.contrast_drift *
+                std::sin(2.0 * kPi * static_cast<double>(z) /
+                             std::max<double>(1.0, static_cast<double>(cfg.depth)) +
+                         slice_rng.uniform(0.0, 2.0 * kPi)));
+
+  // Multiplicative topography shading (fixed per volume).
+  const ImageF32 shading = smooth_field(w, h, cfg.seed, kStreamShading,
+                                        static_cast<float>(w) / 3.0f);
+  // FIB curtaining: vertical stripes, fixed per volume.
+  ImageF32 curtain1d = smooth_field(w, 1, cfg.seed, kStreamCurtain, 2.0f);
+
+  ImageF32 degraded(w, h, 1);
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      float v = clean.at(x, y);
+      v *= 1.0f + cfg.shading_amplitude * shading.at(x, y);
+      v *= 1.0f + cfg.curtain_strength * curtain1d.at(x, 0);
+      v *= out.contrast_gain;
+      degraded.at(x, y) = std::max(0.0f, v);
+    }
+  }
+  if (out.defocus_sigma > 0.05f) {
+    degraded = cv::gaussian_blur(degraded, out.defocus_sigma);
+  }
+
+  // Shot + read noise, then 16-bit quantization with a detector offset.
+  Rng noise_rng(cfg.seed, kStreamNoiseBase + static_cast<std::uint64_t>(z));
+  out.raw = image::ImageU16(w, h, 1);
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      float v = degraded.at(x, y);
+      if (cfg.poisson_scale > 0.0f) {
+        const double photons = noise_rng.poisson(
+            static_cast<double>(v) * static_cast<double>(cfg.poisson_scale));
+        v = static_cast<float>(photons / static_cast<double>(cfg.poisson_scale));
+      }
+      v += static_cast<float>(noise_rng.normal(0.0, cfg.gaussian_noise));
+      // Detectors rarely use their container's range: park the signal in
+      // a ~19%% sliver of the 16-bit scale (offset 500, gain 11500), the
+      // kind of raw file the readiness layer exists to fix.
+      const double counts = 500.0 + std::clamp(v, 0.0f, 1.25f) * 11500.0;
+      out.raw.at(x, y) = static_cast<std::uint16_t>(
+          std::clamp(counts, 0.0, 65535.0));
+    }
+  }
+  out.ground_truth = std::move(gt);
+  return out;
+}
+
+SyntheticVolume generate_volume(const SynthConfig& cfg) {
+  SyntheticVolume vol;
+  vol.type = cfg.type;
+  vol.volume = image::VolumeU16(cfg.width, cfg.height, cfg.depth, 1, cfg.voxel);
+  vol.ground_truth.resize(static_cast<std::size_t>(cfg.depth));
+  parallel::parallel_for_chunked(
+      0, cfg.depth, 1, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t z = lo; z < hi; ++z) {
+          SyntheticSlice s = generate_slice(cfg, z);
+          vol.volume.slice(z) = std::move(s.raw);
+          vol.ground_truth[static_cast<std::size_t>(z)] =
+              std::move(s.ground_truth);
+        }
+      });
+  return vol;
+}
+
+BenchmarkDataset make_benchmark_dataset(std::int64_t size, std::uint64_t seed) {
+  BenchmarkDataset ds;
+  SynthConfig crys;
+  crys.type = SampleType::kCrystalline;
+  crys.width = size;
+  crys.height = size;
+  crys.seed = seed;
+  ds.crystalline = generate_volume(crys);
+
+  SynthConfig amor;
+  amor.type = SampleType::kAmorphous;
+  amor.width = size;
+  amor.height = size;
+  amor.seed = seed + 1;
+  ds.amorphous = generate_volume(amor);
+  return ds;
+}
+
+}  // namespace zenesis::fibsem

@@ -1,0 +1,113 @@
+#pragma once
+// Synthetic FIB-SEM volume generator — the stand-in for the paper's
+// proprietary catalyst-layer dataset (amorphous and crystalline IrO₂ in
+// Nafion ionomer films, 10 slices each).
+//
+// Morphology:
+//   * crystalline — ensembles of thin oriented bright needles (the
+//     "needle-like morphology with high specific surface area" the paper
+//     describes) embedded in a mid-gray ionomer membrane, with a large
+//     near-black region (sample holder / epoxy) occupying part of the
+//     field of view. The black region's sharp edge is what Otsu and
+//     unguided SAM lock onto.
+//   * amorphous — a soft two-phase microstructure: brighter particle
+//     agglomerates with diffuse boundaries in a gray ionomer matrix,
+//     filling the whole field of view.
+//
+// Degradations (the "non-AI-ready" part): multiplicative topography
+// shading, per-slice defocus blur and contrast drift, FIB curtaining
+// stripes, Poisson shot noise and Gaussian read noise, quantized to
+// 16-bit — the raw instrument output. Ground-truth masks are taken from
+// the clean phase geometry before degradation, exactly what a careful
+// manual annotation would recover.
+//
+// Determinism: every slice is generated from (seed, slice-id) streams, so
+// volumes are bit-identical across runs and thread counts.
+
+#include <cstdint>
+#include <vector>
+
+#include "zenesis/image/image.hpp"
+
+namespace zenesis::fibsem {
+
+enum class SampleType { kCrystalline, kAmorphous };
+
+/// Human-readable name ("crystalline" / "amorphous").
+const char* sample_type_name(SampleType t);
+
+struct SynthConfig {
+  SampleType type = SampleType::kCrystalline;
+  std::int64_t width = 256;
+  std::int64_t height = 256;
+  std::int64_t depth = 10;
+  std::uint64_t seed = 20250704;
+
+  // --- crystalline morphology ---
+  int needle_count = 46;  ///< needles per slice (calibrated at 256x256)
+  double needle_len_mean = 42.0;  ///< pixels
+  double needle_width = 5.0;     ///< pixels (Gaussian profile sigma*2)
+  double holder_fraction = 0.40;  ///< image fraction covered by the black holder
+  float holder_level = 0.05f;
+  float membrane_level = 0.45f;
+  float needle_level = 0.82f;
+
+  // --- amorphous morphology ---
+  double particle_fraction = 0.32;  ///< target foreground area fraction
+  double particle_scale = 20.0;     ///< blob correlation length (pixels)
+  float matrix_level = 0.42f;
+  float particle_level = 0.60f;
+
+  // --- degradations ---
+  float shading_amplitude = 0.15f;  ///< multiplicative topography shading
+  float curtain_strength = 0.035f;   ///< FIB curtaining stripe amplitude
+  float defocus_sigma_max = 0.9f;   ///< per-slice blur, uniform in [0, max]
+  float contrast_drift = 0.10f;     ///< per-slice gain drift amplitude
+  float gaussian_noise = 0.05f;    ///< read-noise sigma
+  float poisson_scale = 400.0f;     ///< photons at intensity 1 (shot noise)
+
+  /// Voxel spacing stamped on generated volumes (FIB-SEM anisotropy).
+  image::VoxelSize voxel{4.0, 4.0, 20.0};
+};
+
+/// One generated slice: the degraded 16-bit "instrument" image plus the
+/// clean ground truth and the per-slice nuisance parameters (exposed so
+/// tests can assert the degradation model).
+struct SyntheticSlice {
+  image::ImageU16 raw;
+  image::Mask ground_truth;
+  float defocus_sigma = 0.0f;
+  float contrast_gain = 1.0f;
+};
+
+/// A full volume with per-slice ground truth.
+struct SyntheticVolume {
+  image::VolumeU16 volume;
+  std::vector<image::Mask> ground_truth;
+  SampleType type = SampleType::kCrystalline;
+
+  std::int64_t depth() const noexcept { return volume.depth(); }
+};
+
+/// Generates slice `z` of the configured volume. Deterministic in
+/// (cfg.seed, z); adjacent slices are morphologically correlated, as in a
+/// real serial-sectioning stack.
+SyntheticSlice generate_slice(const SynthConfig& cfg, std::int64_t z);
+
+/// Generates the whole volume (slices computed in parallel).
+SyntheticVolume generate_volume(const SynthConfig& cfg);
+
+/// The benchmark dataset of the paper: 10 crystalline + 10 amorphous
+/// slices. Returned as two volumes with the given base seed.
+struct BenchmarkDataset {
+  SyntheticVolume crystalline;
+  SyntheticVolume amorphous;
+};
+BenchmarkDataset make_benchmark_dataset(std::int64_t size = 256,
+                                        std::uint64_t seed = 20250704);
+
+/// Default text prompt used for each sample type (what a domain expert
+/// would type into the paper's no-code UI).
+const char* default_prompt(SampleType t);
+
+}  // namespace zenesis::fibsem

@@ -1,0 +1,156 @@
+#include "zenesis/hitl/rectify.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "zenesis/cv/distance.hpp"
+#include "zenesis/image/roi.hpp"
+
+namespace zenesis::hitl {
+
+std::vector<image::Box> propose_random_boxes(std::int64_t width,
+                                             std::int64_t height,
+                                             const RandomBoxConfig& cfg,
+                                             parallel::Rng& rng) {
+  std::vector<image::Box> boxes;
+  boxes.reserve(static_cast<std::size_t>(cfg.count));
+  for (int i = 0; i < cfg.count; ++i) {
+    if (rng.uniform() < cfg.band_fraction) {
+      // Band proposals: one dimension equals the full image size.
+      if (rng.uniform() < 0.5) {
+        const auto bh = static_cast<std::int64_t>(
+            rng.uniform(cfg.min_size_frac, cfg.max_size_frac) *
+            static_cast<double>(height));
+        const auto y = static_cast<std::int64_t>(
+            rng.uniform(0.0, static_cast<double>(std::max<std::int64_t>(1, height - bh))));
+        boxes.push_back({0, y, width, std::max<std::int64_t>(1, bh)});
+      } else {
+        const auto bw = static_cast<std::int64_t>(
+            rng.uniform(cfg.min_size_frac, cfg.max_size_frac) *
+            static_cast<double>(width));
+        const auto x = static_cast<std::int64_t>(
+            rng.uniform(0.0, static_cast<double>(std::max<std::int64_t>(1, width - bw))));
+        boxes.push_back({x, 0, std::max<std::int64_t>(1, bw), height});
+      }
+    } else {
+      const auto bw = static_cast<std::int64_t>(
+          rng.uniform(cfg.min_size_frac, cfg.max_size_frac) *
+          static_cast<double>(width));
+      const auto bh = static_cast<std::int64_t>(
+          rng.uniform(cfg.min_size_frac, cfg.max_size_frac) *
+          static_cast<double>(height));
+      const auto x = static_cast<std::int64_t>(
+          rng.uniform(0.0, static_cast<double>(std::max<std::int64_t>(1, width - bw))));
+      const auto y = static_cast<std::int64_t>(
+          rng.uniform(0.0, static_cast<double>(std::max<std::int64_t>(1, height - bh))));
+      boxes.push_back({x, y, std::max<std::int64_t>(1, bw),
+                       std::max<std::int64_t>(1, bh)});
+    }
+  }
+  return boxes;
+}
+
+image::Box snap_to_nearest_segment(const image::Box& user_box,
+                                   const cv::Labeling& segments) {
+  if (segments.count == 0) return user_box;
+  const auto comps = cv::component_stats(segments);
+  const image::Point c = user_box.center();
+  double best_d = 1e30;
+  const cv::Component* best = nullptr;
+  for (const auto& comp : comps) {
+    const double dx = comp.centroid_x - static_cast<double>(c.x);
+    const double dy = comp.centroid_y - static_cast<double>(c.y);
+    const double d = dx * dx + dy * dy;
+    if (d < best_d - 1e-9 ||
+        (std::abs(d - best_d) <= 1e-9 && best != nullptr && comp.area > best->area)) {
+      best_d = d;
+      best = &comp;
+    }
+  }
+  return best != nullptr ? best->bounds : user_box;
+}
+
+SimulatedAnnotator::SimulatedAnnotator(double fidelity, std::uint64_t seed)
+    : fidelity_(std::clamp(fidelity, 0.0, 1.0)), rng_(seed, 77) {}
+
+image::Box SimulatedAnnotator::select_box(
+    const std::vector<image::Box>& candidates, const image::Mask& reference) {
+  if (candidates.empty()) return {};
+  if (rng_.uniform() >= fidelity_) {
+    return candidates[rng_.uniform_index(candidates.size())];
+  }
+  // Expert choice: candidate maximizing overlap quality with the
+  // reference structure (IoU of the box against the reference's pixels
+  // restricted to the box — rewards tight boxes, not just big ones).
+  double best_score = -1.0;
+  image::Box best = candidates.front();
+  for (const auto& box : candidates) {
+    const image::Box clipped = box.clipped(reference.width(), reference.height());
+    if (clipped.empty()) continue;
+    std::int64_t inside = 0;
+    for (std::int64_t y = clipped.y; y < clipped.bottom(); ++y) {
+      for (std::int64_t x = clipped.x; x < clipped.right(); ++x) {
+        inside += reference.at(x, y) != 0;
+      }
+    }
+    const std::int64_t total_fg = image::mask_area(reference);
+    const std::int64_t uni = clipped.area() + total_fg - inside;
+    const double score =
+        uni > 0 ? static_cast<double>(inside) / static_cast<double>(uni) : 0.0;
+    if (score > best_score) {
+      best_score = score;
+      best = box;
+    }
+  }
+  return best;
+}
+
+image::Point SimulatedAnnotator::click_point(const image::Mask& reference) {
+  if (rng_.uniform() >= fidelity_ || image::mask_area(reference) == 0) {
+    return {static_cast<std::int64_t>(rng_.uniform_index(
+                static_cast<std::uint64_t>(std::max<std::int64_t>(1, reference.width())))),
+            static_cast<std::int64_t>(rng_.uniform_index(
+                static_cast<std::uint64_t>(std::max<std::int64_t>(1, reference.height()))))};
+  }
+  const image::Mask largest = cv::largest_component(reference);
+  const cv::Labeling lab = cv::label_components(largest);
+  const auto comps = cv::component_stats(lab);
+  if (comps.empty()) return {reference.width() / 2, reference.height() / 2};
+  image::Point p{static_cast<std::int64_t>(comps.front().centroid_x),
+                 static_cast<std::int64_t>(comps.front().centroid_y)};
+  // Centroids of concave shapes can fall outside; snap into the mask.
+  if (!largest.contains(p.x, p.y) || largest.at(p.x, p.y) == 0) {
+    cv::nearest_foreground(largest, p, &p);
+  }
+  return p;
+}
+
+RectifyResult rectify_segmentation(const models::SamModel& sam,
+                                   const models::SamEncoded& enc,
+                                   const image::Mask& automated_mask,
+                                   const image::Mask& reference,
+                                   const RandomBoxConfig& cfg,
+                                   SimulatedAnnotator& annotator,
+                                   parallel::Rng& rng) {
+  RectifyResult res;
+  res.before_iou = image::mask_iou(automated_mask, reference);
+
+  const auto candidates =
+      propose_random_boxes(reference.width(), reference.height(), cfg, rng);
+  image::Box chosen = annotator.select_box(candidates, reference);
+
+  // Snap the rough pick to the nearest automated segment when one exists —
+  // the weak supervision step from the paper.
+  const cv::Labeling segments = cv::label_components(automated_mask);
+  if (segments.count > 0) {
+    const image::Box snapped = snap_to_nearest_segment(chosen, segments);
+    // Keep the user's box when the snap would leave it entirely.
+    if (!snapped.intersect(chosen).empty()) chosen = snapped.unite(chosen);
+  }
+  res.chosen_box = chosen;
+  res.refined = sam.predict_box(enc, chosen);
+  res.after_iou = image::mask_iou(res.refined.mask, reference);
+  return res;
+}
+
+}  // namespace zenesis::hitl

@@ -1,0 +1,93 @@
+#pragma once
+// Human-in-the-loop rectification (the paper's "Rectify Segmentation",
+// Figs. 5–6): when automated grounding fails, the user generates random
+// candidate boxes (with criteria such as width or height spanning the
+// image), picks the one nearest the structure of interest, and the chosen
+// box is snapped to the nearest detected segment before SAM re-runs.
+//
+// The human is modelled by SimulatedAnnotator: an oracle of configurable
+// fidelity that replaces the click. Fidelity 1 always picks the candidate
+// best aligned with the reference structure; fidelity 0 picks uniformly at
+// random. This keeps the platform fully benchmarkable (and lets
+// bench/ablation_hitl sweep annotator quality, which no user study could).
+
+#include <cstdint>
+#include <vector>
+
+#include "zenesis/cv/components.hpp"
+#include "zenesis/image/geometry.hpp"
+#include "zenesis/image/image.hpp"
+#include "zenesis/models/sam.hpp"
+#include "zenesis/parallel/rng.hpp"
+
+namespace zenesis::hitl {
+
+/// Random-box proposal settings (paper: "random boxes (with criteria such
+/// as length or width equal to the image size)").
+struct RandomBoxConfig {
+  int count = 16;
+  /// Fraction of proposals that span the full image width (horizontal
+  /// bands) or full height (vertical bands); the rest are free rectangles.
+  double band_fraction = 0.5;
+  /// Free rectangles are uniform in [min_size_frac, max_size_frac] of the
+  /// image side.
+  double min_size_frac = 0.2;
+  double max_size_frac = 0.8;
+};
+
+/// Proposes candidate boxes for an image of the given size.
+std::vector<image::Box> propose_random_boxes(std::int64_t width,
+                                             std::int64_t height,
+                                             const RandomBoxConfig& cfg,
+                                             parallel::Rng& rng);
+
+/// Snaps a rough user box to the nearest segment of a labeling: the
+/// component whose centroid is closest to the box center (ties broken by
+/// larger area). Returns the component's bounding box, or the input box
+/// when the labeling is empty.
+image::Box snap_to_nearest_segment(const image::Box& user_box,
+                                   const cv::Labeling& segments);
+
+/// Simulated human annotator.
+class SimulatedAnnotator {
+ public:
+  /// fidelity ∈ [0,1]: probability of an "expert" (best-IoU) choice per
+  /// decision; otherwise the choice is uniformly random.
+  SimulatedAnnotator(double fidelity, std::uint64_t seed);
+
+  /// Chooses among candidate boxes using the reference mask as the
+  /// annotator's mental ground truth.
+  image::Box select_box(const std::vector<image::Box>& candidates,
+                        const image::Mask& reference);
+
+  /// Clicks a point: an expert click lands on the reference's largest
+  /// component centroid; a careless click is uniform over the image.
+  image::Point click_point(const image::Mask& reference);
+
+  double fidelity() const noexcept { return fidelity_; }
+
+ private:
+  double fidelity_;
+  parallel::Rng rng_;
+};
+
+/// Outcome of one rectification episode.
+struct RectifyResult {
+  image::Box chosen_box;    ///< annotator's pick (after segment snapping)
+  models::MaskPrediction refined;
+  double before_iou = 0.0;  ///< automated mask vs reference
+  double after_iou = 0.0;   ///< rectified mask vs reference
+};
+
+/// Full episode: propose random boxes → annotator selects → snap to the
+/// nearest segment of the automated labeling → SAM re-segments the box.
+/// `reference` doubles as the annotator's intent and the evaluation GT.
+RectifyResult rectify_segmentation(const models::SamModel& sam,
+                                   const models::SamEncoded& enc,
+                                   const image::Mask& automated_mask,
+                                   const image::Mask& reference,
+                                   const RandomBoxConfig& cfg,
+                                   SimulatedAnnotator& annotator,
+                                   parallel::Rng& rng);
+
+}  // namespace zenesis::hitl

@@ -1,0 +1,86 @@
+#pragma once
+// Shared 2-D geometry primitives: points and axis-aligned boxes.
+// Boxes are the lingua franca between GroundingDetector (produces them),
+// SamModel (consumes them as prompts), the HITL rectifier (edits them) and
+// the volumetric heuristic (smooths them across slices).
+
+#include <algorithm>
+#include <cstdint>
+
+namespace zenesis::image {
+
+struct Point {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Axis-aligned box in pixel coordinates; (x, y) is the top-left corner,
+/// the box spans [x, x+w) × [y, y+h).
+struct Box {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+  std::int64_t w = 0;
+  std::int64_t h = 0;
+
+  friend bool operator==(const Box&, const Box&) = default;
+
+  std::int64_t area() const noexcept { return w * h; }
+  bool empty() const noexcept { return w <= 0 || h <= 0; }
+  std::int64_t right() const noexcept { return x + w; }
+  std::int64_t bottom() const noexcept { return y + h; }
+  Point center() const noexcept { return {x + w / 2, y + h / 2}; }
+
+  bool contains(Point p) const noexcept {
+    return p.x >= x && p.x < right() && p.y >= y && p.y < bottom();
+  }
+
+  /// Intersection (empty box if disjoint).
+  Box intersect(const Box& o) const noexcept {
+    const std::int64_t x0 = std::max(x, o.x);
+    const std::int64_t y0 = std::max(y, o.y);
+    const std::int64_t x1 = std::min(right(), o.right());
+    const std::int64_t y1 = std::min(bottom(), o.bottom());
+    if (x1 <= x0 || y1 <= y0) return {};
+    return {x0, y0, x1 - x0, y1 - y0};
+  }
+
+  /// Minimal box covering both.
+  Box unite(const Box& o) const noexcept {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    const std::int64_t x0 = std::min(x, o.x);
+    const std::int64_t y0 = std::min(y, o.y);
+    const std::int64_t x1 = std::max(right(), o.right());
+    const std::int64_t y1 = std::max(bottom(), o.bottom());
+    return {x0, y0, x1 - x0, y1 - y0};
+  }
+
+  /// Intersection-over-union with another box.
+  double iou(const Box& o) const noexcept {
+    const std::int64_t inter = intersect(o).area();
+    const std::int64_t uni = area() + o.area() - inter;
+    return uni <= 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+  }
+
+  /// Clips the box to an image of the given size.
+  Box clipped(std::int64_t width, std::int64_t height) const noexcept {
+    return intersect({0, 0, width, height});
+  }
+
+  /// Expands by `margin` pixels on every side (clip afterwards if needed).
+  Box expanded(std::int64_t margin) const noexcept {
+    return {x - margin, y - margin, w + 2 * margin, h + 2 * margin};
+  }
+};
+
+/// A detection: box + confidence score, as emitted by GroundingDetector.
+struct ScoredBox {
+  Box box;
+  double score = 0.0;
+
+  friend bool operator==(const ScoredBox&, const ScoredBox&) = default;
+};
+
+}  // namespace zenesis::image

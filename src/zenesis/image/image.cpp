@@ -1,0 +1,30 @@
+#include "zenesis/image/image.hpp"
+
+namespace zenesis::image {
+
+int bit_depth(const AnyImage& img) {
+  return std::visit(
+      [](const auto& i) -> int {
+        using T = std::remove_cvref_t<decltype(i.at(0, 0))>;
+        if constexpr (std::is_same_v<T, float>) {
+          return 32;
+        } else {
+          return static_cast<int>(sizeof(T) * 8);
+        }
+      },
+      img);
+}
+
+std::int64_t width_of(const AnyImage& img) {
+  return std::visit([](const auto& i) { return i.width(); }, img);
+}
+
+std::int64_t height_of(const AnyImage& img) {
+  return std::visit([](const auto& i) { return i.height(); }, img);
+}
+
+int channels_of(const AnyImage& img) {
+  return std::visit([](const auto& i) { return i.channels(); }, img);
+}
+
+}  // namespace zenesis::image

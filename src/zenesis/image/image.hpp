@@ -1,0 +1,168 @@
+#pragma once
+// Typed raster containers for scientific images.
+//
+// The paper's central obstacle is that scientific data is not AI-ready:
+// 8/16/32-bit integer or float pixels, grayscale or RGB, 2-D or volumetric,
+// with anisotropic voxel spacing. This module owns those raw
+// representations exactly (no silent conversion); the readiness layer in
+// normalize.hpp performs the explicit, fidelity-preserving mapping to the
+// float images the models consume.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <variant>
+#include <vector>
+
+namespace zenesis::image {
+
+/// 2-D raster with `channels` interleaved samples per pixel.
+/// T ∈ {uint8_t, uint16_t, uint32_t, float}.
+template <typename T>
+class Image {
+ public:
+  Image() = default;
+  Image(std::int64_t width, std::int64_t height, int channels = 1)
+      : width_(width), height_(height), channels_(channels) {
+    if (width < 0 || height < 0 || channels <= 0) {
+      throw std::invalid_argument("Image: invalid dimensions");
+    }
+    data_.assign(static_cast<std::size_t>(width * height * channels), T{});
+  }
+
+  std::int64_t width() const noexcept { return width_; }
+  std::int64_t height() const noexcept { return height_; }
+  int channels() const noexcept { return channels_; }
+  std::int64_t pixel_count() const noexcept { return width_ * height_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  T& at(std::int64_t x, std::int64_t y, int c = 0) {
+    return data_[index(x, y, c)];
+  }
+  T at(std::int64_t x, std::int64_t y, int c = 0) const {
+    return data_[index(x, y, c)];
+  }
+
+  /// True when (x, y) lies inside the raster.
+  bool contains(std::int64_t x, std::int64_t y) const noexcept {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  std::span<T> pixels() noexcept { return {data_.data(), data_.size()}; }
+  std::span<const T> pixels() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+
+  void fill(T v) { data_.assign(data_.size(), v); }
+
+ private:
+  std::size_t index(std::int64_t x, std::int64_t y, int c) const {
+    if (x < 0 || x >= width_ || y < 0 || y >= height_ || c < 0 ||
+        c >= channels_) {
+      throw std::out_of_range("Image::at: index out of range");
+    }
+    return static_cast<std::size_t>((y * width_ + x) * channels_ + c);
+  }
+
+  std::int64_t width_ = 0;
+  std::int64_t height_ = 0;
+  int channels_ = 1;
+  std::vector<T> data_;
+};
+
+using ImageU8 = Image<std::uint8_t>;
+using ImageU16 = Image<std::uint16_t>;
+using ImageU32 = Image<std::uint32_t>;
+using ImageF32 = Image<float>;
+
+/// Binary segmentation mask: 0 = background, 1 = foreground.
+using Mask = Image<std::uint8_t>;
+
+/// Type-erased image as produced by file readers, before the readiness
+/// layer decides how to normalize it.
+using AnyImage = std::variant<ImageU8, ImageU16, ImageU32, ImageF32>;
+
+/// Bits per sample of the stored pixel type.
+int bit_depth(const AnyImage& img);
+
+/// Width/height/channels of a type-erased image.
+std::int64_t width_of(const AnyImage& img);
+std::int64_t height_of(const AnyImage& img);
+int channels_of(const AnyImage& img);
+
+/// Physical voxel spacing in nanometres. FIB-SEM stacks are typically
+/// anisotropic (slice thickness != pixel pitch), which downstream temporal
+/// heuristics must know about.
+struct VoxelSize {
+  double x_nm = 1.0;
+  double y_nm = 1.0;
+  double z_nm = 1.0;
+
+  bool isotropic(double tol = 1e-9) const noexcept {
+    return std::abs(x_nm - y_nm) <= tol && std::abs(y_nm - z_nm) <= tol;
+  }
+  double anisotropy() const noexcept {
+    const double xy = (x_nm + y_nm) / 2.0;
+    return xy == 0.0 ? 0.0 : z_nm / xy;
+  }
+};
+
+/// Volumetric image: `depth` slices of identical geometry plus voxel
+/// metadata. Slice order is acquisition order (the axis the temporal
+/// refinement heuristic runs along).
+template <typename T>
+class Volume {
+ public:
+  Volume() = default;
+  Volume(std::int64_t width, std::int64_t height, std::int64_t depth,
+         int channels = 1, VoxelSize voxel = {}) : voxel_(voxel) {
+    if (depth < 0) throw std::invalid_argument("Volume: negative depth");
+    slices_.reserve(static_cast<std::size_t>(depth));
+    for (std::int64_t i = 0; i < depth; ++i) {
+      slices_.emplace_back(width, height, channels);
+    }
+  }
+
+  std::int64_t depth() const noexcept {
+    return static_cast<std::int64_t>(slices_.size());
+  }
+  std::int64_t width() const noexcept {
+    return slices_.empty() ? 0 : slices_.front().width();
+  }
+  std::int64_t height() const noexcept {
+    return slices_.empty() ? 0 : slices_.front().height();
+  }
+  int channels() const noexcept {
+    return slices_.empty() ? 1 : slices_.front().channels();
+  }
+  const VoxelSize& voxel() const noexcept { return voxel_; }
+  void set_voxel(VoxelSize v) noexcept { voxel_ = v; }
+
+  Image<T>& slice(std::int64_t z) { return slices_.at(static_cast<std::size_t>(z)); }
+  const Image<T>& slice(std::int64_t z) const {
+    return slices_.at(static_cast<std::size_t>(z));
+  }
+
+  /// Appends a slice; geometry must match existing slices.
+  void push_slice(Image<T> s) {
+    if (!slices_.empty() &&
+        (s.width() != width() || s.height() != height() ||
+         s.channels() != channels())) {
+      throw std::invalid_argument("Volume::push_slice: geometry mismatch");
+    }
+    slices_.push_back(std::move(s));
+  }
+
+ private:
+  std::vector<Image<T>> slices_;
+  VoxelSize voxel_;
+};
+
+using VolumeU8 = Volume<std::uint8_t>;
+using VolumeU16 = Volume<std::uint16_t>;
+using VolumeF32 = Volume<float>;
+
+}  // namespace zenesis::image

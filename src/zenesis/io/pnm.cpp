@@ -1,0 +1,77 @@
+#include "zenesis/io/pnm.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace zenesis::io {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("pnm: " + what);
+}
+
+}  // namespace
+
+void write_pgm(const std::string& path, const image::ImageU8& img) {
+  if (img.channels() != 1) fail("write_pgm: single channel required");
+  std::ofstream f(path, std::ios::binary);
+  if (!f) fail("cannot create " + path);
+  f << "P5\n" << img.width() << " " << img.height() << "\n255\n";
+  for (std::int64_t y = 0; y < img.height(); ++y) {
+    for (std::int64_t x = 0; x < img.width(); ++x) {
+      f.put(static_cast<char>(img.at(x, y)));
+    }
+  }
+  if (!f) fail("write failed for " + path);
+}
+
+void write_pgm_f32(const std::string& path, const image::ImageF32& img) {
+  image::ImageU8 u8(img.width(), img.height(), 1);
+  for (std::int64_t y = 0; y < img.height(); ++y) {
+    for (std::int64_t x = 0; x < img.width(); ++x) {
+      const float v = std::clamp(img.at(x, y), 0.0f, 1.0f);
+      u8.at(x, y) = static_cast<std::uint8_t>(v * 255.0f + 0.5f);
+    }
+  }
+  write_pgm(path, u8);
+}
+
+void write_ppm(const std::string& path, const image::ImageU8& img) {
+  if (img.channels() != 3) fail("write_ppm: RGB required");
+  std::ofstream f(path, std::ios::binary);
+  if (!f) fail("cannot create " + path);
+  f << "P6\n" << img.width() << " " << img.height() << "\n255\n";
+  for (std::int64_t y = 0; y < img.height(); ++y) {
+    for (std::int64_t x = 0; x < img.width(); ++x) {
+      f.put(static_cast<char>(img.at(x, y, 0)));
+      f.put(static_cast<char>(img.at(x, y, 1)));
+      f.put(static_cast<char>(img.at(x, y, 2)));
+    }
+  }
+  if (!f) fail("write failed for " + path);
+}
+
+image::ImageU8 read_pgm(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) fail("cannot open " + path);
+  std::string magic;
+  f >> magic;
+  if (magic != "P5") fail("read_pgm: P5 expected");
+  std::int64_t w = 0, h = 0;
+  int maxval = 0;
+  f >> w >> h >> maxval;
+  if (w <= 0 || h <= 0 || maxval != 255) fail("read_pgm: bad header");
+  f.get();  // single whitespace after header
+  image::ImageU8 img(w, h, 1);
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      const int c = f.get();
+      if (c == EOF) fail("read_pgm: truncated data");
+      img.at(x, y) = static_cast<std::uint8_t>(c);
+    }
+  }
+  return img;
+}
+
+}  // namespace zenesis::io

@@ -1,0 +1,24 @@
+#pragma once
+// PGM/PPM (binary P5/P6) output for qualitative figures: mask overlays,
+// box visualizations and normalized previews. PGM reading is also provided
+// so tests can round-trip.
+
+#include <string>
+
+#include "zenesis/image/image.hpp"
+
+namespace zenesis::io {
+
+/// Writes an 8-bit grayscale PGM (P5).
+void write_pgm(const std::string& path, const image::ImageU8& img);
+
+/// Writes a [0,1] float image as 8-bit PGM.
+void write_pgm_f32(const std::string& path, const image::ImageF32& img);
+
+/// Writes an 8-bit RGB PPM (P6).
+void write_ppm(const std::string& path, const image::ImageU8& img);
+
+/// Reads an 8-bit grayscale binary PGM (P5).
+image::ImageU8 read_pgm(const std::string& path);
+
+}  // namespace zenesis::io

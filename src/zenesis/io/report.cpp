@@ -1,0 +1,183 @@
+#include "zenesis/io/report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace zenesis::io {
+namespace {
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  if (columns_.empty()) {
+    throw std::invalid_argument("Table: at least one column required");
+  }
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  if (row.size() != columns_.size()) {
+    throw std::invalid_argument("Table::add_row: cell count mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string format_cell(const Cell& cell) {
+  return std::visit(
+      [](const auto& v) -> std::string {
+        using T = std::remove_cvref_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::string>) {
+          return v;
+        } else if constexpr (std::is_same_v<T, std::int64_t>) {
+          return std::to_string(v);
+        } else {
+          return format_double(v);
+        }
+      },
+      cell);
+}
+
+std::string Table::to_csv() const {
+  std::string out;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) out += ',';
+    out += csv_escape(columns_[c]);
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ',';
+      out += csv_escape(format_cell(row[c]));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Table::to_ascii() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(format_cell(row[c]));
+      widths[c] = std::max(widths[c], r.back().size());
+    }
+    cells.push_back(std::move(r));
+  }
+  auto rule = [&]() {
+    std::string s = "+";
+    for (std::size_t wc : widths) s += std::string(wc + 2, '-') + "+";
+    s += '\n';
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& vals) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < vals.size(); ++c) {
+      s += ' ' + vals[c] + std::string(widths[c] - vals[c].size(), ' ') + " |";
+    }
+    s += '\n';
+    return s;
+  };
+  std::string out = rule() + line(columns_) + rule();
+  for (const auto& r : cells) out += line(r);
+  out += rule();
+  return out;
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("Table::write_csv: cannot create " + path);
+  f << to_csv();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void JsonObject::set(const std::string& key, const std::string& value) {
+  scalars_[key] = value;
+}
+void JsonObject::set(const std::string& key, std::int64_t value) {
+  scalars_[key] = value;
+}
+void JsonObject::set(const std::string& key, double value) {
+  scalars_[key] = value;
+}
+void JsonObject::set_array(const std::string& key,
+                           std::vector<JsonObject> items) {
+  arrays_[key] = std::move(items);
+}
+
+std::string JsonObject::to_string(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  const std::string pad_in(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  std::string out = "{\n";
+  bool first = true;
+  for (const auto& [key, value] : scalars_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += pad_in + '"' + json_escape(key) + "\": ";
+    if (const auto* s = std::get_if<std::string>(&value)) {
+      out += '"' + json_escape(*s) + '"';
+    } else {
+      out += format_cell(value);
+    }
+  }
+  for (const auto& [key, items] : arrays_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += pad_in + '"' + json_escape(key) + "\": [";
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i) out += ", ";
+      out += items[i].to_string(indent + 1);
+    }
+    out += ']';
+  }
+  out += '\n' + pad + '}';
+  return out;
+}
+
+void JsonObject::write(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("JsonObject::write: cannot create " + path);
+  f << to_string() << '\n';
+}
+
+}  // namespace zenesis::io

@@ -1,0 +1,65 @@
+#pragma once
+// Tabular report writers (CSV and a small JSON emitter) used by the
+// evaluation dashboard and the benchmark harness to persist results.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace zenesis::io {
+
+/// A typed cell: string, integer, or double.
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+/// A simple in-memory table with named columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  const std::vector<std::string>& columns() const noexcept { return columns_; }
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Appends a row; the cell count must match the column count.
+  void add_row(std::vector<Cell> row);
+
+  const std::vector<Cell>& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Renders as CSV (RFC-4180 quoting for strings containing separators).
+  std::string to_csv() const;
+
+  /// Renders as a fixed-width ASCII table (the "dashboard" text view).
+  std::string to_ascii() const;
+
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Formats a cell for humans (6 significant digits for doubles).
+std::string format_cell(const Cell& cell);
+
+/// Minimal JSON writer: flat object of key → (string|int|double) plus
+/// optional nested arrays of objects. Sufficient for dashboard exports.
+class JsonObject {
+ public:
+  void set(const std::string& key, const std::string& value);
+  void set(const std::string& key, std::int64_t value);
+  void set(const std::string& key, double value);
+  void set_array(const std::string& key, std::vector<JsonObject> items);
+
+  std::string to_string(int indent = 0) const;
+  void write(const std::string& path) const;
+
+ private:
+  std::map<std::string, Cell> scalars_;
+  std::map<std::string, std::vector<JsonObject>> arrays_;
+};
+
+/// Escapes a string for JSON output.
+std::string json_escape(const std::string& s);
+
+}  // namespace zenesis::io

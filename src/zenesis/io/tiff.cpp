@@ -1,0 +1,361 @@
+#include "zenesis/io/tiff.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <tuple>
+
+namespace zenesis::io {
+namespace {
+
+// TIFF tag ids used by the baseline grayscale subset.
+constexpr std::uint16_t kTagImageWidth = 256;
+constexpr std::uint16_t kTagImageLength = 257;
+constexpr std::uint16_t kTagBitsPerSample = 258;
+constexpr std::uint16_t kTagCompression = 259;
+constexpr std::uint16_t kTagPhotometric = 262;
+constexpr std::uint16_t kTagStripOffsets = 273;
+constexpr std::uint16_t kTagSamplesPerPixel = 277;
+constexpr std::uint16_t kTagRowsPerStrip = 278;
+constexpr std::uint16_t kTagStripByteCounts = 279;
+constexpr std::uint16_t kTagSampleFormat = 339;
+
+constexpr std::uint16_t kTypeShort = 3;
+constexpr std::uint16_t kTypeLong = 4;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("tiff: " + what);
+}
+
+/// Cursor over an in-memory TIFF with run-time endianness.
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {
+    if (bytes_.size() < 8) fail("file too small");
+    if (bytes_[0] == 'I' && bytes_[1] == 'I') {
+      big_endian_ = false;
+    } else if (bytes_[0] == 'M' && bytes_[1] == 'M') {
+      big_endian_ = true;
+    } else {
+      fail("bad byte-order mark");
+    }
+    if (u16(2) != 42) fail("bad magic number");
+  }
+
+  std::uint16_t u16(std::size_t off) const {
+    if (off + 2 > bytes_.size()) fail("truncated u16");
+    return big_endian_
+               ? static_cast<std::uint16_t>((bytes_[off] << 8) | bytes_[off + 1])
+               : static_cast<std::uint16_t>(bytes_[off] | (bytes_[off + 1] << 8));
+  }
+
+  std::uint32_t u32(std::size_t off) const {
+    if (off + 4 > bytes_.size()) fail("truncated u32");
+    if (big_endian_) {
+      return (static_cast<std::uint32_t>(bytes_[off]) << 24) |
+             (static_cast<std::uint32_t>(bytes_[off + 1]) << 16) |
+             (static_cast<std::uint32_t>(bytes_[off + 2]) << 8) |
+             static_cast<std::uint32_t>(bytes_[off + 3]);
+    }
+    return static_cast<std::uint32_t>(bytes_[off]) |
+           (static_cast<std::uint32_t>(bytes_[off + 1]) << 8) |
+           (static_cast<std::uint32_t>(bytes_[off + 2]) << 16) |
+           (static_cast<std::uint32_t>(bytes_[off + 3]) << 24);
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  bool big_endian() const { return big_endian_; }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  bool big_endian_ = false;
+};
+
+struct Entry {
+  std::uint16_t type = 0;
+  std::uint32_t count = 0;
+  std::size_t value_off = 0;  // offset of the 4-byte value/offset field
+};
+
+/// Reads the i-th scalar of a SHORT/LONG entry.
+std::uint32_t entry_value(const Reader& r, const Entry& e, std::uint32_t i) {
+  if (i >= e.count) fail("entry index out of range");
+  if (e.type == kTypeShort) {
+    const std::size_t base =
+        e.count <= 2 ? e.value_off : static_cast<std::size_t>(r.u32(e.value_off));
+    return r.u16(base + 2 * i);
+  }
+  if (e.type == kTypeLong) {
+    const std::size_t base =
+        e.count <= 1 ? e.value_off : static_cast<std::size_t>(r.u32(e.value_off));
+    return r.u32(base + 4 * i);
+  }
+  fail("unsupported entry type");
+}
+
+template <typename T>
+image::AnyImage decode_page(const Reader& r, std::int64_t w, std::int64_t h,
+                            const std::vector<std::size_t>& strip_offsets,
+                            const std::vector<std::size_t>& strip_counts,
+                            std::int64_t rows_per_strip) {
+  image::Image<T> img(w, h, 1);
+  const std::size_t row_bytes = static_cast<std::size_t>(w) * sizeof(T);
+  std::int64_t y = 0;
+  for (std::size_t s = 0; s < strip_offsets.size(); ++s) {
+    const std::int64_t rows =
+        std::min<std::int64_t>(rows_per_strip, h - y);
+    if (strip_counts[s] < row_bytes * static_cast<std::size_t>(rows)) {
+      fail("strip byte count too small");
+    }
+    std::size_t off = strip_offsets[s];
+    if (off + row_bytes * static_cast<std::size_t>(rows) > r.bytes().size()) {
+      fail("strip out of bounds");
+    }
+    for (std::int64_t row = 0; row < rows; ++row, ++y) {
+      for (std::int64_t x = 0; x < w; ++x) {
+        T v{};
+        if constexpr (sizeof(T) == 1) {
+          v = static_cast<T>(r.bytes()[off + static_cast<std::size_t>(x)]);
+        } else if constexpr (sizeof(T) == 2) {
+          v = static_cast<T>(r.u16(off + 2 * static_cast<std::size_t>(x)));
+        } else {
+          v = static_cast<T>(r.u32(off + 4 * static_cast<std::size_t>(x)));
+        }
+        img.at(x, y) = v;
+      }
+      off += row_bytes;
+    }
+  }
+  return img;
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xFF));
+}
+
+void put_entry(std::vector<std::uint8_t>& out, std::uint16_t tag,
+               std::uint16_t type, std::uint32_t count, std::uint32_t value) {
+  put_u16(out, tag);
+  put_u16(out, type);
+  put_u32(out, count);
+  put_u32(out, value);
+}
+
+template <typename T>
+void append_pixels(std::vector<std::uint8_t>& out, const image::Image<T>& img) {
+  for (std::int64_t y = 0; y < img.height(); ++y) {
+    for (std::int64_t x = 0; x < img.width(); ++x) {
+      const auto v = static_cast<std::uint32_t>(img.at(x, y));
+      out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+      if constexpr (sizeof(T) >= 2) {
+        out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+      }
+      if constexpr (sizeof(T) >= 4) {
+        out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+        out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xFF));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+TiffStack read_tiff_bytes(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  TiffStack stack;
+  std::size_t ifd_off = r.u32(4);
+  int guard = 0;
+  while (ifd_off != 0) {
+    if (++guard > 100000) fail("IFD chain loop");
+    const std::uint16_t n_entries = r.u16(ifd_off);
+    std::int64_t width = 0, height = 0, rows_per_strip = 0;
+    int bits = 8, spp = 1, compression = 1, sample_format = 1;
+    Entry offsets_e, counts_e;
+    bool have_offsets = false, have_counts = false;
+    for (std::uint16_t i = 0; i < n_entries; ++i) {
+      const std::size_t e_off = ifd_off + 2 + static_cast<std::size_t>(i) * 12;
+      const std::uint16_t tag = r.u16(e_off);
+      Entry e{r.u16(e_off + 2), r.u32(e_off + 4), e_off + 8};
+      switch (tag) {
+        case kTagImageWidth:
+          width = entry_value(r, e, 0);
+          break;
+        case kTagImageLength:
+          height = entry_value(r, e, 0);
+          break;
+        case kTagBitsPerSample:
+          bits = static_cast<int>(entry_value(r, e, 0));
+          break;
+        case kTagCompression:
+          compression = static_cast<int>(entry_value(r, e, 0));
+          break;
+        case kTagSamplesPerPixel:
+          spp = static_cast<int>(entry_value(r, e, 0));
+          break;
+        case kTagRowsPerStrip:
+          rows_per_strip = entry_value(r, e, 0);
+          break;
+        case kTagStripOffsets:
+          offsets_e = e;
+          have_offsets = true;
+          break;
+        case kTagStripByteCounts:
+          counts_e = e;
+          have_counts = true;
+          break;
+        case kTagSampleFormat:
+          sample_format = static_cast<int>(entry_value(r, e, 0));
+          break;
+        default:
+          break;  // tags outside the subset are ignored
+      }
+    }
+    if (width <= 0 || height <= 0) fail("missing image dimensions");
+    if (compression != 1) fail("only uncompressed TIFF supported");
+    if (spp != 1) fail("only single-sample (grayscale) TIFF supported");
+    if (sample_format != 1) fail("only unsigned-integer samples supported");
+    if (!have_offsets || !have_counts) fail("missing strip tags");
+    if (rows_per_strip <= 0) rows_per_strip = height;
+
+    std::vector<std::size_t> strip_offsets(offsets_e.count);
+    std::vector<std::size_t> strip_counts(counts_e.count);
+    if (offsets_e.count != counts_e.count) fail("strip tag count mismatch");
+    for (std::uint32_t i = 0; i < offsets_e.count; ++i) {
+      strip_offsets[i] = entry_value(r, offsets_e, i);
+      strip_counts[i] = entry_value(r, counts_e, i);
+    }
+
+    switch (bits) {
+      case 8:
+        stack.pages.push_back(decode_page<std::uint8_t>(
+            r, width, height, strip_offsets, strip_counts, rows_per_strip));
+        break;
+      case 16:
+        stack.pages.push_back(decode_page<std::uint16_t>(
+            r, width, height, strip_offsets, strip_counts, rows_per_strip));
+        break;
+      case 32:
+        stack.pages.push_back(decode_page<std::uint32_t>(
+            r, width, height, strip_offsets, strip_counts, rows_per_strip));
+        break;
+      default:
+        fail("unsupported bits per sample");
+    }
+    ifd_off = r.u32(ifd_off + 2 + static_cast<std::size_t>(n_entries) * 12);
+  }
+  if (stack.pages.empty()) fail("no pages");
+  return stack;
+}
+
+TiffStack read_tiff(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) fail("cannot open " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                                  std::istreambuf_iterator<char>());
+  return read_tiff_bytes(bytes);
+}
+
+std::vector<std::uint8_t> write_tiff_bytes(const TiffStack& stack) {
+  if (stack.pages.empty()) fail("write: empty stack");
+  std::vector<std::uint8_t> out;
+  out.reserve(1024);
+  out.push_back('I');
+  out.push_back('I');
+  put_u16(out, 42);
+  const std::size_t first_ifd_ptr = out.size();
+  put_u32(out, 0);  // patched later
+
+  std::size_t prev_next_ptr = first_ifd_ptr;
+  for (const auto& page : stack.pages) {
+    const auto [bits, w, h] = std::visit(
+        [](const auto& img) -> std::tuple<int, std::int64_t, std::int64_t> {
+          using T = std::remove_cvref_t<decltype(img.at(0, 0))>;
+          if constexpr (std::is_same_v<T, float>) {
+            fail("write: float TIFF not supported; quantize first");
+            return {0, 0, 0};
+          } else {
+            return {static_cast<int>(sizeof(T) * 8), img.width(), img.height()};
+          }
+        },
+        page);
+    const bool gray = std::visit(
+        [](const auto& img) { return img.channels() == 1; }, page);
+    if (!gray) fail("write: grayscale pages only");
+
+    // Pixel data first, then the IFD referring back to it.
+    const std::size_t data_off = out.size();
+    std::visit(
+        [&out](const auto& img) {
+          using T = std::remove_cvref_t<decltype(img.at(0, 0))>;
+          if constexpr (!std::is_same_v<T, float>) {
+            append_pixels(out, img);
+          }
+        },
+        page);
+    const std::size_t data_len = out.size() - data_off;
+    if (out.size() % 2 != 0) out.push_back(0);  // word-align the IFD
+
+    const std::size_t ifd_off = out.size();
+    // Patch the previous IFD's next pointer (or the header).
+    std::uint32_t ifd32 = static_cast<std::uint32_t>(ifd_off);
+    std::memcpy(out.data() + prev_next_ptr, &ifd32, 4);
+
+    constexpr std::uint16_t kEntries = 10;
+    put_u16(out, kEntries);
+    put_entry(out, kTagImageWidth, kTypeLong, 1, static_cast<std::uint32_t>(w));
+    put_entry(out, kTagImageLength, kTypeLong, 1, static_cast<std::uint32_t>(h));
+    put_entry(out, kTagBitsPerSample, kTypeShort, 1,
+              static_cast<std::uint32_t>(bits));
+    put_entry(out, kTagCompression, kTypeShort, 1, 1);
+    put_entry(out, kTagPhotometric, kTypeShort, 1, 1);  // BlackIsZero
+    put_entry(out, kTagStripOffsets, kTypeLong, 1,
+              static_cast<std::uint32_t>(data_off));
+    put_entry(out, kTagSamplesPerPixel, kTypeShort, 1, 1);
+    put_entry(out, kTagRowsPerStrip, kTypeLong, 1,
+              static_cast<std::uint32_t>(h));
+    put_entry(out, kTagStripByteCounts, kTypeLong, 1,
+              static_cast<std::uint32_t>(data_len));
+    put_entry(out, kTagSampleFormat, kTypeShort, 1, 1);
+    prev_next_ptr = out.size();
+    put_u32(out, 0);  // next IFD (patched by the following page, if any)
+  }
+  return out;
+}
+
+void write_tiff(const std::string& path, const TiffStack& stack) {
+  const auto bytes = write_tiff_bytes(stack);
+  std::ofstream f(path, std::ios::binary);
+  if (!f) fail("cannot create " + path);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!f) fail("write failed for " + path);
+}
+
+void write_volume_tiff(const std::string& path, const image::VolumeU16& vol) {
+  TiffStack stack;
+  for (std::int64_t z = 0; z < vol.depth(); ++z) {
+    stack.pages.emplace_back(vol.slice(z));
+  }
+  write_tiff(path, stack);
+}
+
+image::VolumeU16 read_volume_tiff_u16(const std::string& path) {
+  const TiffStack stack = read_tiff(path);
+  image::VolumeU16 vol;
+  for (const auto& page : stack.pages) {
+    const auto* img = std::get_if<image::ImageU16>(&page);
+    if (img == nullptr) fail("read_volume: 16-bit pages expected");
+    vol.push_slice(*img);
+  }
+  return vol;
+}
+
+}  // namespace zenesis::io

@@ -1,0 +1,45 @@
+#pragma once
+// Minimal baseline TIFF 6.0 support.
+//
+// FIB-SEM stacks arrive as multi-page grayscale TIFFs (8/16/32-bit
+// unsigned), which is exactly the subset implemented here: uncompressed
+// strips, little- or big-endian byte order on read, little-endian on
+// write, one IFD per slice. This keeps the platform's ingestion path free
+// of external dependencies while handling the files the paper's workflows
+// produce.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "zenesis/image/image.hpp"
+
+namespace zenesis::io {
+
+/// A decoded multi-page TIFF: one AnyImage per page (pages may differ in
+/// size, although FIB-SEM stacks never do).
+struct TiffStack {
+  std::vector<image::AnyImage> pages;
+};
+
+/// Reads a TIFF file. Throws std::runtime_error on malformed input or on
+/// features outside the supported subset (compression, tiles, palettes).
+TiffStack read_tiff(const std::string& path);
+
+/// Decodes a TIFF from memory (used by tests and by network-free demos).
+TiffStack read_tiff_bytes(const std::vector<std::uint8_t>& bytes);
+
+/// Writes pages as a little-endian, uncompressed, grayscale baseline TIFF.
+void write_tiff(const std::string& path, const TiffStack& stack);
+
+/// Serializes to memory.
+std::vector<std::uint8_t> write_tiff_bytes(const TiffStack& stack);
+
+/// Convenience: wraps a 16-bit volume as a multi-page stack and writes it.
+void write_volume_tiff(const std::string& path, const image::VolumeU16& vol);
+
+/// Convenience: reads a multi-page TIFF as a 16-bit volume (pages must be
+/// 16-bit grayscale of identical size).
+image::VolumeU16 read_volume_tiff_u16(const std::string& path);
+
+}  // namespace zenesis::io

@@ -1,0 +1,50 @@
+#include "zenesis/models/auto_mask.hpp"
+
+#include <algorithm>
+
+#include "zenesis/image/roi.hpp"
+
+namespace zenesis::models {
+
+AutoMaskResult AutomaticMaskGenerator::generate(const SamEncoded& enc) const {
+  AutoMaskResult res;
+  const std::int64_t w = enc.maps.width, h = enc.maps.height;
+  if (w == 0 || h == 0 || cfg_.points_per_side <= 0) return res;
+
+  std::vector<MaskPrediction> candidates;
+  for (int gy = 0; gy < cfg_.points_per_side; ++gy) {
+    for (int gx = 0; gx < cfg_.points_per_side; ++gx) {
+      const image::Point p{
+          (2 * gx + 1) * w / (2 * cfg_.points_per_side),
+          (2 * gy + 1) * h / (2 * cfg_.points_per_side)};
+      MaskPrediction m = sam_.predict_point(enc, p);
+      if (m.area_fraction < cfg_.min_area_fraction) continue;
+      candidates.push_back(std::move(m));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const MaskPrediction& a, const MaskPrediction& b) {
+              return a.confidence > b.confidence;
+            });
+  // Greedy IoU dedup, keeping the higher-confidence representative.
+  for (auto& cand : candidates) {
+    bool duplicate = false;
+    for (const auto& kept : res.masks) {
+      if (image::mask_iou(cand.mask, kept.mask) >= cfg_.dedup_iou) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) res.masks.push_back(std::move(cand));
+  }
+  return res;
+}
+
+image::Mask AutomaticMaskGenerator::segment_best(const image::ImageF32& img) const {
+  const SamEncoded enc = sam_.encode(img);
+  const AutoMaskResult res = generate(enc);
+  if (const MaskPrediction* best = res.best()) return best->mask;
+  return image::Mask(img.width(), img.height());
+}
+
+}  // namespace zenesis::models

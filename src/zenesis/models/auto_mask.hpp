@@ -1,0 +1,54 @@
+#pragma once
+// SAM-only baseline: automatic mask generation without any grounding.
+//
+// A regular grid of point prompts is pushed through the SAM surrogate;
+// near-duplicate masks are merged by IoU; the generator then ranks the
+// distinct masks by model confidence. `best_mask` — the max-confidence
+// pick — is precisely the "SAM-only" column of the paper's Tables 1–3 and
+// exhibits its documented failure: with no text guidance the confidence
+// rule prefers the large, homogeneous, stable region, which on crystalline
+// FIB-SEM slices is the black background.
+
+#include <vector>
+
+#include "zenesis/models/sam.hpp"
+
+namespace zenesis::models {
+
+struct AutoMaskConfig {
+  /// Points per side of the prompt grid (grid² prompts in total).
+  int points_per_side = 8;
+  /// Masks with IoU above this against an already-kept mask are merged.
+  double dedup_iou = 0.85;
+  /// Masks below this area fraction are discarded as click noise.
+  double min_area_fraction = 0.002;
+};
+
+struct AutoMaskResult {
+  /// Distinct masks sorted by descending confidence.
+  std::vector<MaskPrediction> masks;
+
+  /// The max-confidence mask (empty mask when none survived filtering).
+  const MaskPrediction* best() const {
+    return masks.empty() ? nullptr : &masks.front();
+  }
+};
+
+class AutomaticMaskGenerator {
+ public:
+  explicit AutomaticMaskGenerator(const SamModel& sam,
+                                  const AutoMaskConfig& cfg = {})
+      : sam_(sam), cfg_(cfg) {}
+
+  AutoMaskResult generate(const SamEncoded& enc) const;
+
+  /// Convenience: encode + generate + return the best mask (or an empty
+  /// mask of the image size).
+  image::Mask segment_best(const image::ImageF32& img) const;
+
+ private:
+  const SamModel& sam_;
+  AutoMaskConfig cfg_;
+};
+
+}  // namespace zenesis::models

@@ -1,0 +1,107 @@
+#include "zenesis/models/backbone.hpp"
+
+#include <stdexcept>
+
+#include "zenesis/tensor/init.hpp"
+#include "zenesis/tensor/ops.hpp"
+
+namespace zenesis::models {
+
+TransformerBlock::TransformerBlock(std::int64_t dim, int heads,
+                                   std::uint64_t seed, std::uint64_t layer_id,
+                                   float branch_scale)
+    : dim_(dim),
+      heads_(heads),
+      branch_scale_(branch_scale),
+      wq_(tensor::xavier_uniform(dim, dim, seed, layer_id * 16 + 0)),
+      wk_(tensor::xavier_uniform(dim, dim, seed, layer_id * 16 + 1)),
+      wv_(tensor::xavier_uniform(dim, dim, seed, layer_id * 16 + 2)),
+      wo_(tensor::xavier_uniform(dim, dim, seed, layer_id * 16 + 3)),
+      bq_(tensor::zeros(dim)),
+      bk_(tensor::zeros(dim)),
+      bv_(tensor::zeros(dim)),
+      bo_(tensor::zeros(dim)),
+      w1_(tensor::xavier_uniform(4 * dim, dim, seed, layer_id * 16 + 4)),
+      w2_(tensor::xavier_uniform(dim, 4 * dim, seed, layer_id * 16 + 5)),
+      b1_(tensor::zeros(4 * dim)),
+      b2_(tensor::zeros(dim)),
+      ln1_g_(tensor::ones(dim)),
+      ln1_b_(tensor::zeros(dim)),
+      ln2_g_(tensor::ones(dim)),
+      ln2_b_(tensor::zeros(dim)) {
+  if (dim % heads != 0) {
+    throw std::invalid_argument("TransformerBlock: dim % heads != 0");
+  }
+}
+
+void TransformerBlock::apply(tensor::Tensor& tokens) const {
+  if (tokens.rank() != 2 || tokens.dim(1) != dim_) {
+    throw std::invalid_argument("TransformerBlock::apply: bad token shape");
+  }
+  // Attention branch.
+  tensor::Tensor normed = tokens;
+  tensor::layernorm_rows(normed, ln1_g_, ln1_b_);
+  tensor::Tensor q = tensor::linear(normed, wq_, bq_);
+  tensor::Tensor k = tensor::linear(normed, wk_, bk_);
+  tensor::Tensor v = tensor::linear(normed, wv_, bv_);
+  tensor::Tensor attn = tensor::multihead_attention(q, k, v, heads_);
+  tensor::Tensor out = tensor::linear(attn, wo_, bo_);
+  tensor::scale_inplace(out, branch_scale_);
+  tensor::add_inplace(tokens, out);
+
+  // MLP branch.
+  normed = tokens;
+  tensor::layernorm_rows(normed, ln2_g_, ln2_b_);
+  tensor::Tensor hidden = tensor::linear(normed, w1_, b1_);
+  tensor::gelu_inplace(hidden);
+  tensor::Tensor mlp = tensor::linear(hidden, w2_, b2_);
+  tensor::scale_inplace(mlp, branch_scale_);
+  tensor::add_inplace(tokens, mlp);
+}
+
+VisionBackbone::VisionBackbone(const BackboneConfig& cfg)
+    : cfg_(cfg),
+      proj_(tensor::xavier_uniform(cfg.dim, kFeatureChannels, cfg.seed, 1)) {
+  // Scale the shared projection up so the feature geometry dominates the
+  // positional term in attention logits.
+  tensor::scale_inplace(proj_, 4.0f);
+  blocks_.reserve(static_cast<std::size_t>(cfg.blocks));
+  for (int b = 0; b < cfg.blocks; ++b) {
+    blocks_.emplace_back(cfg.dim, cfg.heads, cfg.seed,
+                         static_cast<std::uint64_t>(b + 2), cfg.branch_scale);
+  }
+}
+
+EncodedImage VisionBackbone::encode(const FeatureMaps& maps) const {
+  EncodedImage enc;
+  enc.patch_size = cfg_.patch_size;
+  enc.raw_features =
+      patch_features(maps, cfg_.patch_size, &enc.grid_h, &enc.grid_w);
+  enc.mean_feature = tensor::mean_rows(enc.raw_features);
+
+  // Mean-center so signed text preferences act relative to the image.
+  tensor::Tensor centered = enc.raw_features;
+  const std::int64_t n = centered.dim(0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (int c = 0; c < kFeatureChannels; ++c) {
+      centered.at(i, c) -= enc.mean_feature.at(c);
+    }
+  }
+
+  enc.tokens = tensor::matmul_nt(centered, proj_);
+  tensor::Tensor pos =
+      tensor::sinusoidal_positions_2d(enc.grid_h, enc.grid_w, cfg_.dim);
+  tensor::scale_inplace(pos, 0.05f);  // positions inform, features decide
+  tensor::add_inplace(enc.tokens, pos);
+  for (const auto& block : blocks_) block.apply(enc.tokens);
+  return enc;
+}
+
+tensor::Tensor VisionBackbone::project_text(const tensor::Tensor& concepts) const {
+  if (concepts.rank() != 2 || concepts.dim(1) != kFeatureChannels) {
+    throw std::invalid_argument("project_text: [T, kFeatureChannels] expected");
+  }
+  return tensor::matmul_nt(concepts, proj_);
+}
+
+}  // namespace zenesis::models

@@ -1,0 +1,89 @@
+#pragma once
+// Surrogate vision backbone (Swin-T stand-in for GroundingDINO, ViT
+// stand-in for SAM's encoder).
+//
+// Patch features (engineered basis, features.hpp) are projected into a
+// d-dimensional embedding space by a fixed near-orthogonal matrix, get 2-D
+// sinusoidal positions, and pass through pre-norm transformer blocks.
+// Because the projection is shared with the text side and the blocks are
+// residual-dominated (attention/MLP branches initialized at small scale),
+// cross-modal dot products in embedding space track the engineered-basis
+// similarity — a Johnson-Lindenstrauss argument standing in for grounded
+// pretraining, while the computational path (QKᵀ/√d attention, LayerNorm,
+// GELU MLP) is the genuine transformer pipeline.
+
+#include <cstdint>
+#include <vector>
+
+#include "zenesis/models/features.hpp"
+#include "zenesis/tensor/tensor.hpp"
+
+namespace zenesis::models {
+
+/// One pre-norm transformer block: x += MHA(LN(x)); x += MLP(LN(x)).
+class TransformerBlock {
+ public:
+  /// `branch_scale` scales the residual branches; small values keep the
+  /// block near-identity, preserving cross-modal alignment.
+  TransformerBlock(std::int64_t dim, int heads, std::uint64_t seed,
+                   std::uint64_t layer_id, float branch_scale = 0.1f);
+
+  /// Applies the block to a token sequence [L, dim] in place.
+  void apply(tensor::Tensor& tokens) const;
+
+  std::int64_t dim() const noexcept { return dim_; }
+  int heads() const noexcept { return heads_; }
+
+ private:
+  std::int64_t dim_;
+  int heads_;
+  float branch_scale_;
+  tensor::Tensor wq_, wk_, wv_, wo_;  // [dim, dim]
+  tensor::Tensor bq_, bk_, bv_, bo_;  // [dim]
+  tensor::Tensor w1_, w2_;            // MLP [4*dim, dim], [dim, 4*dim]
+  tensor::Tensor b1_, b2_;
+  tensor::Tensor ln1_g_, ln1_b_, ln2_g_, ln2_b_;
+};
+
+/// Backbone configuration.
+struct BackboneConfig {
+  int patch_size = 8;       ///< pixels per patch side
+  std::int64_t dim = 64;    ///< embedding width
+  int blocks = 2;           ///< transformer depth
+  int heads = 4;
+  float branch_scale = 0.1f;
+  std::uint64_t seed = 20250701;  ///< procedural-weight seed
+};
+
+/// Encoded image: token embeddings plus the raw engineered features they
+/// were built from (the grounding head needs both).
+struct EncodedImage {
+  tensor::Tensor tokens;        ///< [grid_h*grid_w, dim]
+  tensor::Tensor raw_features;  ///< [grid_h*grid_w, kFeatureChannels]
+  tensor::Tensor mean_feature;  ///< [kFeatureChannels] image average
+  std::int64_t grid_h = 0;
+  std::int64_t grid_w = 0;
+  int patch_size = 0;
+};
+
+class VisionBackbone {
+ public:
+  explicit VisionBackbone(const BackboneConfig& cfg = {});
+
+  /// Encodes precomputed feature maps into patch tokens.
+  EncodedImage encode(const FeatureMaps& maps) const;
+
+  /// Projects text concept vectors [T, kFeatureChannels] with the SAME
+  /// matrix used for patches → [T, dim]. This shared projection is the
+  /// multi-modal alignment.
+  tensor::Tensor project_text(const tensor::Tensor& concepts) const;
+
+  const BackboneConfig& config() const noexcept { return cfg_; }
+
+ private:
+  BackboneConfig cfg_;
+  tensor::Tensor proj_;       ///< [dim, kFeatureChannels] shared projection
+  std::vector<TransformerBlock> blocks_;
+};
+
+}  // namespace zenesis::models

@@ -1,0 +1,162 @@
+#include "zenesis/models/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "zenesis/cv/filters.hpp"
+#include "zenesis/parallel/parallel_for.hpp"
+
+namespace zenesis::models {
+namespace {
+
+using image::ImageF32;
+
+/// Rescales so that the 99th percentile maps to 1 (robust against a few
+/// extreme responses dominating the channel).
+void robust_unit_scale(ImageF32& img) {
+  auto px = img.pixels();
+  if (px.empty()) return;
+  std::vector<float> sorted(px.begin(), px.end());
+  auto idx = static_cast<std::size_t>(0.99 * static_cast<double>(sorted.size() - 1));
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(idx),
+                   sorted.end());
+  const float hi = sorted[idx];
+  if (hi <= 0.0f) return;
+  const float inv = 1.0f / hi;
+  for (float& v : px) v = std::min(1.0f, v * inv);
+}
+
+/// Structure-tensor coherence: (λ1-λ2)/(λ1+λ2) of the smoothed gradient
+/// outer product. 1 for perfectly oriented (needle) texture, 0 for
+/// isotropic (blob/noise) texture.
+ImageF32 orientation_coherence(const ImageF32& img, float sigma) {
+  const std::int64_t w = img.width(), h = img.height();
+  ImageF32 gx(w, h, 1), gy(w, h, 1);
+  parallel::parallel_for(0, h, [&](std::int64_t y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      const std::int64_t xm = std::max<std::int64_t>(0, x - 1);
+      const std::int64_t xp = std::min<std::int64_t>(w - 1, x + 1);
+      const std::int64_t ym = std::max<std::int64_t>(0, y - 1);
+      const std::int64_t yp = std::min<std::int64_t>(h - 1, y + 1);
+      gx.at(x, y) = 0.5f * (img.at(xp, y) - img.at(xm, y));
+      gy.at(x, y) = 0.5f * (img.at(x, yp) - img.at(x, ym));
+    }
+  });
+  ImageF32 jxx(w, h, 1), jxy(w, h, 1), jyy(w, h, 1);
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      const float fx = gx.at(x, y), fy = gy.at(x, y);
+      jxx.at(x, y) = fx * fx;
+      jxy.at(x, y) = fx * fy;
+      jyy.at(x, y) = fy * fy;
+    }
+  }
+  jxx = cv::gaussian_blur(jxx, sigma);
+  jxy = cv::gaussian_blur(jxy, sigma);
+  jyy = cv::gaussian_blur(jyy, sigma);
+  ImageF32 out(w, h, 1);
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      const float a = jxx.at(x, y), b = jxy.at(x, y), c = jyy.at(x, y);
+      const float tr = a + c;
+      const float det = std::sqrt(std::max(0.0f, (a - c) * (a - c) + 4.0f * b * b));
+      out.at(x, y) = tr > 1e-8f ? det / tr : 0.0f;
+    }
+  }
+  return out;
+}
+
+/// Brightness percentile rank of every pixel (global CDF lookup).
+ImageF32 brightness_rank(const ImageF32& img) {
+  constexpr int kBins = 512;
+  std::vector<std::int64_t> hist(kBins, 0);
+  for (float v : img.pixels()) {
+    const int b = std::clamp(static_cast<int>(v * kBins), 0, kBins - 1);
+    ++hist[static_cast<std::size_t>(b)];
+  }
+  std::vector<float> cdf(kBins, 0.0f);
+  std::int64_t acc = 0;
+  const auto total = static_cast<double>(img.pixel_count());
+  for (int b = 0; b < kBins; ++b) {
+    acc += hist[static_cast<std::size_t>(b)];
+    cdf[static_cast<std::size_t>(b)] =
+        total > 0.0 ? static_cast<float>(static_cast<double>(acc) / total) : 0.0f;
+  }
+  ImageF32 out(img.width(), img.height(), 1);
+  auto src = img.pixels();
+  auto dst = out.pixels();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const int b = std::clamp(static_cast<int>(src[i] * kBins), 0, kBins - 1);
+    dst[i] = cdf[static_cast<std::size_t>(b)];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::array<float, kFeatureChannels> FeatureMaps::at(std::int64_t x,
+                                                    std::int64_t y) const {
+  std::array<float, kFeatureChannels> f{};
+  for (int c = 0; c < kFeatureChannels; ++c) {
+    f[static_cast<std::size_t>(c)] = channels[static_cast<std::size_t>(c)].at(x, y);
+  }
+  return f;
+}
+
+FeatureMaps compute_features(const image::ImageF32& img, float smooth_sigma) {
+  if (img.channels() != 1) {
+    throw std::invalid_argument("compute_features: single channel required");
+  }
+  FeatureMaps maps;
+  maps.width = img.width();
+  maps.height = img.height();
+
+  const ImageF32 smooth = cv::gaussian_blur(img, smooth_sigma);
+  maps.channels[kIntensity] = smooth;
+
+  ImageF32 texture = cv::local_variance(smooth, 4);
+  robust_unit_scale(texture);
+  maps.channels[kTexture] = std::move(texture);
+
+  ImageF32 edge = cv::sobel_magnitude(smooth);
+  robust_unit_scale(edge);
+  maps.channels[kEdge] = std::move(edge);
+
+  maps.channels[kCoherence] = orientation_coherence(smooth, 3.0f);
+  maps.channels[kRank] = brightness_rank(smooth);
+  return maps;
+}
+
+tensor::Tensor patch_features(const FeatureMaps& maps, int patch_size,
+                              std::int64_t* grid_h, std::int64_t* grid_w) {
+  if (patch_size <= 0) {
+    throw std::invalid_argument("patch_features: patch_size must be > 0");
+  }
+  const std::int64_t gw = (maps.width + patch_size - 1) / patch_size;
+  const std::int64_t gh = (maps.height + patch_size - 1) / patch_size;
+  tensor::Tensor out({gh * gw, kFeatureChannels});
+  parallel::parallel_for(0, gh, [&](std::int64_t py) {
+    for (std::int64_t px = 0; px < gw; ++px) {
+      const std::int64_t x0 = px * patch_size;
+      const std::int64_t y0 = py * patch_size;
+      const std::int64_t x1 = std::min<std::int64_t>(maps.width, x0 + patch_size);
+      const std::int64_t y1 = std::min<std::int64_t>(maps.height, y0 + patch_size);
+      const auto n = static_cast<float>((x1 - x0) * (y1 - y0));
+      for (int c = 0; c < kFeatureChannels; ++c) {
+        float acc = 0.0f;
+        const auto& ch = maps.channels[static_cast<std::size_t>(c)];
+        for (std::int64_t y = y0; y < y1; ++y) {
+          for (std::int64_t x = x0; x < x1; ++x) acc += ch.at(x, y);
+        }
+        out.at(py * gw + px, c) = acc / n;
+      }
+    }
+  });
+  if (grid_h != nullptr) *grid_h = gh;
+  if (grid_w != nullptr) *grid_w = gw;
+  return out;
+}
+
+}  // namespace zenesis::models

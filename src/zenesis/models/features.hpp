@@ -1,0 +1,59 @@
+#pragma once
+// Engineered per-pixel feature channels — the surrogate "pretraining".
+//
+// Real GroundingDINO/SAM owe their zero-shot power to features learned
+// from web-scale data. Without AI-ready weights, we give the surrogate
+// backbones a compact hand-constructed visual vocabulary instead: five
+// physically meaningful channels (intensity, texture energy, edge
+// strength, orientation coherence, brightness rank) that span the
+// morphology space of FIB-SEM phases. Needle-like crystalline catalyst is
+// separable by high coherence + brightness; amorphous particle phase by
+// texture + brightness; ionomer background by mid intensity and low
+// texture; the sample holder by near-zero intensity. Text concepts are
+// expressed in this same 5-dimensional basis (text_encoder.hpp), which is
+// exactly the "lightweight multi-modal adaptation" role the paper assigns
+// to its shared embedding space.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "zenesis/image/image.hpp"
+#include "zenesis/tensor/tensor.hpp"
+
+namespace zenesis::models {
+
+/// Number of engineered feature channels.
+inline constexpr int kFeatureChannels = 5;
+
+/// Channel indices (the basis text concepts are written in).
+enum FeatureChannel : int {
+  kIntensity = 0,   ///< smoothed luminance, [0,1]
+  kTexture = 1,     ///< local variance (normalized), [0,1]
+  kEdge = 2,        ///< Sobel magnitude (normalized), [0,1]
+  kCoherence = 3,   ///< structure-tensor orientation coherence, [0,1]
+  kRank = 4,        ///< global brightness percentile rank, [0,1]
+};
+
+/// Dense per-pixel feature maps for one AI-ready [0,1] image.
+struct FeatureMaps {
+  std::array<image::ImageF32, kFeatureChannels> channels;
+  std::int64_t width = 0;
+  std::int64_t height = 0;
+
+  /// Feature vector at a pixel.
+  std::array<float, kFeatureChannels> at(std::int64_t x, std::int64_t y) const;
+};
+
+/// Computes the five channels. `smooth_sigma` controls the denoising
+/// Gaussian applied before differentiation (FIB-SEM is shot-noise heavy).
+FeatureMaps compute_features(const image::ImageF32& img,
+                             float smooth_sigma = 1.2f);
+
+/// Averages feature maps over an h×w grid of square patches of
+/// `patch_size` pixels → tensor [grid_h*grid_w, kFeatureChannels].
+/// Trailing partial patches are averaged over their valid pixels.
+tensor::Tensor patch_features(const FeatureMaps& maps, int patch_size,
+                              std::int64_t* grid_h, std::int64_t* grid_w);
+
+}  // namespace zenesis::models

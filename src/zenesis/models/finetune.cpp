@@ -1,0 +1,104 @@
+#include "zenesis/models/finetune.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "zenesis/tensor/tensor.hpp"
+
+namespace zenesis::models {
+
+LearnedConcept learn_concept(const FeatureMaps& maps, const image::Mask& mask) {
+  if (mask.width() != maps.width || mask.height() != maps.height) {
+    throw std::invalid_argument("learn_concept: mask/feature size mismatch");
+  }
+  std::array<double, kFeatureChannels> fg_sum{}, bg_sum{}, fg_sum2{}, bg_sum2{};
+  std::int64_t n_fg = 0, n_bg = 0;
+  for (std::int64_t y = 0; y < maps.height; ++y) {
+    for (std::int64_t x = 0; x < maps.width; ++x) {
+      const bool fg = mask.at(x, y) != 0;
+      (fg ? n_fg : n_bg)++;
+      for (int c = 0; c < kFeatureChannels; ++c) {
+        const auto ci = static_cast<std::size_t>(c);
+        const double v = maps.channels[ci].at(x, y);
+        (fg ? fg_sum : bg_sum)[ci] += v;
+        (fg ? fg_sum2 : bg_sum2)[ci] += v * v;
+      }
+    }
+  }
+  if (n_fg == 0 || n_bg == 0) {
+    throw std::invalid_argument("learn_concept: annotation must contain both classes");
+  }
+
+  LearnedConcept out;
+  out.foreground_pixels = n_fg;
+  double norm2 = 0.0, sep2 = 0.0;
+  std::array<double, kFeatureChannels> diff{};
+  for (int c = 0; c < kFeatureChannels; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    const double mf = fg_sum[ci] / static_cast<double>(n_fg);
+    const double mb = bg_sum[ci] / static_cast<double>(n_bg);
+    const double vf = std::max(0.0, fg_sum2[ci] / static_cast<double>(n_fg) - mf * mf);
+    const double vb = std::max(0.0, bg_sum2[ci] / static_cast<double>(n_bg) - mb * mb);
+    diff[ci] = mf - mb;
+    norm2 += diff[ci] * diff[ci];
+    const double pooled = std::sqrt(0.5 * (vf + vb)) + 1e-6;
+    sep2 += (diff[ci] / pooled) * (diff[ci] / pooled);
+  }
+  out.separability = std::sqrt(sep2);
+  // Scale to the magnitude range of vocabulary concepts (~O(1) entries)
+  // so learned and prompt-derived directions are interchangeable.
+  const double norm = std::sqrt(norm2);
+  constexpr double kTargetNorm = 3.0;
+  if (norm > 1e-9) {
+    for (int c = 0; c < kFeatureChannels; ++c) {
+      out.direction[static_cast<std::size_t>(c)] =
+          static_cast<float>(diff[static_cast<std::size_t>(c)] / norm * kTargetNorm);
+    }
+  }
+  return out;
+}
+
+LearnedConcept merge_concepts(const std::vector<LearnedConcept>& concepts) {
+  if (concepts.empty()) {
+    throw std::invalid_argument("merge_concepts: empty input");
+  }
+  LearnedConcept out;
+  double total = 0.0;
+  for (const auto& c : concepts) {
+    const auto w = static_cast<double>(c.foreground_pixels);
+    total += w;
+    out.foreground_pixels += c.foreground_pixels;
+    out.separability += w * c.separability;
+    for (int k = 0; k < kFeatureChannels; ++k) {
+      const auto ki = static_cast<std::size_t>(k);
+      out.direction[ki] += static_cast<float>(w) * c.direction[ki];
+    }
+  }
+  if (total > 0.0) {
+    out.separability /= total;
+    for (auto& v : out.direction) v = static_cast<float>(v / total);
+  }
+  return out;
+}
+
+GroundingResult apply_concept(const GroundingDetector& detector,
+                              const FeatureMaps& maps,
+                              const LearnedConcept& concept_in,
+                              const std::string& prompt, float alpha) {
+  // Blend learned and prompt directions, then run the standard detector
+  // path with the blended vector as a single concept token.
+  std::array<float, kFeatureChannels> prompt_dir{};
+  if (!prompt.empty()) {
+    const GroundingResult g = detector.ground_box({}, prompt);
+    if (g.has_direction) prompt_dir = g.concept_direction;
+  }
+  tensor::Tensor concepts({1, kFeatureChannels});
+  for (int c = 0; c < kFeatureChannels; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    concepts.at(0, c) =
+        (1.0f - alpha) * prompt_dir[ci] + alpha * concept_in.direction[ci];
+  }
+  return detector.detect_with_concepts(maps, concepts);
+}
+
+}  // namespace zenesis::models

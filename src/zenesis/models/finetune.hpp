@@ -1,0 +1,49 @@
+#pragma once
+// Optional fine-tuning module (the paper's future-work item 3): adapt the
+// grounding to a specialized dataset from a single annotated example.
+//
+// Instead of re-training network weights, the module learns a *concept
+// direction* in the engineered feature basis — the contrast between the
+// annotated foreground's and background's mean features — and the
+// detector runs its usual cross-modal attention with that learned vector
+// in place of (or blended with) the prompt's vocabulary-derived one.
+// This is the surrogate analogue of text-embedding tuning / prompt
+// learning on top of a frozen backbone.
+
+#include <array>
+#include <string>
+
+#include "zenesis/models/features.hpp"
+#include "zenesis/models/grounding.hpp"
+
+namespace zenesis::models {
+
+/// A concept learned from annotated data.
+struct LearnedConcept {
+  std::array<float, kFeatureChannels> direction{};
+  /// Separation quality: |mean_fg − mean_bg| in feature space, normalized
+  /// by the pooled per-channel spread. < ~0.5 means the annotation is not
+  /// separable in this basis and the concept is unreliable.
+  double separability = 0.0;
+  std::int64_t foreground_pixels = 0;
+};
+
+/// Learns a concept from one annotated image: direction = per-channel
+/// (mean over mask − mean over complement), scaled to the magnitude range
+/// of vocabulary concepts. Throws if the mask is empty or full.
+LearnedConcept learn_concept(const FeatureMaps& maps, const image::Mask& mask);
+
+/// Averages concepts learned from several annotated slices (each weighted
+/// by its foreground size).
+LearnedConcept merge_concepts(const std::vector<LearnedConcept>& concepts);
+
+/// Blends a learned concept into a prompt-derived grounding result:
+/// direction ← (1−alpha)·prompt + alpha·learned. alpha=1 replaces the
+/// vocabulary entirely (pure example-driven grounding).
+GroundingResult apply_concept(const GroundingDetector& detector,
+                              const FeatureMaps& maps,
+                              const LearnedConcept& concept_in,
+                              const std::string& prompt = "",
+                              float alpha = 1.0f);
+
+}  // namespace zenesis::models

@@ -1,0 +1,149 @@
+#include "zenesis/models/text_encoder.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "zenesis/parallel/rng.hpp"
+
+namespace zenesis::models {
+namespace {
+
+// Concept vectors are signed preferences in the feature basis
+// [intensity, texture, edge, coherence, rank], applied to mean-centered
+// patch features. Positive = "more of this channel than the image
+// average". The table is the surrogate's grounded vocabulary; it covers
+// the materials-imaging terms the paper's workflows use, plus generic
+// photometric words so free-form prompts degrade gracefully.
+struct ConceptEntry {
+  std::array<float, kFeatureChannels> vec;
+  float weight;
+};
+
+const std::unordered_map<std::string, ConceptEntry>& vocabulary() {
+  static const std::unordered_map<std::string, ConceptEntry> kVocab = {
+      // Photometric
+      {"bright", {{1.5f, 0.0f, 0.0f, 0.0f, 1.2f}, 1.0f}},
+      {"white", {{1.5f, 0.0f, 0.0f, 0.0f, 1.2f}, 0.8f}},
+      {"dark", {{-1.5f, 0.0f, 0.0f, 0.0f, -1.2f}, 1.0f}},
+      {"black", {{-1.6f, -0.4f, -0.2f, 0.0f, -1.3f}, 0.9f}},
+      {"gray", {{0.0f, 0.0f, 0.0f, 0.0f, 0.0f}, 0.2f}},
+      // Morphology
+      {"needle", {{0.4f, 0.5f, 0.6f, 1.8f, 0.5f}, 1.2f}},
+      {"needles", {{0.4f, 0.5f, 0.6f, 1.8f, 0.5f}, 1.2f}},
+      {"elongated", {{0.2f, 0.3f, 0.4f, 1.6f, 0.2f}, 1.0f}},
+      {"fiber", {{0.3f, 0.4f, 0.5f, 1.7f, 0.3f}, 1.0f}},
+      {"crystalline", {{0.5f, 0.6f, 0.7f, 1.6f, 0.6f}, 1.2f}},
+      {"crystal", {{0.5f, 0.6f, 0.7f, 1.6f, 0.6f}, 1.1f}},
+      {"amorphous", {{0.6f, 1.1f, 0.2f, -0.7f, 0.8f}, 1.2f}},
+      {"blob", {{0.5f, 0.9f, 0.1f, -0.8f, 0.6f}, 0.9f}},
+      {"particle", {{0.7f, 1.0f, 0.3f, -0.4f, 0.9f}, 1.1f}},
+      {"particles", {{0.7f, 1.0f, 0.3f, -0.4f, 0.9f}, 1.1f}},
+      {"grain", {{0.6f, 0.8f, 0.4f, 0.2f, 0.7f}, 0.8f}},
+      {"textured", {{0.1f, 1.4f, 0.5f, 0.0f, 0.2f}, 0.8f}},
+      {"smooth", {{0.0f, -1.4f, -0.8f, -0.3f, 0.0f}, 0.8f}},
+      // Materials-domain
+      {"catalyst", {{0.9f, 0.7f, 0.4f, 0.3f, 1.0f}, 1.3f}},
+      {"iridium", {{1.0f, 0.6f, 0.3f, 0.2f, 1.1f}, 1.0f}},
+      {"oxide", {{0.6f, 0.4f, 0.2f, 0.1f, 0.6f}, 0.6f}},
+      {"membrane", {{-0.3f, -0.6f, -0.3f, -0.4f, -0.1f}, 0.9f}},
+      {"ionomer", {{-0.3f, -0.7f, -0.4f, -0.4f, -0.1f}, 0.9f}},
+      {"nafion", {{-0.3f, -0.7f, -0.4f, -0.4f, -0.1f}, 0.8f}},
+      {"film", {{-0.2f, -0.5f, -0.2f, -0.2f, 0.0f}, 0.5f}},
+      {"pore", {{-1.3f, -0.2f, 0.1f, 0.0f, -1.2f}, 0.9f}},
+      {"pores", {{-1.3f, -0.2f, 0.1f, 0.0f, -1.2f}, 0.9f}},
+      {"void", {{-1.4f, -0.3f, 0.0f, 0.0f, -1.3f}, 0.9f}},
+      {"background", {{-1.1f, -0.9f, -0.5f, -0.3f, -1.0f}, 1.0f}},
+      {"substrate", {{-0.8f, -0.6f, -0.3f, -0.2f, -0.7f}, 0.7f}},
+      {"phase", {{0.3f, 0.3f, 0.1f, 0.0f, 0.4f}, 0.4f}},
+      {"edge", {{0.0f, 0.3f, 1.6f, 0.4f, 0.0f}, 0.8f}},
+      {"boundary", {{0.0f, 0.3f, 1.5f, 0.3f, 0.0f}, 0.7f}},
+      {"loaded", {{0.4f, 0.4f, 0.2f, 0.1f, 0.5f}, 0.4f}},
+      {"dense", {{0.6f, 0.5f, 0.2f, 0.0f, 0.7f}, 0.5f}},
+  };
+  return kVocab;
+}
+
+const std::unordered_set<std::string>& stop_words() {
+  static const std::unordered_set<std::string> kStop = {
+      "a", "an", "the", "of", "in", "on", "with", "and", "or",
+      "to", "for", "is", "are", "all", "any", "region", "regions",
+      "area", "areas", "segment", "like"};
+  return kStop;
+}
+
+}  // namespace
+
+std::vector<std::string> tokenize(const std::string& prompt) {
+  std::vector<std::string> words;
+  std::string cur;
+  for (char c : prompt) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      cur += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!cur.empty()) {
+      words.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) words.push_back(std::move(cur));
+  return words;
+}
+
+std::optional<TextToken> lookup_concept(const std::string& word) {
+  const auto& vocab = vocabulary();
+  const auto it = vocab.find(word);
+  if (it == vocab.end()) return std::nullopt;
+  TextToken t;
+  t.word = word;
+  t.concept_vec = it->second.vec;
+  t.weight = it->second.weight;
+  t.known = true;
+  return t;
+}
+
+std::vector<TextToken> TextEncoder::parse(const std::string& prompt) const {
+  std::vector<TextToken> tokens;
+  for (const auto& word : tokenize(prompt)) {
+    if (stop_words().contains(word)) continue;
+    if (auto known = lookup_concept(word)) {
+      tokens.push_back(std::move(*known));
+      continue;
+    }
+    // Unknown word: deterministic low-magnitude hash embedding. It keeps
+    // the pipeline total (prompts never fail) while contributing almost no
+    // localization evidence.
+    TextToken t;
+    t.word = word;
+    std::uint64_t h = seed_;
+    for (char c : word) h = h * 1099511628211ULL + static_cast<std::uint8_t>(c);
+    parallel::Rng rng(h);
+    for (auto& v : t.concept_vec) {
+      v = static_cast<float>(rng.uniform(-0.15, 0.15));
+    }
+    t.weight = 0.1f;
+    t.known = false;
+    tokens.push_back(std::move(t));
+  }
+  return tokens;
+}
+
+tensor::Tensor TextEncoder::encode(const std::string& prompt) const {
+  const auto tokens = parse(prompt);
+  tensor::Tensor out({static_cast<std::int64_t>(tokens.size()), kFeatureChannels});
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    for (int c = 0; c < kFeatureChannels; ++c) {
+      out.at(static_cast<std::int64_t>(i), c) =
+          tokens[i].concept_vec[static_cast<std::size_t>(c)] * tokens[i].weight;
+    }
+  }
+  return out;
+}
+
+float TextEncoder::total_weight(const std::string& prompt) const {
+  float w = 0.0f;
+  for (const auto& t : parse(prompt)) w += t.weight;
+  return w;
+}
+
+}  // namespace zenesis::models

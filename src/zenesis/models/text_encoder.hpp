@@ -1,0 +1,56 @@
+#pragma once
+// Text side of the shared embedding space.
+//
+// Prompts are tokenized into lowercase words; each known scientific-domain
+// word carries a concept vector written directly in the engineered feature
+// basis (features.hpp), plus a polarity weight. Unknown words receive a
+// small deterministic hash embedding so arbitrary prompts remain valid
+// (they simply contribute little evidence). Both modalities are later
+// projected by the *same* matrix inside the backbone, which is what aligns
+// them — the surrogate equivalent of GroundingDINO's grounded pretraining.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "zenesis/models/features.hpp"
+#include "zenesis/tensor/tensor.hpp"
+
+namespace zenesis::models {
+
+/// One parsed token with its feature-basis concept vector.
+struct TextToken {
+  std::string word;
+  std::array<float, kFeatureChannels> concept_vec{};
+  float weight = 0.0f;  ///< evidence weight; 0 for stop/unknown words
+  bool known = false;
+};
+
+/// Splits on non-alphanumeric characters and lowercases.
+std::vector<std::string> tokenize(const std::string& prompt);
+
+/// Domain vocabulary lookup; std::nullopt for unknown words.
+std::optional<TextToken> lookup_concept(const std::string& word);
+
+/// Full text encoder.
+class TextEncoder {
+ public:
+  /// `seed` controls the hash embeddings of unknown words.
+  explicit TextEncoder(std::uint64_t seed = 7) : seed_(seed) {}
+
+  /// Parses a prompt into weighted tokens (stop words dropped).
+  std::vector<TextToken> parse(const std::string& prompt) const;
+
+  /// Token concept matrix [T, kFeatureChannels] for the prompt's
+  /// non-stop-word tokens. Empty prompts yield a zero-row tensor.
+  tensor::Tensor encode(const std::string& prompt) const;
+
+  /// Sum of token weights — the prompt's total grounding evidence. The
+  /// text_threshold in the detector gates on per-token weight.
+  float total_weight(const std::string& prompt) const;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace zenesis::models

@@ -1,0 +1,118 @@
+#include "zenesis/parallel/parallel_for.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+
+namespace zenesis::parallel {
+namespace {
+
+/// Countdown latch used to block the caller until all chunks complete.
+class Latch {
+ public:
+  explicit Latch(std::size_t count) : count_(count) {}
+  void count_down() {
+    std::lock_guard lock(mutex_);
+    if (--count_ == 0) cv_.notify_all();
+  }
+  void wait() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t count_;
+};
+
+constexpr std::int64_t kSerialCutoff = 256;
+
+}  // namespace
+
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& body,
+                  ThreadPool& pool) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  const std::int64_t workers = static_cast<std::int64_t>(pool.size());
+  if (workers <= 1 || n < kSerialCutoff) {
+    for (std::int64_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const std::int64_t chunks = std::min<std::int64_t>(workers, n);
+  const std::int64_t per = (n + chunks - 1) / chunks;
+  Latch latch(static_cast<std::size_t>(chunks));
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    const std::int64_t lo = begin + c * per;
+    const std::int64_t hi = std::min(end, lo + per);
+    pool.submit([lo, hi, &body, &latch] {
+      for (std::int64_t i = lo; i < hi; ++i) body(i);
+      latch.count_down();
+    });
+  }
+  latch.wait();
+}
+
+void parallel_for_chunked(std::int64_t begin, std::int64_t end,
+                          std::int64_t grain,
+                          const std::function<void(std::int64_t, std::int64_t)>& body,
+                          ThreadPool& pool) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  grain = std::max<std::int64_t>(1, grain);
+  const std::int64_t workers = static_cast<std::int64_t>(pool.size());
+  if (workers <= 1 || n <= grain) {
+    body(begin, end);
+    return;
+  }
+  auto next = std::make_shared<std::atomic<std::int64_t>>(begin);
+  const std::int64_t tasks = std::min<std::int64_t>(workers, (n + grain - 1) / grain);
+  Latch latch(static_cast<std::size_t>(tasks));
+  for (std::int64_t t = 0; t < tasks; ++t) {
+    pool.submit([next, begin, end, grain, &body, &latch] {
+      for (;;) {
+        const std::int64_t lo = next->fetch_add(grain);
+        if (lo >= end) break;
+        body(lo, std::min(end, lo + grain));
+      }
+      latch.count_down();
+    });
+  }
+  latch.wait();
+  (void)begin;
+}
+
+double parallel_reduce(std::int64_t begin, std::int64_t end, double identity,
+                       const std::function<double(std::int64_t, double)>& body,
+                       const std::function<double(double, double)>& join,
+                       ThreadPool& pool) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return identity;
+  const std::int64_t workers = static_cast<std::int64_t>(pool.size());
+  if (workers <= 1 || n < kSerialCutoff) {
+    double acc = identity;
+    for (std::int64_t i = begin; i < end; ++i) acc = body(i, acc);
+    return acc;
+  }
+  const std::int64_t chunks = std::min<std::int64_t>(workers, n);
+  const std::int64_t per = (n + chunks - 1) / chunks;
+  std::vector<double> partial(static_cast<std::size_t>(chunks), identity);
+  Latch latch(static_cast<std::size_t>(chunks));
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    const std::int64_t lo = begin + c * per;
+    const std::int64_t hi = std::min(end, lo + per);
+    pool.submit([lo, hi, c, &partial, &body, &latch, identity] {
+      double acc = identity;
+      for (std::int64_t i = lo; i < hi; ++i) acc = body(i, acc);
+      partial[static_cast<std::size_t>(c)] = acc;
+      latch.count_down();
+    });
+  }
+  latch.wait();
+  double acc = identity;
+  for (double p : partial) acc = join(acc, p);
+  return acc;
+}
+
+}  // namespace zenesis::parallel

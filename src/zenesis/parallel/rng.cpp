@@ -1,0 +1,11 @@
+#include "zenesis/parallel/rng.hpp"
+
+#include <cmath>
+
+namespace zenesis::parallel {
+
+double Rng::sqrt_impl(double x) noexcept { return std::sqrt(x); }
+double Rng::log_impl(double x) noexcept { return std::log(x); }
+double Rng::exp_impl(double x) noexcept { return std::exp(x); }
+
+}  // namespace zenesis::parallel

@@ -1,0 +1,56 @@
+#pragma once
+// Thread pool with a shared work queue.
+//
+// The pool is the single parallel substrate for the whole library: tensor
+// kernels, the synthetic FIB-SEM generator, and Mode-B batch processing all
+// schedule through it, so thread counts are controlled in one place.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace zenesis::parallel {
+
+/// Fixed-size worker pool. Tasks are `void()` callables; exceptions thrown
+/// by a task terminate the program (tasks are expected to be noexcept in
+/// spirit — the library's kernels do not throw).
+class ThreadPool {
+ public:
+  /// Creates `threads` workers. `threads == 0` resolves to
+  /// `std::thread::hardware_concurrency()` (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all running tasks have finished.
+  void wait_idle();
+
+  /// Process-wide default pool, created on first use with one worker per
+  /// hardware thread.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace zenesis::parallel

@@ -1,0 +1,137 @@
+#include "zenesis/tensor/conv.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "zenesis/parallel/parallel_for.hpp"
+
+namespace zenesis::tensor {
+namespace {
+
+void require(bool cond, const char* what) {
+  if (!cond) throw std::invalid_argument(what);
+}
+
+}  // namespace
+
+Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              int stride, int pad) {
+  require(input.rank() == 3, "conv2d: input must be [C,H,W]");
+  require(weight.rank() == 4, "conv2d: weight must be [Cout,Cin,Kh,Kw]");
+  require(stride >= 1, "conv2d: stride must be >= 1");
+  require(pad >= 0, "conv2d: pad must be >= 0");
+  const std::int64_t cin = input.dim(0), h = input.dim(1), w = input.dim(2);
+  const std::int64_t cout = weight.dim(0), kh = weight.dim(2),
+                     kw = weight.dim(3);
+  require(weight.dim(1) == cin, "conv2d: channel mismatch");
+  require(bias.rank() == 1 && bias.dim(0) == cout, "conv2d: bias mismatch");
+  const std::int64_t oh = (h + 2 * pad - kh) / stride + 1;
+  const std::int64_t ow = (w + 2 * pad - kw) / stride + 1;
+  require(oh > 0 && ow > 0, "conv2d: kernel larger than padded input");
+
+  Tensor out({cout, oh, ow});
+  parallel::parallel_for(0, cout * oh, [&](std::int64_t idx) {
+    const std::int64_t oc = idx / oh;
+    const std::int64_t oy = idx % oh;
+    const std::int64_t iy0 = oy * stride - pad;
+    for (std::int64_t ox = 0; ox < ow; ++ox) {
+      const std::int64_t ix0 = ox * stride - pad;
+      float acc = bias.at(oc);
+      for (std::int64_t ic = 0; ic < cin; ++ic) {
+        for (std::int64_t ky = 0; ky < kh; ++ky) {
+          const std::int64_t iy = iy0 + ky;
+          if (iy < 0 || iy >= h) continue;
+          for (std::int64_t kx = 0; kx < kw; ++kx) {
+            const std::int64_t ix = ix0 + kx;
+            if (ix < 0 || ix >= w) continue;
+            acc += input.at(ic, iy, ix) * weight.at(oc, ic, ky, kx);
+          }
+        }
+      }
+      out.at(oc, oy, ox) = acc;
+    }
+  });
+  return out;
+}
+
+Tensor maxpool2x2(const Tensor& input) {
+  require(input.rank() == 3, "maxpool2x2: input must be [C,H,W]");
+  const std::int64_t c = input.dim(0), h = input.dim(1) / 2,
+                     w = input.dim(2) / 2;
+  require(h > 0 && w > 0, "maxpool2x2: input too small");
+  Tensor out({c, h, w});
+  for (std::int64_t ic = 0; ic < c; ++ic) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      for (std::int64_t x = 0; x < w; ++x) {
+        const float a = input.at(ic, 2 * y, 2 * x);
+        const float b = input.at(ic, 2 * y, 2 * x + 1);
+        const float cc = input.at(ic, 2 * y + 1, 2 * x);
+        const float d = input.at(ic, 2 * y + 1, 2 * x + 1);
+        out.at(ic, y, x) = std::max(std::max(a, b), std::max(cc, d));
+      }
+    }
+  }
+  return out;
+}
+
+Tensor resize_bilinear(const Tensor& input, std::int64_t out_h,
+                       std::int64_t out_w) {
+  require(input.rank() == 3, "resize_bilinear: input must be [C,H,W]");
+  require(out_h > 0 && out_w > 0, "resize_bilinear: output dims must be > 0");
+  const std::int64_t c = input.dim(0), h = input.dim(1), w = input.dim(2);
+  Tensor out({c, out_h, out_w});
+  const float sy = static_cast<float>(h) / static_cast<float>(out_h);
+  const float sx = static_cast<float>(w) / static_cast<float>(out_w);
+  parallel::parallel_for(0, c * out_h, [&](std::int64_t idx) {
+    const std::int64_t ic = idx / out_h;
+    const std::int64_t oy = idx % out_h;
+    const float fy = (static_cast<float>(oy) + 0.5f) * sy - 0.5f;
+    const std::int64_t y0 =
+        std::clamp<std::int64_t>(static_cast<std::int64_t>(std::floor(fy)), 0, h - 1);
+    const std::int64_t y1 = std::min<std::int64_t>(y0 + 1, h - 1);
+    const float wy = std::clamp(fy - static_cast<float>(y0), 0.0f, 1.0f);
+    for (std::int64_t ox = 0; ox < out_w; ++ox) {
+      const float fx = (static_cast<float>(ox) + 0.5f) * sx - 0.5f;
+      const std::int64_t x0 = std::clamp<std::int64_t>(
+          static_cast<std::int64_t>(std::floor(fx)), 0, w - 1);
+      const std::int64_t x1 = std::min<std::int64_t>(x0 + 1, w - 1);
+      const float wx = std::clamp(fx - static_cast<float>(x0), 0.0f, 1.0f);
+      const float top = input.at(ic, y0, x0) * (1.0f - wx) + input.at(ic, y0, x1) * wx;
+      const float bot = input.at(ic, y1, x0) * (1.0f - wx) + input.at(ic, y1, x1) * wx;
+      out.at(ic, oy, ox) = top * (1.0f - wy) + bot * wy;
+    }
+  });
+  return out;
+}
+
+Tensor to_tokens(const Tensor& chw) {
+  require(chw.rank() == 3, "to_tokens: input must be [C,H,W]");
+  const std::int64_t c = chw.dim(0), h = chw.dim(1), w = chw.dim(2);
+  Tensor out({h * w, c});
+  for (std::int64_t ic = 0; ic < c; ++ic) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      for (std::int64_t x = 0; x < w; ++x) {
+        out.at(y * w + x, ic) = chw.at(ic, y, x);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor from_tokens(const Tensor& tokens, std::int64_t h, std::int64_t w) {
+  require(tokens.rank() == 2, "from_tokens: input must be [L,C]");
+  require(tokens.dim(0) == h * w, "from_tokens: token count != h*w");
+  const std::int64_t c = tokens.dim(1);
+  Tensor out({c, h, w});
+  for (std::int64_t ic = 0; ic < c; ++ic) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      for (std::int64_t x = 0; x < w; ++x) {
+        out.at(ic, y, x) = tokens.at(y * w + x, ic);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace zenesis::tensor

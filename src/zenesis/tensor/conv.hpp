@@ -1,0 +1,33 @@
+#pragma once
+// Spatial kernels: 2-D convolution, pooling, and bilinear resize over
+// [channels, height, width] feature maps. Used by the vision backbones'
+// patch embeddings and by the SAM mask decoder's upsampling head.
+
+#include "zenesis/tensor/tensor.hpp"
+
+namespace zenesis::tensor {
+
+/// 2-D convolution.
+/// input: [Cin, H, W]; weight: [Cout, Cin, Kh, Kw]; bias: [Cout].
+/// Zero padding of `pad` pixels on every side, stride `stride`.
+/// Output: [Cout, (H + 2*pad - Kh)/stride + 1, (W + 2*pad - Kw)/stride + 1].
+Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              int stride = 1, int pad = 0);
+
+/// 2x2 max pooling with stride 2 over [C, H, W]. Odd trailing rows/cols
+/// are dropped (floor semantics).
+Tensor maxpool2x2(const Tensor& input);
+
+/// Bilinear resize of [C, H, W] to [C, out_h, out_w] (align_corners=false
+/// convention, matching the usual segmentation-upsampling behaviour).
+Tensor resize_bilinear(const Tensor& input, std::int64_t out_h,
+                       std::int64_t out_w);
+
+/// Flattens [C, H, W] into a token sequence [H*W, C] (row-major patches),
+/// the layout consumed by the transformer blocks.
+Tensor to_tokens(const Tensor& chw);
+
+/// Inverse of to_tokens: [H*W, C] → [C, H, W].
+Tensor from_tokens(const Tensor& tokens, std::int64_t h, std::int64_t w);
+
+}  // namespace zenesis::tensor

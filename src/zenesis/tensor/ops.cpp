@@ -1,0 +1,225 @@
+#include "zenesis/tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "zenesis/parallel/parallel_for.hpp"
+
+namespace zenesis::tensor {
+namespace {
+
+void require(bool cond, const char* what) {
+  if (!cond) throw std::invalid_argument(what);
+}
+
+void require_rank2(const Tensor& t, const char* what) {
+  require(t.rank() == 2, what);
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require_rank2(a, "matmul: a must be rank 2");
+  require_rank2(b, "matmul: b must be rank 2");
+  require(a.dim(1) == b.dim(0), "matmul: inner dimensions differ");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  // Row-parallel, k-blocked i-k-j loop order: B rows stream through cache,
+  // C rows stay resident.
+  constexpr std::int64_t kBlock = 64;
+  parallel::parallel_for(0, m, [&](std::int64_t i) {
+    float* ci = c.row(i);
+    const float* ai = a.row(i);
+    for (std::int64_t k0 = 0; k0 < k; k0 += kBlock) {
+      const std::int64_t k1 = std::min(k, k0 + kBlock);
+      for (std::int64_t kk = k0; kk < k1; ++kk) {
+        const float av = ai[kk];
+        const float* bk = b.row(kk);
+        for (std::int64_t j = 0; j < n; ++j) ci[j] += av * bk[j];
+      }
+    }
+  });
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  require_rank2(a, "matmul_nt: a must be rank 2");
+  require_rank2(b, "matmul_nt: b must be rank 2");
+  require(a.dim(1) == b.dim(1), "matmul_nt: feature dimensions differ");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor c({m, n});
+  parallel::parallel_for(0, m, [&](std::int64_t i) {
+    const float* ai = a.row(i);
+    float* ci = c.row(i);
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* bj = b.row(j);
+      float acc = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += ai[kk] * bj[kk];
+      ci[j] = acc;
+    }
+  });
+  return c;
+}
+
+Tensor linear(const Tensor& x, const Tensor& weight, const Tensor& bias) {
+  require(bias.rank() == 1 && bias.dim(0) == weight.dim(0),
+          "linear: bias size must equal output features");
+  Tensor y = matmul_nt(x, weight);
+  const std::int64_t m = y.dim(0), n = y.dim(1);
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* yi = y.row(i);
+    const float* bi = bias.data();
+    for (std::int64_t j = 0; j < n; ++j) yi[j] += bi[j];
+  }
+  return y;
+}
+
+Tensor transpose(const Tensor& a) {
+  require_rank2(a, "transpose: rank 2 required");
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor t({n, m});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) t.at(j, i) = a.at(i, j);
+  }
+  return t;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  require(a.shape() == b.shape(), "add_inplace: shape mismatch");
+  float* pa = a.data();
+  const float* pb = b.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) pa[i] += pb[i];
+}
+
+void scale_inplace(Tensor& a, float s) {
+  for (float& v : a.flat()) v *= s;
+}
+
+void softmax_rows(Tensor& a) {
+  require_rank2(a, "softmax_rows: rank 2 required");
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  parallel::parallel_for(0, m, [&](std::int64_t i) {
+    float* r = a.row(i);
+    float mx = r[0];
+    for (std::int64_t j = 1; j < n; ++j) mx = std::max(mx, r[j]);
+    float sum = 0.0f;
+    for (std::int64_t j = 0; j < n; ++j) {
+      r[j] = std::exp(r[j] - mx);
+      sum += r[j];
+    }
+    const float inv = 1.0f / sum;
+    for (std::int64_t j = 0; j < n; ++j) r[j] *= inv;
+  });
+}
+
+void layernorm_rows(Tensor& a, const Tensor& gain, const Tensor& bias,
+                    float eps) {
+  require_rank2(a, "layernorm_rows: rank 2 required");
+  require(gain.rank() == 1 && gain.dim(0) == a.dim(1),
+          "layernorm_rows: gain size mismatch");
+  require(bias.rank() == 1 && bias.dim(0) == a.dim(1),
+          "layernorm_rows: bias size mismatch");
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  parallel::parallel_for(0, m, [&](std::int64_t i) {
+    float* r = a.row(i);
+    float mean = 0.0f;
+    for (std::int64_t j = 0; j < n; ++j) mean += r[j];
+    mean /= static_cast<float>(n);
+    float var = 0.0f;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float d = r[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(n);
+    const float inv = 1.0f / std::sqrt(var + eps);
+    const float* g = gain.data();
+    const float* b = bias.data();
+    for (std::int64_t j = 0; j < n; ++j) {
+      r[j] = (r[j] - mean) * inv * g[j] + b[j];
+    }
+  });
+}
+
+void gelu_inplace(Tensor& a) {
+  constexpr float kSqrt2OverPi = 0.7978845608f;
+  for (float& v : a.flat()) {
+    const float inner = kSqrt2OverPi * (v + 0.044715f * v * v * v);
+    v = 0.5f * v * (1.0f + std::tanh(inner));
+  }
+}
+
+void relu_inplace(Tensor& a) {
+  for (float& v : a.flat()) v = std::max(0.0f, v);
+}
+
+Tensor attention(const Tensor& q, const Tensor& k, const Tensor& v) {
+  require(q.dim(1) == k.dim(1), "attention: q/k feature mismatch");
+  require(k.dim(0) == v.dim(0), "attention: k/v length mismatch");
+  Tensor scores = matmul_nt(q, k);
+  scale_inplace(scores, 1.0f / std::sqrt(static_cast<float>(q.dim(1))));
+  softmax_rows(scores);
+  return matmul(scores, v);
+}
+
+Tensor multihead_attention(const Tensor& q, const Tensor& k, const Tensor& v,
+                           int heads) {
+  require(heads > 0, "multihead_attention: heads must be positive");
+  require(q.dim(1) % heads == 0, "multihead_attention: d % heads != 0");
+  require(v.dim(1) % heads == 0, "multihead_attention: dv % heads != 0");
+  const std::int64_t lq = q.dim(0), lk = k.dim(0);
+  const std::int64_t dh = q.dim(1) / heads, dvh = v.dim(1) / heads;
+  Tensor out({lq, v.dim(1)});
+  for (int h = 0; h < heads; ++h) {
+    Tensor qh({lq, dh}), kh({lk, dh}), vh({lk, dvh});
+    for (std::int64_t i = 0; i < lq; ++i) {
+      for (std::int64_t j = 0; j < dh; ++j) qh.at(i, j) = q.at(i, h * dh + j);
+    }
+    for (std::int64_t i = 0; i < lk; ++i) {
+      for (std::int64_t j = 0; j < dh; ++j) kh.at(i, j) = k.at(i, h * dh + j);
+      for (std::int64_t j = 0; j < dvh; ++j) vh.at(i, j) = v.at(i, h * dvh + j);
+    }
+    Tensor oh = attention(qh, kh, vh);
+    for (std::int64_t i = 0; i < lq; ++i) {
+      for (std::int64_t j = 0; j < dvh; ++j) out.at(i, h * dvh + j) = oh.at(i, j);
+    }
+  }
+  return out;
+}
+
+void l2_normalize_rows(Tensor& a, float eps) {
+  require_rank2(a, "l2_normalize_rows: rank 2 required");
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* r = a.row(i);
+    float ss = 0.0f;
+    for (std::int64_t j = 0; j < n; ++j) ss += r[j] * r[j];
+    if (ss <= eps) continue;
+    const float inv = 1.0f / std::sqrt(ss);
+    for (std::int64_t j = 0; j < n; ++j) r[j] *= inv;
+  }
+}
+
+Tensor cosine_similarity(const Tensor& a, const Tensor& b) {
+  Tensor an = a, bn = b;
+  l2_normalize_rows(an);
+  l2_normalize_rows(bn);
+  return matmul_nt(an, bn);
+}
+
+Tensor mean_rows(const Tensor& a) {
+  require_rank2(a, "mean_rows: rank 2 required");
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n});
+  if (m == 0) return out;
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* r = a.row(i);
+    for (std::int64_t j = 0; j < n; ++j) out.at(j) += r[j];
+  }
+  const float inv = 1.0f / static_cast<float>(m);
+  for (float& v : out.flat()) v *= inv;
+  return out;
+}
+
+}  // namespace zenesis::tensor

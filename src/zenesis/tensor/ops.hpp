@@ -1,0 +1,74 @@
+#pragma once
+// Core numeric kernels for the surrogate transformer models.
+//
+// Everything here operates on rank-2 tensors interpreted as
+// [rows, features] unless stated otherwise. Heavy kernels (matmul,
+// attention) are cache-blocked and parallelized over rows via the shared
+// ThreadPool.
+
+#include "zenesis/tensor/tensor.hpp"
+
+namespace zenesis::tensor {
+
+// ---- BLAS-like ----
+
+/// C = A(MxK) * B(KxN). Blocked over K and parallel over M.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A(MxK) * B(NxK)^T — the layout used by attention scores and linear
+/// layers whose weights are stored row-per-output.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// y = x(MxK) * W(NxK)^T + bias(N). The standard linear layer.
+Tensor linear(const Tensor& x, const Tensor& weight, const Tensor& bias);
+
+/// Transposes a rank-2 tensor.
+Tensor transpose(const Tensor& a);
+
+// ---- Elementwise / rowwise ----
+
+/// a += b (same shape).
+void add_inplace(Tensor& a, const Tensor& b);
+
+/// a *= s.
+void scale_inplace(Tensor& a, float s);
+
+/// In-place rowwise softmax of a rank-2 tensor.
+void softmax_rows(Tensor& a);
+
+/// In-place rowwise layer normalization with learned gain/bias of size
+/// [features].
+void layernorm_rows(Tensor& a, const Tensor& gain, const Tensor& bias,
+                    float eps = 1e-5f);
+
+/// In-place GELU (tanh approximation, as used by ViT/Swin blocks).
+void gelu_inplace(Tensor& a);
+
+/// In-place ReLU.
+void relu_inplace(Tensor& a);
+
+// ---- Attention ----
+
+/// Scaled dot-product attention: softmax(Q Kᵀ / sqrt(d)) V.
+/// q: [Lq, d], k: [Lk, d], v: [Lk, dv] → [Lq, dv].
+/// This is the cross-modal relevance operator from the paper's Sec. 4.
+Tensor attention(const Tensor& q, const Tensor& k, const Tensor& v);
+
+/// Multi-head attention over pre-projected inputs. q,k,v as in
+/// `attention`; d must be divisible by `heads`. Heads are processed
+/// independently and concatenated.
+Tensor multihead_attention(const Tensor& q, const Tensor& k, const Tensor& v,
+                           int heads);
+
+// ---- Reductions / stats ----
+
+/// L2-normalizes each row in place (zero rows are left untouched).
+void l2_normalize_rows(Tensor& a, float eps = 1e-12f);
+
+/// Cosine similarity matrix between rows of a [Ma, d] and rows of b [Mb, d].
+Tensor cosine_similarity(const Tensor& a, const Tensor& b);
+
+/// Mean over rows → [features].
+Tensor mean_rows(const Tensor& a);
+
+}  // namespace zenesis::tensor

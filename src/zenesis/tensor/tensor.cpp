@@ -1,0 +1,46 @@
+#include "zenesis/tensor/tensor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace zenesis::tensor {
+
+std::int64_t Tensor::count(const Shape& s) {
+  std::int64_t n = 1;
+  for (std::int64_t d : s) {
+    if (d < 0) throw std::invalid_argument("Tensor: negative dimension");
+    n *= d;
+  }
+  return n;
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      numel_(count(shape_)),
+      data_(static_cast<std::size_t>(numel_), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), numel_(count(shape_)), data_(std::move(values)) {
+  if (static_cast<std::int64_t>(data_.size()) != numel_) {
+    throw std::invalid_argument("Tensor: value count does not match shape");
+  }
+}
+
+Tensor::Tensor(std::initializer_list<std::int64_t> shape,
+               std::vector<float> values)
+    : Tensor(Shape(shape), std::move(values)) {}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (count(new_shape) != numel_) {
+    throw std::invalid_argument("Tensor::reshaped: element count mismatch");
+  }
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.numel_ = numel_;
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+}  // namespace zenesis::tensor

@@ -1,0 +1,72 @@
+#include "zenesis/volume3d/heuristic.hpp"
+
+#include <algorithm>
+
+#include "zenesis/image/roi.hpp"
+
+namespace zenesis::volume3d {
+
+image::Box mean_box(const std::vector<image::Box>& boxes, std::size_t first,
+                    std::size_t last) {
+  std::int64_t n = 0;
+  double x = 0.0, y = 0.0, w = 0.0, h = 0.0;
+  for (std::size_t i = first; i < last && i < boxes.size(); ++i) {
+    if (boxes[i].empty()) continue;
+    x += static_cast<double>(boxes[i].x);
+    y += static_cast<double>(boxes[i].y);
+    w += static_cast<double>(boxes[i].w);
+    h += static_cast<double>(boxes[i].h);
+    ++n;
+  }
+  if (n == 0) return {};
+  const double inv = 1.0 / static_cast<double>(n);
+  return {static_cast<std::int64_t>(x * inv + 0.5),
+          static_cast<std::int64_t>(y * inv + 0.5),
+          static_cast<std::int64_t>(w * inv + 0.5),
+          static_cast<std::int64_t>(h * inv + 0.5)};
+}
+
+RefineOutcome refine_box_sequence(const std::vector<image::Box>& boxes,
+                                  const HeuristicConfig& cfg) {
+  RefineOutcome out;
+  out.boxes = boxes;
+  out.replaced.assign(boxes.size(), false);
+  if (boxes.empty() || cfg.window <= 0) return out;
+
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    const std::size_t first =
+        i >= static_cast<std::size_t>(cfg.window) ? i - static_cast<std::size_t>(cfg.window)
+                                                  : 0;
+    // The window reads already-corrected predecessors, so one failure
+    // does not poison subsequent windows.
+    const image::Box avg = mean_box(out.boxes, first, i);
+
+    const bool missing = out.boxes[i].empty();
+    bool outlier = false;
+    if (!missing && !avg.empty() && i >= static_cast<std::size_t>(cfg.window)) {
+      const double wf = static_cast<double>(out.boxes[i].w) /
+                        static_cast<double>(std::max<std::int64_t>(1, avg.w));
+      const double hf = static_cast<double>(out.boxes[i].h) /
+                        static_cast<double>(std::max<std::int64_t>(1, avg.h));
+      outlier = wf > cfg.size_factor || hf > cfg.size_factor ||
+                wf < 1.0 / cfg.size_factor || hf < 1.0 / cfg.size_factor;
+    }
+    if ((missing && cfg.replace_missing && !avg.empty()) || outlier) {
+      out.boxes[i] = avg;
+      out.replaced[i] = true;
+      ++out.replaced_count;
+    }
+  }
+  return out;
+}
+
+double slice_consistency(const std::vector<image::Mask>& masks) {
+  if (masks.size() < 2) return 1.0;
+  double sum = 0.0;
+  for (std::size_t i = 1; i < masks.size(); ++i) {
+    sum += image::mask_iou(masks[i - 1], masks[i]);
+  }
+  return sum / static_cast<double>(masks.size() - 1);
+}
+
+}  // namespace zenesis::volume3d

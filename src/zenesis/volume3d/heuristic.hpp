@@ -1,0 +1,50 @@
+#pragma once
+// Heuristic volumetric refinement (the paper's Fig. 7): for multi-slice
+// volumes, per-slice detection boxes are compared against the mean
+// width/height over a fallback window of preceding slices; boxes whose
+// size exceeds a factor of that mean — or slices where detection failed
+// outright — are replaced by the window-average box, restoring temporal
+// consistency against sudden appearance changes and GroundingDINO
+// failures.
+
+#include <cstdint>
+#include <vector>
+
+#include "zenesis/image/geometry.hpp"
+#include "zenesis/image/image.hpp"
+
+namespace zenesis::volume3d {
+
+struct HeuristicConfig {
+  /// Number of preceding slices in the fallback window.
+  int window = 3;
+  /// A box is an outlier when width OR height exceeds factor × window
+  /// mean (or falls below mean / factor).
+  double size_factor = 1.6;
+  /// Replace empty boxes (detection failures) with the window average.
+  bool replace_missing = true;
+};
+
+/// Refinement outcome: the corrected sequence plus which entries were
+/// replaced (for the Fig. 7 visualization and the ablation bench).
+struct RefineOutcome {
+  std::vector<image::Box> boxes;
+  std::vector<bool> replaced;
+  int replaced_count = 0;
+};
+
+/// Mean box (component-wise) of the non-empty boxes in [first, last).
+image::Box mean_box(const std::vector<image::Box>& boxes, std::size_t first,
+                    std::size_t last);
+
+/// Applies the sliding-window outlier correction to a per-slice box
+/// sequence. The first `window` slices are taken as-is unless empty (a
+/// warm-up, as in the paper's implementation).
+RefineOutcome refine_box_sequence(const std::vector<image::Box>& boxes,
+                                  const HeuristicConfig& cfg = {});
+
+/// Volumetric coherence: mean IoU between consecutive slice masks —
+/// the quantity the temporal heuristic is designed to protect.
+double slice_consistency(const std::vector<image::Mask>& masks);
+
+}  // namespace zenesis::volume3d

@@ -1,0 +1,99 @@
+// AutomaticMaskGenerator (SAM-only baseline) tests.
+#include <gtest/gtest.h>
+
+#include "zenesis/image/roi.hpp"
+#include "zenesis/models/auto_mask.hpp"
+#include "zenesis/parallel/rng.hpp"
+
+namespace zm = zenesis::models;
+namespace zi = zenesis::image;
+
+namespace {
+
+/// Bright blob region on a large flat dark background — the layout where
+/// unguided max-confidence selection picks the background.
+zi::ImageF32 blob_on_black(zi::Mask* gt = nullptr) {
+  zenesis::parallel::Rng rng(41);
+  zi::ImageF32 img(128, 128, 1);
+  if (gt != nullptr) *gt = zi::Mask(128, 128);
+  for (std::int64_t y = 0; y < 128; ++y) {
+    for (std::int64_t x = 0; x < 128; ++x) {
+      const double d2 = (x - 90.0) * (x - 90.0) + (y - 40.0) * (y - 40.0);
+      const bool inside = d2 < 18.0 * 18.0;
+      img.at(x, y) = inside ? 0.7f + static_cast<float>(rng.normal(0.0, 0.08))
+                            : 0.06f + static_cast<float>(rng.normal(0.0, 0.012));
+      if (gt != nullptr && inside) gt->at(x, y) = 1;
+    }
+  }
+  return img;
+}
+
+}  // namespace
+
+TEST(AutoMask, GeneratesMultipleDistinctMasks) {
+  zm::SamModel sam;
+  zm::AutomaticMaskGenerator gen(sam);
+  const auto enc = sam.encode(blob_on_black());
+  const auto res = gen.generate(enc);
+  EXPECT_GE(res.masks.size(), 2u);
+  // Dedup: no two kept masks may exceed the dedup IoU.
+  for (std::size_t i = 0; i < res.masks.size(); ++i) {
+    for (std::size_t j = i + 1; j < res.masks.size(); ++j) {
+      EXPECT_LT(zi::mask_iou(res.masks[i].mask, res.masks[j].mask), 0.85);
+    }
+  }
+}
+
+TEST(AutoMask, SortedByConfidence) {
+  zm::SamModel sam;
+  zm::AutomaticMaskGenerator gen(sam);
+  const auto enc = sam.encode(blob_on_black());
+  const auto res = gen.generate(enc);
+  for (std::size_t i = 1; i < res.masks.size(); ++i) {
+    EXPECT_GE(res.masks[i - 1].confidence, res.masks[i].confidence);
+  }
+}
+
+TEST(AutoMask, MaxConfidencePicksLargeBackground) {
+  // The documented SAM-only failure mode: best mask ≈ dark background,
+  // not the bright object.
+  zi::Mask gt;
+  zm::SamModel sam;
+  zm::AutomaticMaskGenerator gen(sam);
+  const zi::Mask best = gen.segment_best(blob_on_black(&gt));
+  EXPECT_LT(zi::mask_iou(best, gt), 0.3);
+  EXPECT_GT(zi::mask_iou(best, zi::mask_not(gt)), 0.6);
+}
+
+TEST(AutoMask, MinAreaFilterDropsSpecks) {
+  zm::SamModel sam;
+  zm::AutoMaskConfig cfg;
+  cfg.min_area_fraction = 0.5;  // absurdly high: only huge masks survive
+  zm::AutomaticMaskGenerator gen(sam, cfg);
+  const auto enc = sam.encode(blob_on_black());
+  const auto res = gen.generate(enc);
+  for (const auto& m : res.masks) {
+    EXPECT_GE(m.area_fraction, 0.5);
+  }
+}
+
+TEST(AutoMask, ZeroPointsYieldsNothing) {
+  zm::SamModel sam;
+  zm::AutoMaskConfig cfg;
+  cfg.points_per_side = 0;
+  zm::AutomaticMaskGenerator gen(sam, cfg);
+  const auto enc = sam.encode(blob_on_black());
+  EXPECT_TRUE(gen.generate(enc).masks.empty());
+  EXPECT_EQ(gen.generate(enc).best(), nullptr);
+}
+
+TEST(AutoMask, SegmentBestFallsBackToEmptyMask) {
+  zm::SamModel sam;
+  zm::AutoMaskConfig cfg;
+  cfg.points_per_side = 0;
+  zm::AutomaticMaskGenerator gen(sam, cfg);
+  const zi::ImageF32 img = blob_on_black();
+  const zi::Mask m = gen.segment_best(img);
+  EXPECT_EQ(m.width(), img.width());
+  EXPECT_EQ(zi::mask_area(m), 0);
+}

@@ -1,0 +1,134 @@
+// Vision backbone + transformer block tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "zenesis/models/backbone.hpp"
+#include "zenesis/tensor/init.hpp"
+#include "zenesis/tensor/ops.hpp"
+
+namespace zm = zenesis::models;
+namespace zt = zenesis::tensor;
+namespace zi = zenesis::image;
+
+namespace {
+
+zi::ImageF32 gradient_image(std::int64_t n) {
+  zi::ImageF32 img(n, n, 1);
+  for (std::int64_t y = 0; y < n; ++y) {
+    for (std::int64_t x = 0; x < n; ++x) {
+      img.at(x, y) = static_cast<float>(x) / static_cast<float>(n);
+    }
+  }
+  return img;
+}
+
+}  // namespace
+
+TEST(TransformerBlock, PreservesShape) {
+  zm::TransformerBlock block(32, 4, 1, 1);
+  zt::Tensor tokens = zt::xavier_uniform(10, 32, 2, 2);
+  block.apply(tokens);
+  EXPECT_EQ(tokens.dim(0), 10);
+  EXPECT_EQ(tokens.dim(1), 32);
+}
+
+TEST(TransformerBlock, SmallBranchScaleIsNearIdentity) {
+  zm::TransformerBlock block(32, 4, 1, 1, 0.01f);
+  zt::Tensor tokens = zt::xavier_uniform(10, 32, 2, 2);
+  zt::Tensor before = tokens;
+  block.apply(tokens);
+  double diff = 0.0, norm = 0.0;
+  for (std::int64_t i = 0; i < tokens.numel(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    diff += std::abs(tokens.flat()[idx] - before.flat()[idx]);
+    norm += std::abs(before.flat()[idx]);
+  }
+  EXPECT_LT(diff, 0.2 * norm);
+}
+
+TEST(TransformerBlock, DeterministicAcrossInstances) {
+  zm::TransformerBlock b1(16, 2, 5, 3), b2(16, 2, 5, 3);
+  zt::Tensor t1 = zt::xavier_uniform(4, 16, 9, 9);
+  zt::Tensor t2 = t1;
+  b1.apply(t1);
+  b2.apply(t2);
+  for (std::int64_t i = 0; i < t1.numel(); ++i) {
+    EXPECT_EQ(t1.flat()[static_cast<std::size_t>(i)],
+              t2.flat()[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(TransformerBlock, DimHeadsValidated) {
+  EXPECT_THROW(zm::TransformerBlock(30, 4, 1, 1), std::invalid_argument);
+}
+
+TEST(Backbone, GridAndTokenShapes) {
+  zm::BackboneConfig cfg;
+  cfg.patch_size = 8;
+  cfg.dim = 32;
+  zm::VisionBackbone bb(cfg);
+  const auto maps = zm::compute_features(gradient_image(64));
+  const auto enc = bb.encode(maps);
+  EXPECT_EQ(enc.grid_h, 8);
+  EXPECT_EQ(enc.grid_w, 8);
+  EXPECT_EQ(enc.tokens.dim(0), 64);
+  EXPECT_EQ(enc.tokens.dim(1), 32);
+  EXPECT_EQ(enc.raw_features.dim(1), zm::kFeatureChannels);
+  EXPECT_EQ(enc.mean_feature.dim(0), zm::kFeatureChannels);
+}
+
+TEST(Backbone, SharedProjectionAlignsModalities) {
+  // The core multi-modal adaptation property: a text concept preferring
+  // high intensity must score bright patches above dark patches after both
+  // sides pass through the shared projection.
+  zm::BackboneConfig cfg;
+  cfg.patch_size = 8;
+  cfg.dim = 64;
+  zm::VisionBackbone bb(cfg);
+  const auto maps = zm::compute_features(gradient_image(64));
+  const auto enc = bb.encode(maps);
+
+  zt::Tensor concept_vec({1, zm::kFeatureChannels});
+  concept_vec.at(0, zm::kIntensity) = 1.5f;
+  concept_vec.at(0, zm::kRank) = 1.2f;
+  const zt::Tensor q = bb.project_text(concept_vec);
+  const zt::Tensor scores = zt::matmul_nt(q, enc.tokens);
+
+  // Patch 0 (left column, dark) vs patch grid_w-1 (right column, bright).
+  const float dark = scores.at(0, 0);
+  const float bright = scores.at(0, enc.grid_w - 1);
+  EXPECT_GT(bright, dark);
+}
+
+TEST(Backbone, DeterministicEncoding) {
+  zm::BackboneConfig cfg;
+  zm::VisionBackbone a(cfg), b(cfg);
+  const auto maps = zm::compute_features(gradient_image(32));
+  const auto ea = a.encode(maps);
+  const auto eb = b.encode(maps);
+  for (std::int64_t i = 0; i < ea.tokens.numel(); ++i) {
+    EXPECT_EQ(ea.tokens.flat()[static_cast<std::size_t>(i)],
+              eb.tokens.flat()[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Backbone, SeedChangesWeights) {
+  zm::BackboneConfig c1, c2;
+  c2.seed = c1.seed + 1;
+  zm::VisionBackbone a(c1), b(c2);
+  const auto maps = zm::compute_features(gradient_image(32));
+  const auto ea = a.encode(maps);
+  const auto eb = b.encode(maps);
+  bool any_diff = false;
+  for (std::int64_t i = 0; i < ea.tokens.numel() && !any_diff; ++i) {
+    any_diff = ea.tokens.flat()[static_cast<std::size_t>(i)] !=
+               eb.tokens.flat()[static_cast<std::size_t>(i)];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Backbone, ProjectTextValidatesShape) {
+  zm::VisionBackbone bb;
+  EXPECT_THROW(bb.project_text(zt::Tensor({2, 3})), std::invalid_argument);
+}

@@ -1,0 +1,121 @@
+// Tests for conv2d / pooling / resize / token layout kernels.
+#include <gtest/gtest.h>
+
+#include "zenesis/tensor/conv.hpp"
+#include "zenesis/tensor/init.hpp"
+
+namespace zt = zenesis::tensor;
+
+namespace {
+
+zt::Tensor ramp_chw(std::int64_t c, std::int64_t h, std::int64_t w) {
+  zt::Tensor t({c, h, w});
+  float v = 0.0f;
+  for (float& x : t.flat()) x = v++;
+  return t;
+}
+
+}  // namespace
+
+TEST(Conv2d, IdentityKernelPassesThrough) {
+  zt::Tensor in = ramp_chw(1, 4, 4);
+  zt::Tensor w({1, 1, 1, 1}, {1.0f});
+  zt::Tensor out = zt::conv2d(in, w, zt::zeros(1));
+  ASSERT_EQ(out.shape(), in.shape());
+  for (std::int64_t i = 0; i < in.numel(); ++i) {
+    EXPECT_FLOAT_EQ(out.flat()[static_cast<std::size_t>(i)],
+                    in.flat()[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Conv2d, BoxKernelSums) {
+  zt::Tensor in({1, 3, 3});
+  in.fill(1.0f);
+  zt::Tensor w({1, 1, 3, 3});
+  w.fill(1.0f);
+  zt::Tensor out = zt::conv2d(in, w, zt::zeros(1), 1, 1);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 1), 9.0f);  // interior
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 4.0f);  // corner (zero pad)
+}
+
+TEST(Conv2d, StrideHalvesOutput) {
+  zt::Tensor in = ramp_chw(1, 8, 8);
+  zt::Tensor w({1, 1, 2, 2});
+  w.fill(0.25f);
+  zt::Tensor out = zt::conv2d(in, w, zt::zeros(1), 2, 0);
+  EXPECT_EQ(out.dim(1), 4);
+  EXPECT_EQ(out.dim(2), 4);
+}
+
+TEST(Conv2d, BiasApplied) {
+  zt::Tensor in({1, 2, 2});
+  zt::Tensor w({1, 1, 1, 1}, {0.0f});
+  zt::Tensor b({1}, {3.5f});
+  zt::Tensor out = zt::conv2d(in, w, b);
+  for (float v : out.flat()) EXPECT_FLOAT_EQ(v, 3.5f);
+}
+
+TEST(Conv2d, MultiChannelAccumulates) {
+  zt::Tensor in({2, 2, 2});
+  in.fill(1.0f);
+  zt::Tensor w({1, 2, 1, 1});
+  w.fill(1.0f);
+  zt::Tensor out = zt::conv2d(in, w, zt::zeros(1));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 2.0f);
+}
+
+TEST(Conv2d, ChannelMismatchThrows) {
+  zt::Tensor in({2, 4, 4});
+  zt::Tensor w({1, 3, 1, 1});
+  EXPECT_THROW(zt::conv2d(in, w, zt::zeros(1)), std::invalid_argument);
+}
+
+TEST(Maxpool, PicksMaxima) {
+  zt::Tensor in({1, 2, 2}, {1, 5, 3, 2});
+  zt::Tensor out = zt::maxpool2x2(in);
+  EXPECT_EQ(out.dim(1), 1);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 5.0f);
+}
+
+TEST(ResizeBilinear, ConstantImageStaysConstant) {
+  zt::Tensor in({1, 4, 4});
+  in.fill(2.5f);
+  zt::Tensor out = zt::resize_bilinear(in, 9, 7);
+  EXPECT_EQ(out.dim(1), 9);
+  EXPECT_EQ(out.dim(2), 7);
+  for (float v : out.flat()) EXPECT_NEAR(v, 2.5f, 1e-6f);
+}
+
+TEST(ResizeBilinear, UpscalePreservesGradientDirection) {
+  zt::Tensor in({1, 1, 3}, {0.0f, 1.0f, 2.0f});
+  zt::Tensor out = zt::resize_bilinear(in, 1, 9);
+  for (std::int64_t x = 1; x < 9; ++x) {
+    EXPECT_GE(out.at(0, 0, x), out.at(0, 0, x - 1) - 1e-6f);
+  }
+}
+
+TEST(ResizeBilinear, IdentitySizeIsExact) {
+  zt::Tensor in = ramp_chw(2, 5, 6);
+  zt::Tensor out = zt::resize_bilinear(in, 5, 6);
+  for (std::int64_t i = 0; i < in.numel(); ++i) {
+    EXPECT_NEAR(out.flat()[static_cast<std::size_t>(i)],
+                in.flat()[static_cast<std::size_t>(i)], 1e-5f);
+  }
+}
+
+TEST(Tokens, RoundTripThroughTokenLayout) {
+  zt::Tensor in = ramp_chw(3, 4, 5);
+  zt::Tensor tok = zt::to_tokens(in);
+  EXPECT_EQ(tok.dim(0), 20);
+  EXPECT_EQ(tok.dim(1), 3);
+  zt::Tensor back = zt::from_tokens(tok, 4, 5);
+  for (std::int64_t i = 0; i < in.numel(); ++i) {
+    EXPECT_FLOAT_EQ(back.flat()[static_cast<std::size_t>(i)],
+                    in.flat()[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Tokens, WrongCountThrows) {
+  zt::Tensor tok({6, 2});
+  EXPECT_THROW(zt::from_tokens(tok, 2, 4), std::invalid_argument);
+}

@@ -1,0 +1,86 @@
+// Dashboard (Mode C) tests.
+#include <gtest/gtest.h>
+
+#include "zenesis/eval/dashboard.hpp"
+
+namespace ze = zenesis::eval;
+
+namespace {
+
+ze::Metrics metric_with(double acc, double iou, double dice) {
+  ze::Metrics m;
+  m.accuracy = acc;
+  m.iou = iou;
+  m.dice = dice;
+  return m;
+}
+
+ze::Dashboard sample_dashboard() {
+  ze::Dashboard d;
+  d.add("crystalline", "zenesis", 0, metric_with(0.98, 0.85, 0.92));
+  d.add("crystalline", "zenesis", 1, metric_with(0.99, 0.87, 0.93));
+  d.add("crystalline", "otsu", 0, metric_with(0.58, 0.16, 0.27));
+  d.add("amorphous", "zenesis", 0, metric_with(0.95, 0.86, 0.92));
+  return d;
+}
+
+}  // namespace
+
+TEST(Dashboard, RecordsAccumulate) {
+  const ze::Dashboard d = sample_dashboard();
+  EXPECT_EQ(d.records().size(), 4u);
+}
+
+TEST(Dashboard, SummaryAggregatesPerPair) {
+  const ze::Dashboard d = sample_dashboard();
+  const ze::MetricSummary s = d.summary("crystalline", "zenesis");
+  EXPECT_EQ(s.iou.count, 2);
+  EXPECT_NEAR(s.iou.mean, 0.86, 1e-12);
+}
+
+TEST(Dashboard, PerSliceTableOrdered) {
+  ze::Dashboard d;
+  d.add("x", "m", 2, metric_with(0.2, 0.2, 0.2));
+  d.add("x", "m", 0, metric_with(0.0, 0.0, 0.0));
+  d.add("x", "m", 1, metric_with(0.1, 0.1, 0.1));
+  const auto t = d.per_slice_table("x", "m");
+  ASSERT_EQ(t.row_count(), 3u);
+  EXPECT_EQ(std::get<std::int64_t>(t.row(0)[0]), 0);
+  EXPECT_EQ(std::get<std::int64_t>(t.row(2)[0]), 2);
+}
+
+TEST(Dashboard, MethodTableHasPaperShape) {
+  const ze::Dashboard d = sample_dashboard();
+  const auto t = d.method_table("zenesis");
+  EXPECT_EQ(t.columns(),
+            (std::vector<std::string>{"Sample", "Accuracy", "IOU", "Dice"}));
+  EXPECT_EQ(t.row_count(), 2u);  // crystalline + amorphous
+}
+
+TEST(Dashboard, SummaryTableListsAllPairs) {
+  const ze::Dashboard d = sample_dashboard();
+  EXPECT_EQ(d.summary_table().row_count(), 3u);
+}
+
+TEST(Dashboard, RenderContainsSections) {
+  const ze::Dashboard d = sample_dashboard();
+  const std::string r = d.render();
+  EXPECT_NE(r.find("dashboard"), std::string::npos);
+  EXPECT_NE(r.find("crystalline"), std::string::npos);
+  EXPECT_NE(r.find("zenesis"), std::string::npos);
+  EXPECT_NE(r.find("Per-slice"), std::string::npos);
+}
+
+TEST(Dashboard, JsonExportsRecordsAndSummaries) {
+  const ze::Dashboard d = sample_dashboard();
+  const std::string j = d.to_json().to_string();
+  EXPECT_NE(j.find("\"per_slice\""), std::string::npos);
+  EXPECT_NE(j.find("\"summaries\""), std::string::npos);
+  EXPECT_NE(j.find("\"records\": 4"), std::string::npos);
+}
+
+TEST(Dashboard, EmptySummaryIsZeroCount) {
+  ze::Dashboard d;
+  EXPECT_EQ(d.summary("none", "none").iou.count, 0);
+  EXPECT_EQ(d.summary_table().row_count(), 0u);
+}

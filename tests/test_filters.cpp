@@ -1,0 +1,191 @@
+// Spatial filter tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "zenesis/cv/filters.hpp"
+#include "zenesis/parallel/rng.hpp"
+
+namespace zc = zenesis::cv;
+namespace zi = zenesis::image;
+
+namespace {
+
+zi::ImageF32 constant(std::int64_t w, std::int64_t h, float v) {
+  zi::ImageF32 img(w, h, 1);
+  img.fill(v);
+  return img;
+}
+
+zi::ImageF32 noisy(std::int64_t w, std::int64_t h, float base, float sigma,
+                   std::uint64_t seed) {
+  zenesis::parallel::Rng rng(seed);
+  zi::ImageF32 img(w, h, 1);
+  for (float& v : img.pixels()) {
+    v = base + static_cast<float>(rng.normal(0.0, sigma));
+  }
+  return img;
+}
+
+double variance(const zi::ImageF32& img) {
+  double sum = 0.0, sum2 = 0.0;
+  for (float v : img.pixels()) {
+    sum += v;
+    sum2 += v * v;
+  }
+  const double n = static_cast<double>(img.pixels().size());
+  const double mean = sum / n;
+  return sum2 / n - mean * mean;
+}
+
+}  // namespace
+
+TEST(GaussianBlur, PreservesConstantImage) {
+  const zi::ImageF32 img = constant(16, 16, 0.6f);
+  const zi::ImageF32 out = zc::gaussian_blur(img, 2.0f);
+  for (float v : out.pixels()) EXPECT_NEAR(v, 0.6f, 1e-5f);
+}
+
+TEST(GaussianBlur, ReducesNoiseVariance) {
+  const zi::ImageF32 img = noisy(64, 64, 0.5f, 0.1f, 1);
+  const zi::ImageF32 out = zc::gaussian_blur(img, 1.5f);
+  EXPECT_LT(variance(out), variance(img) * 0.3);
+}
+
+TEST(GaussianBlur, ZeroSigmaIsIdentity) {
+  const zi::ImageF32 img = noisy(8, 8, 0.5f, 0.1f, 2);
+  const zi::ImageF32 out = zc::gaussian_blur(img, 0.0f);
+  for (std::int64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(out.pixels()[static_cast<std::size_t>(i)],
+              img.pixels()[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(GaussianBlur, ApproximatelyConservesMean) {
+  const zi::ImageF32 img = noisy(64, 64, 0.5f, 0.05f, 3);
+  const zi::ImageF32 out = zc::gaussian_blur(img, 2.0f);
+  double m_in = 0.0, m_out = 0.0;
+  for (float v : img.pixels()) m_in += v;
+  for (float v : out.pixels()) m_out += v;
+  EXPECT_NEAR(m_in / 4096.0, m_out / 4096.0, 0.005);
+}
+
+TEST(BoxFilter, WindowMeanExact) {
+  zi::ImageF32 img(3, 3, 1);
+  float v = 1.0f;
+  for (float& p : img.pixels()) p = v++;
+  const zi::ImageF32 out = zc::box_filter(img, 1);
+  EXPECT_NEAR(out.at(1, 1), 5.0f, 1e-5f);  // mean of 1..9
+  EXPECT_NEAR(out.at(0, 0), (1 + 2 + 4 + 5) / 4.0f, 1e-5f);  // corner window
+}
+
+TEST(MedianFilter, RemovesSaltAndPepper) {
+  zi::ImageF32 img = constant(16, 16, 0.5f);
+  img.at(8, 8) = 1.0f;
+  img.at(3, 3) = 0.0f;
+  const zi::ImageF32 out = zc::median_filter(img, 1);
+  EXPECT_NEAR(out.at(8, 8), 0.5f, 1e-6f);
+  EXPECT_NEAR(out.at(3, 3), 0.5f, 1e-6f);
+}
+
+TEST(MedianFilter, RadiusValidated) {
+  EXPECT_THROW(zc::median_filter(constant(4, 4, 0.0f), 8),
+               std::invalid_argument);
+}
+
+TEST(MedianFilterLarge, AgreesWithExactMedianWithinQuantization) {
+  const zi::ImageF32 img = noisy(48, 48, 0.5f, 0.1f, 9);
+  const zi::ImageF32 exact = zc::median_filter(img, 4);
+  const zi::ImageF32 fast = zc::median_filter_large(img, 4);
+  // Interior only: the exact filter replicates edge pixels while the
+  // histogram filter truncates its window at the border.
+  for (std::int64_t y = 4; y < 44; ++y) {
+    for (std::int64_t x = 4; x < 44; ++x) {
+      ASSERT_NEAR(fast.at(x, y), exact.at(x, y), 1.0f / 256.0f + 1e-4f);
+    }
+  }
+}
+
+TEST(MedianFilterLarge, IgnoresThinBrightStructures) {
+  // A 3-px bright stripe must not move the 12-px-window median — the
+  // property the SAM surrogate's context estimate relies on.
+  zi::ImageF32 img = constant(64, 64, 0.4f);
+  for (std::int64_t x = 0; x < 64; ++x) {
+    img.at(x, 31) = img.at(x, 32) = img.at(x, 33) = 0.9f;
+  }
+  const zi::ImageF32 med = zc::median_filter_large(img, 12);
+  EXPECT_NEAR(med.at(32, 32), 0.4f, 0.01f);
+}
+
+TEST(MedianFilterLargeMasked, ExcludesForeground) {
+  // Bright half-plane; estimating the background with the bright side
+  // excluded must return the dark level even near the interface.
+  zi::ImageF32 img(64, 64, 1);
+  zi::Mask exclude(64, 64);
+  for (std::int64_t y = 0; y < 64; ++y) {
+    for (std::int64_t x = 0; x < 64; ++x) {
+      const bool bright = x >= 32;
+      img.at(x, y) = bright ? 0.8f : 0.3f;
+      exclude.at(x, y) = bright ? 1 : 0;
+    }
+  }
+  const zi::ImageF32 plain = zc::median_filter_large(img, 10);
+  const zi::ImageF32 masked = zc::median_filter_large_masked(img, 10, exclude);
+  // Near the interface the masked estimate stays at the background level
+  // while the plain median follows the object.
+  EXPECT_NEAR(masked.at(30, 32), 0.3f, 0.01f);
+  EXPECT_NEAR(masked.at(33, 32), 0.3f, 0.01f);  // just inside the object
+  EXPECT_NEAR(plain.at(40, 32), 0.8f, 0.01f);   // plain follows the object
+  // Deep inside the object fewer than a quarter of the window pixels are
+  // valid, so the masked filter falls back to the plain median.
+  EXPECT_NEAR(masked.at(45, 32), plain.at(45, 32), 0.01f);
+}
+
+TEST(MedianFilterLargeMasked, FullyExcludedWindowFallsBack) {
+  zi::ImageF32 img = constant(32, 32, 0.6f);
+  zi::Mask all(32, 32);
+  all.fill(1);
+  const zi::ImageF32 masked = zc::median_filter_large_masked(img, 5, all);
+  for (float v : masked.pixels()) EXPECT_NEAR(v, 0.6f, 0.01f);
+  EXPECT_THROW(zc::median_filter_large_masked(img, 5, zi::Mask(8, 8)),
+               std::invalid_argument);
+}
+
+TEST(SobelMagnitude, ZeroOnFlatStrongOnEdge) {
+  zi::ImageF32 img(16, 16, 1);
+  for (std::int64_t y = 0; y < 16; ++y) {
+    for (std::int64_t x = 0; x < 16; ++x) {
+      img.at(x, y) = x < 8 ? 0.0f : 1.0f;
+    }
+  }
+  const zi::ImageF32 g = zc::sobel_magnitude(img);
+  EXPECT_NEAR(g.at(2, 8), 0.0f, 1e-6f);
+  EXPECT_GT(g.at(7, 8), 1.0f);
+  EXPECT_GT(g.at(8, 8), 1.0f);
+}
+
+TEST(LocalVariance, HighInTexturedRegion) {
+  zi::ImageF32 img(32, 32, 1);
+  zenesis::parallel::Rng rng(5);
+  for (std::int64_t y = 0; y < 32; ++y) {
+    for (std::int64_t x = 0; x < 32; ++x) {
+      img.at(x, y) =
+          x < 16 ? 0.5f : 0.5f + static_cast<float>(rng.normal(0.0, 0.2));
+    }
+  }
+  const zi::ImageF32 v = zc::local_variance(img, 3);
+  EXPECT_LT(v.at(4, 16), 1e-6f);
+  EXPECT_GT(v.at(28, 16), 0.005f);
+}
+
+TEST(AbsDiff, ElementwiseMagnitude) {
+  zi::ImageF32 a(2, 1, 1), b(2, 1, 1);
+  a.at(0, 0) = 0.2f;
+  b.at(0, 0) = 0.5f;
+  a.at(1, 0) = 0.9f;
+  b.at(1, 0) = 0.4f;
+  const zi::ImageF32 d = zc::abs_diff(a, b);
+  EXPECT_NEAR(d.at(0, 0), 0.3f, 1e-6f);
+  EXPECT_NEAR(d.at(1, 0), 0.5f, 1e-6f);
+  EXPECT_THROW(zc::abs_diff(a, zi::ImageF32(3, 1, 1)), std::invalid_argument);
+}

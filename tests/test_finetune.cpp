@@ -1,0 +1,145 @@
+// Fine-tuning module tests: concept learning from one annotated slice,
+// merging, and example-driven grounding (future-work item 3).
+#include <gtest/gtest.h>
+
+#include "zenesis/core/pipeline.hpp"
+#include "zenesis/fibsem/synth.hpp"
+#include "zenesis/image/roi.hpp"
+#include "zenesis/models/finetune.hpp"
+
+namespace zm = zenesis::models;
+namespace zf = zenesis::fibsem;
+namespace zi = zenesis::image;
+
+namespace {
+
+struct Annotated {
+  zi::ImageF32 ready;
+  zm::FeatureMaps maps;
+  zi::Mask gt;
+};
+
+Annotated annotated_slice(zf::SampleType type, std::int64_t z) {
+  zf::SynthConfig cfg;
+  cfg.type = type;
+  cfg.width = 128;
+  cfg.height = 128;
+  cfg.seed = 404;
+  const auto s = zf::generate_slice(cfg, z);
+  Annotated a;
+  a.ready = zi::make_ai_ready(zi::AnyImage(s.raw));
+  a.maps = zm::compute_features(a.ready);
+  a.gt = s.ground_truth;
+  return a;
+}
+
+}  // namespace
+
+TEST(Finetune, LearnedDirectionPointsAtForeground) {
+  const Annotated a = annotated_slice(zf::SampleType::kCrystalline, 0);
+  const zm::LearnedConcept c = zm::learn_concept(a.maps, a.gt);
+  // Needles are brighter and higher-rank than their surround.
+  EXPECT_GT(c.direction[zm::kIntensity], 0.0f);
+  EXPECT_GT(c.direction[zm::kRank], 0.0f);
+  EXPECT_GT(c.separability, 0.5);
+  EXPECT_GT(c.foreground_pixels, 0);
+}
+
+TEST(Finetune, DegenerateAnnotationsThrow) {
+  const Annotated a = annotated_slice(zf::SampleType::kCrystalline, 0);
+  zi::Mask empty(128, 128), full(128, 128);
+  full.fill(1);
+  EXPECT_THROW(zm::learn_concept(a.maps, empty), std::invalid_argument);
+  EXPECT_THROW(zm::learn_concept(a.maps, full), std::invalid_argument);
+  EXPECT_THROW(zm::learn_concept(a.maps, zi::Mask(4, 4)), std::invalid_argument);
+}
+
+TEST(Finetune, LearnedConceptTransfersToNewSlice) {
+  // Annotate slice 0, deploy on slice 2 of the same volume.
+  const Annotated train = annotated_slice(zf::SampleType::kCrystalline, 0);
+  const Annotated test = annotated_slice(zf::SampleType::kCrystalline, 2);
+  const zm::LearnedConcept c = zm::learn_concept(train.maps, train.gt);
+
+  const zenesis::core::ZenesisPipeline pipe;
+  const zm::GroundingResult g =
+      zm::apply_concept(pipe.detector(), test.maps, c);
+  ASSERT_TRUE(g.has_direction);
+  ASSERT_FALSE(g.boxes.empty());
+  // The grounded region must cover most of the catalyst.
+  std::int64_t covered = 0;
+  for (std::int64_t y = 0; y < 128; ++y) {
+    for (std::int64_t x = 0; x < 128; ++x) {
+      if (test.gt.at(x, y) == 0) continue;
+      for (const auto& b : g.boxes) {
+        if (b.box.contains({x, y})) {
+          ++covered;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(covered) /
+                static_cast<double>(zi::mask_area(test.gt)),
+            0.7);
+}
+
+TEST(Finetune, MergeWeightsBySupport) {
+  zm::LearnedConcept a, b;
+  a.direction[0] = 1.0f;
+  a.foreground_pixels = 100;
+  a.separability = 1.0;
+  b.direction[0] = -1.0f;
+  b.foreground_pixels = 300;
+  b.separability = 3.0;
+  const zm::LearnedConcept m = zm::merge_concepts({a, b});
+  EXPECT_NEAR(m.direction[0], -0.5f, 1e-5f);
+  EXPECT_NEAR(m.separability, 2.5, 1e-9);
+  EXPECT_EQ(m.foreground_pixels, 400);
+  EXPECT_THROW(zm::merge_concepts({}), std::invalid_argument);
+}
+
+TEST(Finetune, BlendInterpolatesDirections) {
+  const Annotated a = annotated_slice(zf::SampleType::kAmorphous, 0);
+  const zm::LearnedConcept c = zm::learn_concept(a.maps, a.gt);
+  const zenesis::core::ZenesisPipeline pipe;
+  const auto pure = zm::apply_concept(pipe.detector(), a.maps, c, "", 1.0f);
+  const auto blended =
+      zm::apply_concept(pipe.detector(), a.maps, c, "dark background", 0.5f);
+  // The blended direction must differ from the pure learned one.
+  bool differs = false;
+  for (int k = 0; k < zm::kFeatureChannels; ++k) {
+    differs = differs || pure.concept_direction[static_cast<std::size_t>(k)] !=
+                             blended.concept_direction[static_cast<std::size_t>(k)];
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Finetune, ExampleDrivenMatchesPromptDrivenQuality) {
+  // Grounding learned from one annotation should segment about as well as
+  // the hand-written expert prompt.
+  const Annotated train = annotated_slice(zf::SampleType::kAmorphous, 0);
+  const Annotated test = annotated_slice(zf::SampleType::kAmorphous, 1);
+  const zm::LearnedConcept c = zm::learn_concept(train.maps, train.gt);
+
+  const zenesis::core::ZenesisPipeline pipe;
+  // Reuse the standard prompt path for the baseline.
+  const auto prompt_res = pipe.segment_ready(
+      test.ready, zf::default_prompt(zf::SampleType::kAmorphous));
+  const double prompt_iou = zi::mask_iou(prompt_res.mask, test.gt);
+  ASSERT_GT(prompt_iou, 0.3);
+  // Example-driven grounding feeds the same assembly path via the boxes'
+  // relevance; here we only check the learned relevance localizes: the
+  // best learned box must overlap the catalyst more than chance.
+  const zm::GroundingResult g = zm::apply_concept(pipe.detector(), test.maps, c);
+  ASSERT_FALSE(g.boxes.empty());
+  std::int64_t inside = 0;
+  const auto& best = g.boxes.front().box;
+  for (std::int64_t y = best.y; y < best.bottom(); ++y) {
+    for (std::int64_t x = best.x; x < best.right(); ++x) {
+      inside += test.gt.at(x, y) != 0;
+    }
+  }
+  const double density =
+      static_cast<double>(inside) / static_cast<double>(best.area());
+  EXPECT_GT(density, zi::mask_fraction(test.gt) * 0.9);
+}

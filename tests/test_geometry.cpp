@@ -1,0 +1,70 @@
+// Tests for Box/Point geometry (IoU, clipping, union, containment).
+#include <gtest/gtest.h>
+
+#include "zenesis/image/geometry.hpp"
+
+namespace zi = zenesis::image;
+
+TEST(Box, AreaAndEmpty) {
+  EXPECT_EQ((zi::Box{0, 0, 4, 5}).area(), 20);
+  EXPECT_TRUE((zi::Box{}).empty());
+  EXPECT_TRUE((zi::Box{1, 1, 0, 5}).empty());
+  EXPECT_FALSE((zi::Box{1, 1, 1, 1}).empty());
+}
+
+TEST(Box, CenterAndContains) {
+  zi::Box b{2, 2, 4, 4};
+  EXPECT_EQ(b.center(), (zi::Point{4, 4}));
+  EXPECT_TRUE(b.contains({2, 2}));
+  EXPECT_TRUE(b.contains({5, 5}));
+  EXPECT_FALSE(b.contains({6, 6}));  // exclusive right/bottom
+  EXPECT_FALSE(b.contains({1, 3}));
+}
+
+TEST(Box, IntersectOverlapping) {
+  zi::Box a{0, 0, 4, 4}, b{2, 2, 4, 4};
+  const zi::Box i = a.intersect(b);
+  EXPECT_EQ(i, (zi::Box{2, 2, 2, 2}));
+}
+
+TEST(Box, IntersectDisjointIsEmpty) {
+  zi::Box a{0, 0, 2, 2}, b{5, 5, 2, 2};
+  EXPECT_TRUE(a.intersect(b).empty());
+}
+
+TEST(Box, UniteCoversBoth) {
+  zi::Box a{0, 0, 2, 2}, b{5, 5, 2, 2};
+  const zi::Box u = a.unite(b);
+  EXPECT_EQ(u, (zi::Box{0, 0, 7, 7}));
+  EXPECT_EQ(a.unite(zi::Box{}), a);
+  EXPECT_EQ((zi::Box{}).unite(b), b);
+}
+
+TEST(Box, IouIdentityAndDisjoint) {
+  zi::Box a{0, 0, 4, 4};
+  EXPECT_DOUBLE_EQ(a.iou(a), 1.0);
+  EXPECT_DOUBLE_EQ(a.iou({10, 10, 4, 4}), 0.0);
+}
+
+TEST(Box, IouHalfOverlap) {
+  zi::Box a{0, 0, 2, 2}, b{1, 0, 2, 2};
+  // intersection 2, union 6.
+  EXPECT_NEAR(a.iou(b), 2.0 / 6.0, 1e-12);
+}
+
+TEST(Box, ClippedToImage) {
+  zi::Box b{-5, -5, 20, 20};
+  EXPECT_EQ(b.clipped(10, 8), (zi::Box{0, 0, 10, 8}));
+  EXPECT_TRUE((zi::Box{12, 0, 4, 4}).clipped(10, 10).empty());
+}
+
+TEST(Box, ExpandedSymmetric) {
+  zi::Box b{4, 4, 2, 2};
+  EXPECT_EQ(b.expanded(2), (zi::Box{2, 2, 6, 6}));
+}
+
+TEST(ScoredBox, Equality) {
+  zi::ScoredBox a{{1, 2, 3, 4}, 0.5};
+  zi::ScoredBox b{{1, 2, 3, 4}, 0.5};
+  EXPECT_EQ(a, b);
+}

@@ -1,0 +1,121 @@
+// GroundingDetector behavioural tests on controlled scenes.
+#include <gtest/gtest.h>
+
+#include "zenesis/models/grounding.hpp"
+#include "zenesis/parallel/rng.hpp"
+
+namespace zm = zenesis::models;
+namespace zi = zenesis::image;
+
+namespace {
+
+/// Bright textured square on a dark flat background.
+zi::ImageF32 bright_square_scene() {
+  zenesis::parallel::Rng rng(11);
+  zi::ImageF32 img(128, 128, 1);
+  for (std::int64_t y = 0; y < 128; ++y) {
+    for (std::int64_t x = 0; x < 128; ++x) {
+      const bool inside = x >= 48 && x < 96 && y >= 32 && y < 80;
+      const float base = inside ? 0.8f : 0.15f;
+      const float noise =
+          static_cast<float>(rng.normal(0.0, inside ? 0.06 : 0.01));
+      img.at(x, y) = base + noise;
+    }
+  }
+  return img;
+}
+
+}  // namespace
+
+TEST(Grounding, LocalizesBrightObject) {
+  zm::GroundingDetector dino;
+  const auto res = dino.detect(bright_square_scene(), "bright catalyst particle");
+  ASSERT_FALSE(res.boxes.empty());
+  const zi::Box truth{48, 32, 48, 48};
+  EXPECT_GT(res.best().box.iou(truth), 0.35);
+}
+
+TEST(Grounding, DarkPromptSelectsBackgroundNotObject) {
+  zm::GroundingDetector dino;
+  const auto res = dino.detect(bright_square_scene(), "dark background");
+  ASSERT_FALSE(res.boxes.empty());
+  const zi::Box truth{48, 32, 48, 48};
+  // The best dark-prompt box should not be the bright square.
+  EXPECT_LT(res.best().box.iou(truth), 0.3);
+}
+
+TEST(Grounding, EmptyPromptYieldsNothing) {
+  zm::GroundingDetector dino;
+  const auto res = dino.detect(bright_square_scene(), "");
+  EXPECT_TRUE(res.boxes.empty());
+  EXPECT_TRUE(res.best().box.empty());
+}
+
+TEST(Grounding, StopWordOnlyPromptYieldsNothing) {
+  zm::GroundingDetector dino;
+  const auto res = dino.detect(bright_square_scene(), "the of in a");
+  EXPECT_TRUE(res.boxes.empty());
+}
+
+TEST(Grounding, UnknownWordsGatedByTextThreshold) {
+  zm::GroundingDetector dino;  // default text_threshold 0.25 > 0.1 hash weight
+  const auto res = dino.detect(bright_square_scene(), "zorblax quux");
+  EXPECT_TRUE(res.boxes.empty());
+}
+
+TEST(Grounding, BoxesSortedByConfidence) {
+  zm::GroundingDetector dino;
+  const auto res = dino.detect(bright_square_scene(), "bright catalyst");
+  for (std::size_t i = 1; i < res.boxes.size(); ++i) {
+    EXPECT_GE(res.boxes[i - 1].score, res.boxes[i].score);
+  }
+}
+
+TEST(Grounding, RelevanceMapNormalized) {
+  zm::GroundingDetector dino;
+  const auto res = dino.detect(bright_square_scene(), "bright catalyst");
+  ASSERT_GT(res.grid_w, 0);
+  float max_abs = 0.0f;
+  for (float v : res.relevance.pixels()) {
+    EXPECT_LE(std::abs(v), 1.0f + 1e-5f);
+    max_abs = std::max(max_abs, std::abs(v));
+  }
+  EXPECT_NEAR(max_abs, 1.0f, 1e-4f);
+}
+
+TEST(Grounding, HigherBoxThresholdShrinksDetections) {
+  zm::GroundingConfig loose, strict;
+  loose.box_threshold = 0.25f;
+  strict.box_threshold = 0.75f;
+  zm::GroundingDetector dl(loose), ds(strict);
+  const auto img = bright_square_scene();
+  const auto rl = dl.detect(img, "bright catalyst");
+  const auto rs = ds.detect(img, "bright catalyst");
+  std::int64_t area_l = 0, area_s = 0;
+  for (const auto& b : rl.boxes) area_l += b.box.area();
+  for (const auto& b : rs.boxes) area_s += b.box.area();
+  EXPECT_GE(area_l, area_s);
+}
+
+TEST(Grounding, DeterministicAcrossRuns) {
+  zm::GroundingDetector dino;
+  const auto img = bright_square_scene();
+  const auto a = dino.detect(img, "bright catalyst");
+  const auto b = dino.detect(img, "bright catalyst");
+  ASSERT_EQ(a.boxes.size(), b.boxes.size());
+  for (std::size_t i = 0; i < a.boxes.size(); ++i) {
+    EXPECT_EQ(a.boxes[i].box, b.boxes[i].box);
+    EXPECT_EQ(a.boxes[i].score, b.boxes[i].score);
+  }
+}
+
+TEST(Grounding, BoxesClippedToImage) {
+  zm::GroundingDetector dino;
+  const auto res = dino.detect(bright_square_scene(), "bright catalyst");
+  for (const auto& b : res.boxes) {
+    EXPECT_GE(b.box.x, 0);
+    EXPECT_GE(b.box.y, 0);
+    EXPECT_LE(b.box.right(), 128);
+    EXPECT_LE(b.box.bottom(), 128);
+  }
+}

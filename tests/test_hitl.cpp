@@ -1,0 +1,146 @@
+// Human-in-the-loop rectification tests.
+#include <gtest/gtest.h>
+
+#include "zenesis/hitl/rectify.hpp"
+#include "zenesis/image/roi.hpp"
+
+namespace zh = zenesis::hitl;
+namespace zi = zenesis::image;
+namespace zm = zenesis::models;
+namespace zp = zenesis::parallel;
+
+namespace {
+
+/// Bright disk scene + its GT.
+struct Scene {
+  zi::ImageF32 img{128, 128, 1};
+  zi::Mask gt{128, 128};
+};
+
+Scene disk_scene() {
+  Scene s;
+  zp::Rng rng(51);
+  for (std::int64_t y = 0; y < 128; ++y) {
+    for (std::int64_t x = 0; x < 128; ++x) {
+      const double d2 = (x - 50.0) * (x - 50.0) + (y - 70.0) * (y - 70.0);
+      const bool inside = d2 < 22.0 * 22.0;
+      s.img.at(x, y) = (inside ? 0.75f : 0.2f) +
+                       static_cast<float>(rng.normal(0.0, 0.02));
+      s.gt.at(x, y) = inside ? 1 : 0;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+TEST(RandomBoxes, CountAndBounds) {
+  zp::Rng rng(1);
+  zh::RandomBoxConfig cfg;
+  cfg.count = 32;
+  const auto boxes = zh::propose_random_boxes(100, 80, cfg, rng);
+  ASSERT_EQ(boxes.size(), 32u);
+  for (const auto& b : boxes) {
+    EXPECT_FALSE(b.empty());
+    EXPECT_GE(b.x, 0);
+    EXPECT_GE(b.y, 0);
+    EXPECT_LE(b.right(), 100);
+    EXPECT_LE(b.bottom(), 80);
+  }
+}
+
+TEST(RandomBoxes, BandProposalsSpanFullDimension) {
+  zp::Rng rng(2);
+  zh::RandomBoxConfig cfg;
+  cfg.count = 64;
+  cfg.band_fraction = 1.0;  // only bands
+  const auto boxes = zh::propose_random_boxes(100, 80, cfg, rng);
+  for (const auto& b : boxes) {
+    EXPECT_TRUE(b.w == 100 || b.h == 80)
+        << "band proposal must span one full dimension";
+  }
+}
+
+TEST(SnapToSegment, PicksNearestComponent) {
+  zi::Mask m(40, 40);
+  for (std::int64_t y = 2; y < 6; ++y) {
+    for (std::int64_t x = 2; x < 6; ++x) m.at(x, y) = 1;
+  }
+  for (std::int64_t y = 30; y < 38; ++y) {
+    for (std::int64_t x = 30; x < 38; ++x) m.at(x, y) = 1;
+  }
+  const auto lab = zenesis::cv::label_components(m);
+  const zi::Box near_small = zh::snap_to_nearest_segment({0, 0, 10, 10}, lab);
+  EXPECT_EQ(near_small, (zi::Box{2, 2, 4, 4}));
+  const zi::Box near_big = zh::snap_to_nearest_segment({28, 28, 10, 10}, lab);
+  EXPECT_EQ(near_big, (zi::Box{30, 30, 8, 8}));
+}
+
+TEST(SnapToSegment, EmptyLabelingReturnsInput) {
+  const zenesis::cv::Labeling empty = zenesis::cv::label_components(zi::Mask(8, 8));
+  const zi::Box b{1, 2, 3, 4};
+  EXPECT_EQ(zh::snap_to_nearest_segment(b, empty), b);
+}
+
+TEST(Annotator, PerfectFidelityPicksBestBox) {
+  const Scene s = disk_scene();
+  zh::SimulatedAnnotator expert(1.0, 7);
+  const std::vector<zi::Box> candidates = {
+      {0, 0, 20, 20},      // far corner
+      {28, 48, 45, 45},    // covers the disk
+      {100, 100, 20, 20},  // far corner
+  };
+  const zi::Box pick = expert.select_box(candidates, s.gt);
+  EXPECT_EQ(pick, candidates[1]);
+}
+
+TEST(Annotator, ZeroFidelityIsRandomButValid) {
+  const Scene s = disk_scene();
+  zh::SimulatedAnnotator careless(0.0, 7);
+  const std::vector<zi::Box> candidates = {{0, 0, 10, 10}, {5, 5, 10, 10}};
+  const zi::Box pick = careless.select_box(candidates, s.gt);
+  EXPECT_TRUE(pick == candidates[0] || pick == candidates[1]);
+}
+
+TEST(Annotator, ExpertClickLandsInsideMask) {
+  const Scene s = disk_scene();
+  zh::SimulatedAnnotator expert(1.0, 9);
+  const zi::Point p = expert.click_point(s.gt);
+  EXPECT_EQ(s.gt.at(p.x, p.y), 1);
+}
+
+TEST(Annotator, FidelityClamped) {
+  zh::SimulatedAnnotator a(3.0, 1), b(-1.0, 1);
+  EXPECT_DOUBLE_EQ(a.fidelity(), 1.0);
+  EXPECT_DOUBLE_EQ(b.fidelity(), 0.0);
+}
+
+TEST(Rectify, ImprovesBadAutomatedMask) {
+  const Scene s = disk_scene();
+  zm::SamModel sam;
+  const auto enc = sam.encode(s.img);
+  // Automated failure: mask stuck in a wrong corner.
+  zi::Mask bad(128, 128);
+  for (std::int64_t y = 0; y < 20; ++y) {
+    for (std::int64_t x = 0; x < 20; ++x) bad.at(x, y) = 1;
+  }
+  zh::SimulatedAnnotator expert(1.0, 13);
+  zp::Rng rng(13);
+  zh::RandomBoxConfig cfg;
+  cfg.count = 24;
+  const zh::RectifyResult r =
+      zh::rectify_segmentation(sam, enc, bad, s.gt, cfg, expert, rng);
+  EXPECT_GT(r.after_iou, r.before_iou);
+  EXPECT_GT(r.after_iou, 0.5);
+}
+
+TEST(Rectify, ReportsBeforeIouFaithfully) {
+  const Scene s = disk_scene();
+  zm::SamModel sam;
+  const auto enc = sam.encode(s.img);
+  zh::SimulatedAnnotator expert(1.0, 17);
+  zp::Rng rng(17);
+  const zh::RectifyResult r = zh::rectify_segmentation(
+      sam, enc, s.gt, s.gt, {}, expert, rng);  // automated mask == GT
+  EXPECT_DOUBLE_EQ(r.before_iou, 1.0);
+}

@@ -1,0 +1,95 @@
+// Tests for typed image/volume containers and metadata.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "zenesis/image/image.hpp"
+
+namespace zi = zenesis::image;
+
+TEST(Image, ConstructionZeroInitializes) {
+  zi::ImageU16 img(4, 3, 1);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.channels(), 1);
+  for (auto v : img.pixels()) EXPECT_EQ(v, 0);
+}
+
+TEST(Image, AtReadsAndWrites) {
+  zi::ImageF32 img(3, 3, 1);
+  img.at(2, 1) = 0.5f;
+  EXPECT_FLOAT_EQ(img.at(2, 1), 0.5f);
+}
+
+TEST(Image, MultiChannelInterleaved) {
+  zi::ImageU8 img(2, 1, 3);
+  img.at(1, 0, 2) = 9;
+  EXPECT_EQ(img.pixels()[1 * 3 + 2], 9);
+}
+
+TEST(Image, OutOfRangeThrows) {
+  zi::ImageU8 img(2, 2, 1);
+  EXPECT_THROW(img.at(2, 0), std::out_of_range);
+  EXPECT_THROW(img.at(0, -1), std::out_of_range);
+  EXPECT_THROW(img.at(0, 0, 1), std::out_of_range);
+}
+
+TEST(Image, ContainsChecksBounds) {
+  zi::ImageU8 img(3, 2, 1);
+  EXPECT_TRUE(img.contains(0, 0));
+  EXPECT_TRUE(img.contains(2, 1));
+  EXPECT_FALSE(img.contains(3, 0));
+  EXPECT_FALSE(img.contains(-1, 0));
+}
+
+TEST(Image, FillSetsAll) {
+  zi::ImageU16 img(2, 2, 1);
+  img.fill(777);
+  for (auto v : img.pixels()) EXPECT_EQ(v, 777);
+}
+
+TEST(AnyImage, BitDepthPerType) {
+  EXPECT_EQ(zi::bit_depth(zi::AnyImage(zi::ImageU8(1, 1))), 8);
+  EXPECT_EQ(zi::bit_depth(zi::AnyImage(zi::ImageU16(1, 1))), 16);
+  EXPECT_EQ(zi::bit_depth(zi::AnyImage(zi::ImageU32(1, 1))), 32);
+  EXPECT_EQ(zi::bit_depth(zi::AnyImage(zi::ImageF32(1, 1))), 32);
+}
+
+TEST(AnyImage, GeometryAccessors) {
+  zi::AnyImage img = zi::ImageU16(5, 7, 1);
+  EXPECT_EQ(zi::width_of(img), 5);
+  EXPECT_EQ(zi::height_of(img), 7);
+  EXPECT_EQ(zi::channels_of(img), 1);
+}
+
+TEST(VoxelSize, AnisotropyRatio) {
+  zi::VoxelSize v{4.0, 4.0, 20.0};
+  EXPECT_FALSE(v.isotropic());
+  EXPECT_DOUBLE_EQ(v.anisotropy(), 5.0);
+  zi::VoxelSize iso{2.0, 2.0, 2.0};
+  EXPECT_TRUE(iso.isotropic());
+}
+
+TEST(Volume, SliceGeometryConsistent) {
+  zi::VolumeU16 vol(8, 6, 3, 1, {4.0, 4.0, 20.0});
+  EXPECT_EQ(vol.depth(), 3);
+  EXPECT_EQ(vol.width(), 8);
+  EXPECT_EQ(vol.height(), 6);
+  EXPECT_DOUBLE_EQ(vol.voxel().z_nm, 20.0);
+  vol.slice(1).at(0, 0) = 42;
+  EXPECT_EQ(vol.slice(1).at(0, 0), 42);
+  EXPECT_EQ(vol.slice(0).at(0, 0), 0);
+}
+
+TEST(Volume, PushSliceValidatesGeometry) {
+  zi::VolumeU16 vol(4, 4, 1);
+  vol.push_slice(zi::ImageU16(4, 4, 1));
+  EXPECT_EQ(vol.depth(), 2);
+  EXPECT_THROW(vol.push_slice(zi::ImageU16(5, 4, 1)), std::invalid_argument);
+}
+
+TEST(Volume, EmptyVolumeBehaves) {
+  zi::VolumeU16 vol;
+  EXPECT_EQ(vol.depth(), 0);
+  EXPECT_EQ(vol.width(), 0);
+}

@@ -1,0 +1,128 @@
+// End-to-end integration: the paper's headline comparison (Tables 1-3
+// shape) on a reduced dataset, plus TIFF ingestion of a generated volume.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "zenesis/core/session.hpp"
+#include "zenesis/fibsem/synth.hpp"
+#include "zenesis/image/roi.hpp"
+#include "zenesis/io/tiff.hpp"
+
+namespace zc = zenesis::core;
+namespace ze = zenesis::eval;
+namespace zf = zenesis::fibsem;
+namespace zi = zenesis::image;
+
+namespace {
+
+/// Runs the three methods over a few slices and returns the dashboard.
+ze::Dashboard run_comparison(zf::SampleType type, std::int64_t slices) {
+  zf::SynthConfig cfg;
+  cfg.type = type;
+  cfg.width = 128;
+  cfg.height = 128;
+  cfg.depth = slices;
+  cfg.seed = 2025;
+  const auto vol = zf::generate_volume(cfg);
+
+  zc::Session session;
+  const std::string name = zf::sample_type_name(type);
+  const char* prompt = zf::default_prompt(type);
+
+  const zc::VolumeResult zen = session.mode_b_segment_volume(vol.volume, prompt);
+  for (std::int64_t z = 0; z < slices; ++z) {
+    const zi::ImageF32 ready =
+        session.pipeline().make_ready(zi::AnyImage(vol.volume.slice(z)));
+    session.mode_c_evaluate(name, "zenesis", z, zen.slices[static_cast<std::size_t>(z)].mask,
+                            vol.ground_truth[static_cast<std::size_t>(z)]);
+    session.mode_c_evaluate(name, "otsu", z, zc::baseline_otsu(ready),
+                            vol.ground_truth[static_cast<std::size_t>(z)]);
+    session.mode_c_evaluate(name, "sam_only", z,
+                            zc::baseline_sam_only(session.pipeline().sam(), ready),
+                            vol.ground_truth[static_cast<std::size_t>(z)]);
+  }
+  return session.dashboard();
+}
+
+}  // namespace
+
+TEST(Integration, CrystallineShapeMatchesPaper) {
+  const ze::Dashboard d = run_comparison(zf::SampleType::kCrystalline, 3);
+  const auto zen = d.summary("crystalline", "zenesis");
+  const auto otsu = d.summary("crystalline", "otsu");
+  const auto sam = d.summary("crystalline", "sam_only");
+
+  // Zenesis strong (paper: acc .987 / IoU .857 / Dice .923).
+  EXPECT_GT(zen.accuracy.mean, 0.9);
+  EXPECT_GT(zen.iou.mean, 0.6);
+  // Baselines collapse on crystalline (paper: Otsu IoU .161, SAM IoU .100).
+  EXPECT_LT(otsu.iou.mean, 0.4);
+  EXPECT_LT(sam.iou.mean, 0.4);
+  // Ordering is the headline claim.
+  EXPECT_GT(zen.iou.mean, otsu.iou.mean + 0.2);
+  EXPECT_GT(zen.iou.mean, sam.iou.mean + 0.2);
+}
+
+TEST(Integration, AmorphousShapeMatchesPaper) {
+  const ze::Dashboard d = run_comparison(zf::SampleType::kAmorphous, 3);
+  const auto zen = d.summary("amorphous", "zenesis");
+  const auto otsu = d.summary("amorphous", "otsu");
+  const auto sam = d.summary("amorphous", "sam_only");
+
+  EXPECT_GT(zen.iou.mean, 0.55);
+  // Baselines mid-range on amorphous (paper: both IoU ≈ 0.40). At this
+  // reduced 128-px size the patch grid is coarse, so the required margin
+  // is smaller than the full-size benchmark's (~0.2, see bench/table*).
+  EXPECT_LT(otsu.iou.mean, zen.iou.mean - 0.08);
+  EXPECT_LT(sam.iou.mean, zen.iou.mean - 0.15);
+  EXPECT_GT(otsu.iou.mean, 0.1);
+}
+
+TEST(Integration, TiffRoundTripThroughPipeline) {
+  // Raw 16-bit multi-page TIFF → disk → read back → segment: the full
+  // ingestion path a user exercises.
+  zf::SynthConfig cfg;
+  cfg.type = zf::SampleType::kCrystalline;
+  cfg.width = 96;
+  cfg.height = 96;
+  cfg.depth = 2;
+  cfg.seed = 11;
+  const auto vol = zf::generate_volume(cfg);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "zenesis_it_vol.tif").string();
+  zenesis::io::write_volume_tiff(path, vol.volume);
+  const zi::VolumeU16 loaded = zenesis::io::read_volume_tiff_u16(path);
+  std::remove(path.c_str());
+
+  zc::Session session;
+  const auto direct = session.mode_a_segment_slice(
+      vol.volume, 1, zf::default_prompt(cfg.type));
+  const auto via_disk = session.mode_a_segment_slice(
+      loaded, 1, zf::default_prompt(cfg.type));
+  EXPECT_DOUBLE_EQ(zi::mask_iou(direct.mask, via_disk.mask), 1.0);
+}
+
+TEST(Integration, HeuristicRefineProtectsVolumeConsistency) {
+  // Volume mode with refinement must produce slice masks at least as
+  // temporally consistent as raw per-slice segmentation.
+  zf::SynthConfig cfg;
+  cfg.type = zf::SampleType::kCrystalline;
+  cfg.width = 128;
+  cfg.height = 128;
+  cfg.depth = 6;
+  cfg.seed = 31;
+  const auto vol = zf::generate_volume(cfg);
+
+  zc::PipelineConfig with, without;
+  without.enable_heuristic_refine = false;
+  const zc::ZenesisPipeline pipe_with(with), pipe_without(without);
+  const char* prompt = zf::default_prompt(cfg.type);
+  const double c_with =
+      zenesis::volume3d::slice_consistency(pipe_with.segment_volume(vol.volume, prompt).masks());
+  const double c_without = zenesis::volume3d::slice_consistency(
+      pipe_without.segment_volume(vol.volume, prompt).masks());
+  EXPECT_GE(c_with, c_without - 0.05);
+}

@@ -1,0 +1,91 @@
+// Binary morphology tests.
+#include <gtest/gtest.h>
+
+#include "zenesis/cv/morphology.hpp"
+#include "zenesis/image/roi.hpp"
+
+namespace zc = zenesis::cv;
+namespace zi = zenesis::image;
+
+namespace {
+
+zi::Mask square_mask(std::int64_t size, zi::Box fg) {
+  zi::Mask m(size, size);
+  for (std::int64_t y = fg.y; y < fg.bottom(); ++y) {
+    for (std::int64_t x = fg.x; x < fg.right(); ++x) m.at(x, y) = 1;
+  }
+  return m;
+}
+
+}  // namespace
+
+TEST(Dilate, GrowsRegion) {
+  const zi::Mask m = square_mask(9, {4, 4, 1, 1});
+  const zi::Mask d = zc::dilate(m, 1, zc::Element::kSquare);
+  EXPECT_EQ(zi::mask_area(d), 9);
+  EXPECT_EQ(d.at(3, 3), 1);
+  EXPECT_EQ(d.at(6, 6), 0);
+}
+
+TEST(Erode, ShrinksRegion) {
+  const zi::Mask m = square_mask(9, {2, 2, 5, 5});
+  const zi::Mask e = zc::erode(m, 1, zc::Element::kSquare);
+  EXPECT_EQ(zi::mask_area(e), 9);  // 5x5 erodes to 3x3
+  EXPECT_EQ(e.at(2, 2), 0);
+  EXPECT_EQ(e.at(4, 4), 1);
+}
+
+TEST(Erode, BorderCountsAsBackground) {
+  zi::Mask m(5, 5);
+  m.fill(1);
+  const zi::Mask e = zc::erode(m, 1, zc::Element::kSquare);
+  EXPECT_EQ(e.at(0, 0), 0);
+  EXPECT_EQ(e.at(2, 2), 1);
+}
+
+TEST(Morphology, ZeroRadiusIsIdentity) {
+  const zi::Mask m = square_mask(5, {1, 1, 2, 2});
+  EXPECT_DOUBLE_EQ(zi::mask_iou(zc::dilate(m, 0), m), 1.0);
+  EXPECT_DOUBLE_EQ(zi::mask_iou(zc::erode(m, 0), m), 1.0);
+}
+
+TEST(Open, RemovesSpecks) {
+  zi::Mask m = square_mask(16, {4, 4, 6, 6});
+  m.at(12, 12) = 1;  // isolated speck
+  const zi::Mask o = zc::open(m, 1, zc::Element::kSquare);
+  EXPECT_EQ(o.at(12, 12), 0);
+  EXPECT_EQ(o.at(6, 6), 1);
+}
+
+TEST(Close, BridgesSmallGaps) {
+  zi::Mask m(16, 5);
+  for (std::int64_t x = 2; x < 7; ++x) m.at(x, 2) = 1;
+  m.at(7, 2) = 0;  // 1-px gap
+  for (std::int64_t x = 8; x < 13; ++x) m.at(x, 2) = 1;
+  const zi::Mask c = zc::close(m, 1, zc::Element::kSquare);
+  EXPECT_EQ(c.at(7, 2), 1);
+}
+
+TEST(DiskElement, RoughlyIsotropic) {
+  const zi::Mask m = square_mask(21, {10, 10, 1, 1});
+  const zi::Mask d = zc::dilate(m, 4, zc::Element::kDisk);
+  // Disk of radius 4: axis points in, far corners out.
+  EXPECT_EQ(d.at(14, 10), 1);
+  EXPECT_EQ(d.at(10, 14), 1);
+  EXPECT_EQ(d.at(13, 13), 0);  // (3,3): 18 > 16 → outside
+  EXPECT_EQ(d.at(12, 12), 1);  // (2,2): 8 <= 16 → inside
+}
+
+TEST(BoundaryGradient, OnePixelBand) {
+  const zi::Mask m = square_mask(9, {2, 2, 5, 5});
+  const zi::Mask b = zc::boundary_gradient(m);
+  EXPECT_EQ(b.at(2, 2), 1);   // on the boundary
+  EXPECT_EQ(b.at(4, 4), 0);   // interior
+  EXPECT_EQ(b.at(0, 0), 0);   // far outside... dilation band
+  EXPECT_EQ(b.at(1, 2), 1);   // just outside the region
+}
+
+TEST(Morphology, NegativeRadiusThrows) {
+  const zi::Mask m(3, 3);
+  EXPECT_THROW(zc::dilate(m, -1), std::invalid_argument);
+}

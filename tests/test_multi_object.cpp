@@ -1,0 +1,100 @@
+// Multi-object segmentation tests (future-work item 2).
+#include <gtest/gtest.h>
+
+#include "zenesis/core/session.hpp"
+#include "zenesis/fibsem/synth.hpp"
+#include "zenesis/image/roi.hpp"
+
+namespace zc = zenesis::core;
+namespace zf = zenesis::fibsem;
+namespace zi = zenesis::image;
+
+namespace {
+
+zf::SyntheticSlice crystalline_slice() {
+  zf::SynthConfig cfg;
+  cfg.type = zf::SampleType::kCrystalline;
+  cfg.width = 128;
+  cfg.height = 128;
+  cfg.seed = 505;
+  return zf::generate_slice(cfg, 1);
+}
+
+}  // namespace
+
+TEST(MultiObject, LabelsAreWithinRange) {
+  const auto s = crystalline_slice();
+  zc::Session session;
+  const auto res = session.mode_a_segment_multi(
+      zi::AnyImage(s.raw),
+      {"bright needle-like crystalline catalyst", "dark background"});
+  ASSERT_EQ(res.per_prompt.size(), 2u);
+  for (auto v : res.labels.pixels()) {
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 2);
+  }
+}
+
+TEST(MultiObject, ClassesAreDisjointAndMatchPrompts) {
+  const auto s = crystalline_slice();
+  zc::Session session;
+  const auto res = session.mode_a_segment_multi(
+      zi::AnyImage(s.raw),
+      {"bright needle-like crystalline catalyst", "dark background"});
+
+  // Class 1 should be dominated by catalyst GT; class 2 by the holder.
+  std::int64_t c1 = 0, c1_gt = 0, c2 = 0, c2_gt = 0;
+  const zi::ImageF32 ready =
+      session.pipeline().make_ready(zi::AnyImage(s.raw));
+  for (std::int64_t y = 0; y < 128; ++y) {
+    for (std::int64_t x = 0; x < 128; ++x) {
+      const std::int32_t l = res.labels.at(x, y);
+      if (l == 1) {
+        ++c1;
+        c1_gt += s.ground_truth.at(x, y) != 0;
+      } else if (l == 2) {
+        ++c2;
+        c2_gt += ready.at(x, y) < 0.2f;  // holder pixels are near-black
+      }
+    }
+  }
+  ASSERT_GT(c1, 0);
+  ASSERT_GT(c2, 0);
+  EXPECT_GT(static_cast<double>(c1_gt) / static_cast<double>(c1), 0.5);
+  EXPECT_GT(static_cast<double>(c2_gt) / static_cast<double>(c2), 0.5);
+}
+
+TEST(MultiObject, SinglePromptMatchesModeA) {
+  const auto s = crystalline_slice();
+  zc::Session session;
+  const char* prompt = zf::default_prompt(zf::SampleType::kCrystalline);
+  const auto multi =
+      session.mode_a_segment_multi(zi::AnyImage(s.raw), {prompt});
+  const auto single = session.mode_a_segment(zi::AnyImage(s.raw), prompt);
+  zi::Mask from_labels(128, 128);
+  for (std::int64_t y = 0; y < 128; ++y) {
+    for (std::int64_t x = 0; x < 128; ++x) {
+      from_labels.at(x, y) = multi.labels.at(x, y) == 1 ? 1 : 0;
+    }
+  }
+  EXPECT_DOUBLE_EQ(zi::mask_iou(from_labels, single.mask), 1.0);
+}
+
+TEST(MultiObject, EmptyPromptListYieldsBackgroundOnly) {
+  const auto s = crystalline_slice();
+  zc::Session session;
+  const auto res = session.mode_a_segment_multi(zi::AnyImage(s.raw), {});
+  EXPECT_TRUE(res.per_prompt.empty());
+  for (auto v : res.labels.pixels()) EXPECT_EQ(v, 0);
+}
+
+TEST(MultiObject, UngroundablePromptClaimsNothing) {
+  const auto s = crystalline_slice();
+  zc::Session session;
+  const auto res = session.mode_a_segment_multi(
+      zi::AnyImage(s.raw),
+      {"bright needle-like crystalline catalyst", "zorblax quux"});
+  std::int64_t c2 = 0;
+  for (auto v : res.labels.pixels()) c2 += v == 2;
+  EXPECT_EQ(c2, 0);
+}

@@ -1,0 +1,164 @@
+// Tests for the data-readiness layer (Fig. 1 transform).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "zenesis/image/normalize.hpp"
+#include "zenesis/parallel/rng.hpp"
+
+namespace zi = zenesis::image;
+
+namespace {
+
+zi::ImageF32 ramp_image(std::int64_t w, std::int64_t h) {
+  zi::ImageF32 img(w, h, 1);
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      img.at(x, y) = static_cast<float>(y * w + x) /
+                     static_cast<float>(w * h - 1);
+    }
+  }
+  return img;
+}
+
+}  // namespace
+
+TEST(ToFloat, U8ScalesByTypeMax) {
+  zi::ImageU8 img(2, 1, 1);
+  img.at(0, 0) = 0;
+  img.at(1, 0) = 255;
+  const zi::ImageF32 f = zi::to_float(zi::AnyImage(img));
+  EXPECT_FLOAT_EQ(f.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(f.at(1, 0), 1.0f);
+}
+
+TEST(ToFloat, U16ScalesByTypeMax) {
+  zi::ImageU16 img(1, 1, 1);
+  img.at(0, 0) = 65535;
+  EXPECT_FLOAT_EQ(zi::to_float(zi::AnyImage(img)).at(0, 0), 1.0f);
+}
+
+TEST(ToFloat, U32ScalesByTypeMax) {
+  zi::ImageU32 img(1, 1, 1);
+  img.at(0, 0) = 4294967295u;
+  EXPECT_NEAR(zi::to_float(zi::AnyImage(img)).at(0, 0), 1.0f, 1e-6f);
+}
+
+TEST(ToFloat, RgbReducedToLuminance) {
+  zi::ImageF32 rgb(1, 1, 3);
+  rgb.at(0, 0, 0) = 1.0f;  // pure red
+  const zi::ImageF32 g = zi::to_float(zi::AnyImage(rgb));
+  EXPECT_EQ(g.channels(), 1);
+  EXPECT_NEAR(g.at(0, 0), 0.299f, 1e-5f);
+}
+
+TEST(Stats, KnownValues) {
+  zi::ImageF32 img(2, 1, 1);
+  img.at(0, 0) = 0.0f;
+  img.at(1, 0) = 1.0f;
+  const zi::Stats s = zi::compute_stats(img);
+  EXPECT_FLOAT_EQ(s.min, 0.0f);
+  EXPECT_FLOAT_EQ(s.max, 1.0f);
+  EXPECT_DOUBLE_EQ(s.mean, 0.5);
+  EXPECT_NEAR(s.stddev, 0.5, 1e-9);
+}
+
+TEST(Percentile, MedianOfRamp) {
+  const zi::ImageF32 img = ramp_image(10, 10);
+  EXPECT_NEAR(zi::percentile(img, 50.0), 0.5f, 0.02f);
+  EXPECT_NEAR(zi::percentile(img, 0.0), 0.0f, 1e-6f);
+  EXPECT_NEAR(zi::percentile(img, 100.0), 1.0f, 1e-6f);
+}
+
+TEST(PercentileNormalize, ClipsOutliers) {
+  zi::ImageF32 img = ramp_image(10, 10);  // body spans [0,1]
+  img.at(0, 0) = 100.0f;  // hot pixel
+  img.at(1, 0) = -50.0f;  // dead pixel
+  const zi::ImageF32 n = zi::percentile_normalize(img, 5.0, 95.0);
+  // Outliers are clamped to the ends instead of compressing the body.
+  EXPECT_FLOAT_EQ(n.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(n.at(1, 0), 0.0f);
+  // The body keeps most of its dynamic range.
+  EXPECT_GT(n.at(9, 9) - n.at(2, 0), 0.8f);
+}
+
+TEST(PercentileNormalize, ConstantImageMapsToZero) {
+  zi::ImageF32 img(4, 4, 1);
+  img.fill(0.7f);
+  const zi::ImageF32 n = zi::percentile_normalize(img);
+  for (float v : n.pixels()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(MinmaxNormalize, FullRange) {
+  zi::ImageF32 img(2, 1, 1);
+  img.at(0, 0) = 2.0f;
+  img.at(1, 0) = 4.0f;
+  const zi::ImageF32 n = zi::minmax_normalize(img);
+  EXPECT_FLOAT_EQ(n.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(n.at(1, 0), 1.0f);
+}
+
+TEST(Histogram, CountsAndBounds) {
+  const zi::ImageF32 img = ramp_image(16, 16);
+  const auto h = zi::histogram(img, 0.0f, 1.0f, 16);
+  std::int64_t total = 0;
+  for (auto c : h) total += c;
+  EXPECT_EQ(total, 256);
+  EXPECT_THROW(zi::histogram(img, 1.0f, 0.0f, 16), std::invalid_argument);
+  EXPECT_THROW(zi::histogram(img, 0.0f, 1.0f, 0), std::invalid_argument);
+}
+
+TEST(Quantize, RoundTripPreservesOrdering) {
+  const zi::ImageF32 img = ramp_image(8, 8);
+  for (int bits : {8, 16, 32}) {
+    const zi::AnyImage q = zi::quantize(img, bits);
+    EXPECT_EQ(zi::bit_depth(q), bits);
+    const zi::ImageF32 back = zi::to_float(q);
+    EXPECT_NEAR(back.at(7, 7), 1.0f, 0.01f);
+    EXPECT_NEAR(back.at(0, 0), 0.0f, 0.01f);
+  }
+  EXPECT_THROW(zi::quantize(img, 12), std::invalid_argument);
+}
+
+TEST(Clahe, ImprovesLocalContrast) {
+  // Dim quadrant embedded in a bright image: CLAHE must stretch the dim
+  // quadrant's internal contrast.
+  zenesis::parallel::Rng rng(3);
+  zi::ImageF32 img(64, 64, 1);
+  for (std::int64_t y = 0; y < 64; ++y) {
+    for (std::int64_t x = 0; x < 64; ++x) {
+      const bool dim = x < 32 && y < 32;
+      const float base = dim ? 0.1f : 0.8f;
+      img.at(x, y) = base + 0.02f * static_cast<float>(rng.uniform());
+    }
+  }
+  const zi::ImageF32 eq = zi::clahe(img, 4, 4, 3.0);
+  auto local_range = [](const zi::ImageF32& m) {
+    float lo = 1e9f, hi = -1e9f;
+    for (std::int64_t y = 4; y < 28; ++y) {
+      for (std::int64_t x = 4; x < 28; ++x) {
+        lo = std::min(lo, m.at(x, y));
+        hi = std::max(hi, m.at(x, y));
+      }
+    }
+    return hi - lo;
+  };
+  EXPECT_GT(local_range(eq), local_range(img) * 2.0f);
+}
+
+TEST(MakeAiReady, OutputInUnitInterval) {
+  zi::ImageU16 raw(16, 16, 1);
+  for (std::int64_t y = 0; y < 16; ++y) {
+    for (std::int64_t x = 0; x < 16; ++x) {
+      raw.at(x, y) = static_cast<std::uint16_t>(500 + 100 * x + 17 * y);
+    }
+  }
+  const zi::ImageF32 ready = zi::make_ai_ready(zi::AnyImage(raw));
+  for (float v : ready.pixels()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+  // Range must be stretched to (nearly) full scale.
+  const zi::Stats s = zi::compute_stats(ready);
+  EXPECT_GT(s.max - s.min, 0.9f);
+}

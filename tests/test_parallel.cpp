@@ -1,0 +1,104 @@
+// Unit tests for the thread-pool substrate and data-parallel helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "zenesis/parallel/parallel_for.hpp"
+#include "zenesis/parallel/thread_pool.hpp"
+
+namespace zp = zenesis::parallel;
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  zp::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SizeResolvesToAtLeastOne) {
+  zp::ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  zp::ThreadPool pool(2);
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&zp::ThreadPool::global(), &zp::ThreadPool::global());
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr std::int64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  zp::parallel_for(0, kN, [&](std::int64_t i) { ++hits[static_cast<std::size_t>(i)]; });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  zp::parallel_for(5, 5, [&](std::int64_t) { called = true; });
+  zp::parallel_for(7, 3, [&](std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForChunked, CoversRangeWithoutOverlap) {
+  constexpr std::int64_t kN = 5000;
+  std::vector<std::atomic<int>> hits(kN);
+  zp::parallel_for_chunked(0, kN, 64, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) ++hits[static_cast<std::size_t>(i)];
+  });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForChunked, RespectsNonZeroBegin) {
+  std::atomic<std::int64_t> sum{0};
+  zp::parallel_for_chunked(100, 200, 7, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) sum += i;
+  });
+  std::int64_t expected = 0;
+  for (std::int64_t i = 100; i < 200; ++i) expected += i;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ParallelReduce, MatchesSerialSum) {
+  constexpr std::int64_t kN = 20000;
+  const double got = zp::parallel_reduce(
+      0, kN, 0.0,
+      [](std::int64_t i, double acc) { return acc + static_cast<double>(i); },
+      [](double a, double b) { return a + b; });
+  EXPECT_DOUBLE_EQ(got, static_cast<double>(kN) * (kN - 1) / 2.0);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsIdentity) {
+  const double got = zp::parallel_reduce(
+      3, 3, 42.0, [](std::int64_t, double acc) { return acc + 1.0; },
+      [](double a, double b) { return a + b; });
+  EXPECT_DOUBLE_EQ(got, 42.0);
+}
+
+TEST(ParallelFor, ResultIndependentOfPoolSize) {
+  // The same computation on 1-thread and N-thread pools must agree —
+  // the determinism contract the generator relies on.
+  constexpr std::int64_t kN = 4096;
+  std::vector<double> a(kN), b(kN);
+  zp::ThreadPool one(1), many(8);
+  zp::parallel_for(0, kN, [&](std::int64_t i) {
+    a[static_cast<std::size_t>(i)] = static_cast<double>(i * i) * 0.5;
+  }, one);
+  zp::parallel_for(0, kN, [&](std::int64_t i) {
+    b[static_cast<std::size_t>(i)] = static_cast<double>(i * i) * 0.5;
+  }, many);
+  EXPECT_EQ(a, b);
+}

@@ -1,0 +1,152 @@
+// ZenesisPipeline tests: Mode A segmentation, further-segment, volume mode.
+#include <gtest/gtest.h>
+
+#include "zenesis/core/pipeline.hpp"
+#include "zenesis/fibsem/synth.hpp"
+#include "zenesis/image/roi.hpp"
+
+namespace zc = zenesis::core;
+namespace zf = zenesis::fibsem;
+namespace zi = zenesis::image;
+
+namespace {
+
+zf::SynthConfig test_config(zf::SampleType type) {
+  zf::SynthConfig cfg;
+  cfg.type = type;
+  cfg.width = 128;
+  cfg.height = 128;
+  cfg.depth = 5;
+  cfg.seed = 7;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Pipeline, MakeReadyNormalizesRawU16) {
+  const auto s = zf::generate_slice(test_config(zf::SampleType::kCrystalline), 0);
+  zc::ZenesisPipeline pipe;
+  const zi::ImageF32 ready = pipe.make_ready(zi::AnyImage(s.raw));
+  for (float v : ready.pixels()) {
+    ASSERT_GE(v, 0.0f);
+    ASSERT_LE(v, 1.0f);
+  }
+}
+
+TEST(Pipeline, SegmentsCrystallineSliceWell) {
+  // 128-px smoke check; benchmark-grade quality (256 px, 10 slices) is
+  // asserted by test_integration and bench/table3.
+  const auto s = zf::generate_slice(test_config(zf::SampleType::kCrystalline), 1);
+  zc::ZenesisPipeline pipe;
+  const zc::SliceResult r = pipe.segment(
+      zi::AnyImage(s.raw), zf::default_prompt(zf::SampleType::kCrystalline));
+  EXPECT_FALSE(r.grounding.boxes.empty());
+  EXPECT_GT(zi::mask_iou(r.mask, s.ground_truth), 0.4);
+}
+
+TEST(Pipeline, SegmentsAmorphousSliceWell) {
+  const auto s = zf::generate_slice(test_config(zf::SampleType::kAmorphous), 1);
+  zc::ZenesisPipeline pipe;
+  const zc::SliceResult r = pipe.segment(
+      zi::AnyImage(s.raw), zf::default_prompt(zf::SampleType::kAmorphous));
+  EXPECT_GT(zi::mask_iou(r.mask, s.ground_truth), 0.5);
+}
+
+TEST(Pipeline, EmptyPromptGivesEmptyResult) {
+  const auto s = zf::generate_slice(test_config(zf::SampleType::kCrystalline), 0);
+  zc::ZenesisPipeline pipe;
+  const zc::SliceResult r = pipe.segment(zi::AnyImage(s.raw), "");
+  EXPECT_TRUE(r.grounding.boxes.empty());
+  EXPECT_EQ(zi::mask_area(r.mask), 0);
+  EXPECT_TRUE(r.primary_box.empty());
+}
+
+TEST(Pipeline, SegmentWithBoxBypassesGrounding) {
+  const auto s = zf::generate_slice(test_config(zf::SampleType::kCrystalline), 0);
+  zc::ZenesisPipeline pipe;
+  const zi::ImageF32 ready = pipe.make_ready(zi::AnyImage(s.raw));
+  const zc::SliceResult r = pipe.segment_with_box(ready, {10, 10, 100, 60});
+  EXPECT_EQ(r.primary_box, (zi::Box{10, 10, 100, 60}));
+  EXPECT_EQ(r.box_masks.size(), 1u);
+}
+
+TEST(Pipeline, MaxBoxesCapRespected) {
+  zc::PipelineConfig cfg;
+  cfg.max_boxes = 1;
+  zc::ZenesisPipeline pipe(cfg);
+  const auto s = zf::generate_slice(test_config(zf::SampleType::kAmorphous), 0);
+  const zc::SliceResult r = pipe.segment(
+      zi::AnyImage(s.raw), zf::default_prompt(zf::SampleType::kAmorphous));
+  EXPECT_LE(r.box_masks.size(), 1u);
+}
+
+TEST(Pipeline, VolumeModeProducesPerSliceResults) {
+  const auto vol = zf::generate_volume(test_config(zf::SampleType::kCrystalline));
+  zc::ZenesisPipeline pipe;
+  const zc::VolumeResult r = pipe.segment_volume(
+      vol.volume, zf::default_prompt(zf::SampleType::kCrystalline));
+  EXPECT_EQ(r.slices.size(), 5u);
+  EXPECT_EQ(r.raw_boxes.size(), 5u);
+  EXPECT_EQ(r.refined_boxes.size(), 5u);
+  EXPECT_EQ(r.masks().size(), 5u);
+}
+
+TEST(Pipeline, HeuristicRefineCanBeDisabled) {
+  auto cfg = zc::PipelineConfig{};
+  cfg.enable_heuristic_refine = false;
+  zc::ZenesisPipeline pipe(cfg);
+  const auto vol = zf::generate_volume(test_config(zf::SampleType::kCrystalline));
+  const zc::VolumeResult r = pipe.segment_volume(
+      vol.volume, zf::default_prompt(zf::SampleType::kCrystalline));
+  EXPECT_EQ(r.replaced_count, 0);
+  EXPECT_EQ(r.raw_boxes, r.refined_boxes);
+}
+
+TEST(Pipeline, FurtherSegmentStaysInsideRoi) {
+  const auto s = zf::generate_slice(test_config(zf::SampleType::kCrystalline), 1);
+  zc::ZenesisPipeline pipe;
+  const zc::SliceResult parent = pipe.segment(
+      zi::AnyImage(s.raw), zf::default_prompt(zf::SampleType::kCrystalline));
+  const zi::Box roi{8, 8, 64, 48};
+  const zc::SliceResult child = pipe.further_segment(
+      parent, roi, zf::default_prompt(zf::SampleType::kCrystalline));
+  const zi::Box bounds = zi::mask_bounds(child.mask);
+  if (!bounds.empty()) {
+    EXPECT_GE(bounds.x, roi.x);
+    EXPECT_GE(bounds.y, roi.y);
+    EXPECT_LE(bounds.right(), roi.right());
+    EXPECT_LE(bounds.bottom(), roi.bottom());
+  }
+  // Child boxes are reported in parent coordinates.
+  for (const auto& b : child.grounding.boxes) {
+    EXPECT_GE(b.box.x, roi.x);
+    EXPECT_GE(b.box.y, roi.y);
+  }
+}
+
+TEST(Pipeline, FurtherSegmentEmptyRoiIsEmpty) {
+  const auto s = zf::generate_slice(test_config(zf::SampleType::kCrystalline), 0);
+  zc::ZenesisPipeline pipe;
+  const zc::SliceResult parent = pipe.segment(
+      zi::AnyImage(s.raw), zf::default_prompt(zf::SampleType::kCrystalline));
+  const zc::SliceResult child =
+      pipe.further_segment(parent, {200, 200, 10, 10}, "bright catalyst");
+  EXPECT_EQ(zi::mask_area(child.mask), 0);
+}
+
+TEST(Baselines, OtsuReturnsMask) {
+  const auto s = zf::generate_slice(test_config(zf::SampleType::kAmorphous), 0);
+  zc::ZenesisPipeline pipe;
+  const zi::ImageF32 ready = pipe.make_ready(zi::AnyImage(s.raw));
+  const zi::Mask m = zc::baseline_otsu(ready);
+  EXPECT_EQ(m.width(), 128);
+  EXPECT_GT(zi::mask_area(m), 0);
+}
+
+TEST(Baselines, SamOnlyReturnsMask) {
+  const auto s = zf::generate_slice(test_config(zf::SampleType::kCrystalline), 0);
+  zc::ZenesisPipeline pipe;
+  const zi::ImageF32 ready = pipe.make_ready(zi::AnyImage(s.raw));
+  const zi::Mask m = zc::baseline_sam_only(pipe.sam(), ready);
+  EXPECT_EQ(m.width(), 128);
+}

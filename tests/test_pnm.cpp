@@ -1,0 +1,61 @@
+// PGM/PPM writer/reader tests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "zenesis/io/pnm.hpp"
+
+namespace zio = zenesis::io;
+namespace zi = zenesis::image;
+
+namespace {
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+}  // namespace
+
+TEST(Pnm, PgmRoundTrip) {
+  const std::string path = temp_path("zenesis_test.pgm");
+  zi::ImageU8 img(5, 3, 1);
+  img.at(4, 2) = 200;
+  img.at(0, 0) = 10;
+  zio::write_pgm(path, img);
+  const zi::ImageU8 back = zio::read_pgm(path);
+  EXPECT_EQ(back.width(), 5);
+  EXPECT_EQ(back.height(), 3);
+  EXPECT_EQ(back.at(4, 2), 200);
+  EXPECT_EQ(back.at(0, 0), 10);
+  std::remove(path.c_str());
+}
+
+TEST(Pnm, PgmF32ClampsAndScales) {
+  const std::string path = temp_path("zenesis_test_f32.pgm");
+  zi::ImageF32 img(2, 1, 1);
+  img.at(0, 0) = -0.5f;
+  img.at(1, 0) = 2.0f;
+  zio::write_pgm_f32(path, img);
+  const zi::ImageU8 back = zio::read_pgm(path);
+  EXPECT_EQ(back.at(0, 0), 0);
+  EXPECT_EQ(back.at(1, 0), 255);
+  std::remove(path.c_str());
+}
+
+TEST(Pnm, PpmRequiresRgb) {
+  const std::string path = temp_path("zenesis_test.ppm");
+  zi::ImageU8 rgb(2, 2, 3);
+  rgb.at(1, 1, 2) = 99;
+  zio::write_ppm(path, rgb);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::remove(path.c_str());
+  EXPECT_THROW(zio::write_ppm(path, zi::ImageU8(2, 2, 1)), std::runtime_error);
+}
+
+TEST(Pnm, PgmRejectsMultichannel) {
+  EXPECT_THROW(zio::write_pgm(temp_path("x.pgm"), zi::ImageU8(2, 2, 3)),
+               std::runtime_error);
+}
+
+TEST(Pnm, ReadMissingFileThrows) {
+  EXPECT_THROW(zio::read_pgm("/nonexistent/file.pgm"), std::runtime_error);
+}

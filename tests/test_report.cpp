@@ -1,0 +1,69 @@
+// Table/CSV/JSON report writer tests.
+#include <gtest/gtest.h>
+
+#include "zenesis/io/report.hpp"
+
+namespace zio = zenesis::io;
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  zio::Table t({"name", "value"});
+  t.add_row({std::string("with,comma"), std::int64_t{1}});
+  t.add_row({std::string("with \"quote\""), 2.5});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with \"\"quote\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvHeaderFirst) {
+  zio::Table t({"a", "b"});
+  t.add_row({std::int64_t{1}, std::int64_t{2}});
+  EXPECT_EQ(t.to_csv().substr(0, 4), "a,b\n");
+}
+
+TEST(Table, RowCellCountValidated) {
+  zio::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::int64_t{1}}), std::invalid_argument);
+}
+
+TEST(Table, EmptyColumnsRejected) {
+  EXPECT_THROW(zio::Table({}), std::invalid_argument);
+}
+
+TEST(Table, AsciiAlignsColumns) {
+  zio::Table t({"metric", "v"});
+  t.add_row({std::string("accuracy"), 0.987});
+  const std::string ascii = t.to_ascii();
+  EXPECT_NE(ascii.find("| accuracy |"), std::string::npos);
+  EXPECT_NE(ascii.find("+"), std::string::npos);
+}
+
+TEST(FormatCell, DoublesUseSixSignificantDigits) {
+  EXPECT_EQ(zio::format_cell(0.123456789), "0.123457");
+  EXPECT_EQ(zio::format_cell(std::int64_t{42}), "42");
+  EXPECT_EQ(zio::format_cell(std::string("x")), "x");
+}
+
+TEST(Json, ScalarsAndEscapes) {
+  zio::JsonObject o;
+  o.set("name", std::string("line\nbreak \"q\""));
+  o.set("count", std::int64_t{3});
+  o.set("score", 0.5);
+  const std::string s = o.to_string();
+  EXPECT_NE(s.find("\\n"), std::string::npos);
+  EXPECT_NE(s.find("\\\"q\\\""), std::string::npos);
+  EXPECT_NE(s.find("\"count\": 3"), std::string::npos);
+}
+
+TEST(Json, NestedArrays) {
+  zio::JsonObject child;
+  child.set("slice", std::int64_t{0});
+  zio::JsonObject root;
+  root.set_array("items", {child});
+  const std::string s = root.to_string();
+  EXPECT_NE(s.find("\"items\": [{"), std::string::npos);
+}
+
+TEST(JsonEscape, PassesPlainText) {
+  EXPECT_EQ(zio::json_escape("hello"), "hello");
+  EXPECT_EQ(zio::json_escape("a\\b"), "a\\\\b");
+}

@@ -1,0 +1,105 @@
+// Unit + statistical tests for the deterministic splittable RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "zenesis/parallel/rng.hpp"
+
+namespace zp = zenesis::parallel;
+
+TEST(Rng, DeterministicForSameSeedAndStream) {
+  zp::Rng a(123, 7), b(123, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentStreamsDiffer) {
+  zp::Rng a(123, 0), b(123, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.next_u64() == b.next_u64();
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  zp::Rng a(1, 0), b(2, 0);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  zp::Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  zp::Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  zp::Rng rng(7);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  zp::Rng rng(9);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParamsScales) {
+  zp::Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.1);
+}
+
+TEST(Rng, PoissonMeanMatchesLambdaSmall) {
+  zp::Rng rng(13);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.poisson(3.5));
+  EXPECT_NEAR(sum / kN, 3.5, 0.1);
+}
+
+TEST(Rng, PoissonMeanMatchesLambdaLarge) {
+  zp::Rng rng(17);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.poisson(400.0));
+  EXPECT_NEAR(sum / kN, 400.0, 2.0);
+}
+
+TEST(Rng, PoissonZeroLambdaIsZero) {
+  zp::Rng rng(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, UniformIndexInRange) {
+  zp::Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_index(17), 17u);
+  }
+}

@@ -1,0 +1,98 @@
+// Tests for crop/paste/overlay/mask utilities.
+#include <gtest/gtest.h>
+
+#include "zenesis/image/roi.hpp"
+
+namespace zi = zenesis::image;
+
+namespace {
+
+zi::Mask make_mask(std::int64_t w, std::int64_t h,
+                   std::initializer_list<zi::Point> fg) {
+  zi::Mask m(w, h);
+  for (const auto& p : fg) m.at(p.x, p.y) = 1;
+  return m;
+}
+
+}  // namespace
+
+TEST(Crop, ExtractsSubimage) {
+  zi::ImageF32 img(4, 4, 1);
+  img.at(2, 1) = 0.7f;
+  const zi::ImageF32 c = zi::crop(img, {1, 1, 2, 2});
+  EXPECT_EQ(c.width(), 2);
+  EXPECT_EQ(c.height(), 2);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 0.7f);
+}
+
+TEST(Crop, ClipsToImage) {
+  zi::ImageF32 img(4, 4, 1);
+  const zi::ImageF32 c = zi::crop(img, {2, 2, 10, 10});
+  EXPECT_EQ(c.width(), 2);
+  EXPECT_EQ(c.height(), 2);
+}
+
+TEST(PasteMask, OffsetsAndClips) {
+  zi::Mask dst(5, 5);
+  zi::Mask patch = make_mask(2, 2, {{0, 0}, {1, 1}});
+  zi::paste_mask(dst, patch, {4, 4, 2, 2});
+  EXPECT_EQ(dst.at(4, 4), 1);  // (1,1) of patch falls outside → clipped
+  EXPECT_EQ(zi::mask_area(dst), 1);
+}
+
+TEST(MaskArea, CountsForeground) {
+  const zi::Mask m = make_mask(3, 3, {{0, 0}, {2, 2}});
+  EXPECT_EQ(zi::mask_area(m), 2);
+  EXPECT_NEAR(zi::mask_fraction(m), 2.0 / 9.0, 1e-12);
+}
+
+TEST(MaskBounds, TightBox) {
+  const zi::Mask m = make_mask(6, 6, {{1, 2}, {4, 3}});
+  EXPECT_EQ(zi::mask_bounds(m), (zi::Box{1, 2, 4, 2}));
+  EXPECT_TRUE(zi::mask_bounds(zi::Mask(3, 3)).empty());
+}
+
+TEST(MaskIou, BasicProperties) {
+  const zi::Mask a = make_mask(4, 1, {{0, 0}, {1, 0}});
+  const zi::Mask b = make_mask(4, 1, {{1, 0}, {2, 0}});
+  EXPECT_NEAR(zi::mask_iou(a, b), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(zi::mask_iou(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(zi::mask_iou(zi::Mask(4, 1), zi::Mask(4, 1)), 1.0);
+  EXPECT_DOUBLE_EQ(zi::mask_iou(a, zi::Mask(4, 1)), 0.0);
+}
+
+TEST(MaskLogic, AndOrNot) {
+  const zi::Mask a = make_mask(3, 1, {{0, 0}, {1, 0}});
+  const zi::Mask b = make_mask(3, 1, {{1, 0}, {2, 0}});
+  EXPECT_EQ(zi::mask_area(zi::mask_and(a, b)), 1);
+  EXPECT_EQ(zi::mask_area(zi::mask_or(a, b)), 3);
+  EXPECT_EQ(zi::mask_area(zi::mask_not(a)), 1);
+}
+
+TEST(OverlayMask, ForegroundTintedBoundaryMarked) {
+  zi::ImageF32 img(5, 5, 1);
+  img.fill(0.5f);
+  const zi::Mask m = make_mask(5, 5, {{2, 2}});
+  const zi::ImageU8 ov = zi::overlay_mask(img, m);
+  EXPECT_EQ(ov.channels(), 3);
+  // Isolated pixel is all-boundary → red.
+  EXPECT_EQ(ov.at(2, 2, 0), 255);
+  // Background stays gray.
+  EXPECT_EQ(ov.at(0, 0, 0), ov.at(0, 0, 1));
+}
+
+TEST(DrawBox, PaintsOutlineOnly) {
+  zi::ImageU8 img(6, 6, 3);
+  zi::draw_box(img, {1, 1, 4, 4}, 255, 0, 0);
+  EXPECT_EQ(img.at(1, 1, 0), 255);
+  EXPECT_EQ(img.at(4, 1, 0), 255);
+  EXPECT_EQ(img.at(2, 2, 0), 0);  // interior untouched
+}
+
+TEST(DrawBox, OutOfBoundsBoxIsClipped) {
+  zi::ImageU8 img(4, 4, 3);
+  zi::draw_box(img, {-10, -10, 100, 100}, 0, 255, 0);
+  EXPECT_EQ(img.at(0, 0, 1), 255);
+  zi::draw_box(img, {10, 10, 2, 2}, 0, 255, 0);  // fully outside: no throw
+  SUCCEED();
+}

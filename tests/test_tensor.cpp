@@ -1,0 +1,79 @@
+// Unit tests for the Tensor container.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "zenesis/tensor/tensor.hpp"
+
+namespace zt = zenesis::tensor;
+
+TEST(Tensor, DefaultIsEmpty) {
+  zt::Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_EQ(t.rank(), 0u);
+}
+
+TEST(Tensor, ShapeConstructionZeroInitializes) {
+  zt::Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.rank(), 2u);
+  for (float v : t.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, ValueConstructionRoundTrips) {
+  zt::Tensor t({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(Tensor, ValueCountMismatchThrows) {
+  EXPECT_THROW(zt::Tensor({2, 2}, {1.0f, 2.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, NegativeDimensionThrows) {
+  EXPECT_THROW(zt::Tensor(zt::Shape{-1, 4}), std::invalid_argument);
+}
+
+TEST(Tensor, Rank3And4Indexing) {
+  zt::Tensor t3({2, 3, 4});
+  t3.at(1, 2, 3) = 7.0f;
+  EXPECT_EQ(t3.at(1, 2, 3), 7.0f);
+  EXPECT_EQ(t3.flat()[1 * 12 + 2 * 4 + 3], 7.0f);
+
+  zt::Tensor t4({2, 2, 2, 2});
+  t4.at(1, 0, 1, 0) = 3.0f;
+  EXPECT_EQ(t4.flat()[8 + 0 + 2 + 0], 3.0f);
+}
+
+TEST(Tensor, RowPointerMatchesIndexing) {
+  zt::Tensor t({3, 4});
+  t.at(2, 1) = 5.5f;
+  EXPECT_EQ(t.row(2)[1], 5.5f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  zt::Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  zt::Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_EQ(r.at(0, 1), 2.0f);
+}
+
+TEST(Tensor, ReshapeWrongCountThrows) {
+  zt::Tensor t({2, 3});
+  EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, FillSetsEveryElement) {
+  zt::Tensor t({5, 5});
+  t.fill(2.5f);
+  for (float v : t.flat()) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(Tensor, ZeroSizedDimensionAllowed) {
+  zt::Tensor t({0, 7});
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_TRUE(t.empty());
+}

@@ -1,0 +1,101 @@
+// Text tokenizer / vocabulary / encoder tests.
+#include <gtest/gtest.h>
+
+#include "zenesis/models/text_encoder.hpp"
+
+namespace zm = zenesis::models;
+
+TEST(Tokenize, LowercasesAndSplits) {
+  const auto words = zm::tokenize("Bright, Needle-like CATALYST!");
+  ASSERT_EQ(words.size(), 4u);
+  EXPECT_EQ(words[0], "bright");
+  EXPECT_EQ(words[1], "needle");
+  EXPECT_EQ(words[2], "like");
+  EXPECT_EQ(words[3], "catalyst");
+}
+
+TEST(Tokenize, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(zm::tokenize("").empty());
+  EXPECT_TRUE(zm::tokenize("... !!! ---").empty());
+}
+
+TEST(Vocabulary, KnownWordsHaveConcepts) {
+  const auto t = zm::lookup_concept("needle");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(t->known);
+  EXPECT_GT(t->weight, 0.5f);
+  // Needle concept prefers high orientation coherence.
+  EXPECT_GT(t->concept_vec[zm::kCoherence], 1.0f);
+}
+
+TEST(Vocabulary, OppositePolarity) {
+  const auto bright = zm::lookup_concept("bright");
+  const auto dark = zm::lookup_concept("dark");
+  ASSERT_TRUE(bright && dark);
+  EXPECT_GT(bright->concept_vec[zm::kIntensity], 0.0f);
+  EXPECT_LT(dark->concept_vec[zm::kIntensity], 0.0f);
+}
+
+TEST(Vocabulary, UnknownWordIsNullopt) {
+  EXPECT_FALSE(zm::lookup_concept("flibbertigibbet").has_value());
+}
+
+TEST(Parse, DropsStopWords) {
+  zm::TextEncoder enc;
+  const auto tokens = enc.parse("the bright catalyst in a membrane");
+  std::vector<std::string> words;
+  for (const auto& t : tokens) words.push_back(t.word);
+  EXPECT_EQ(words, (std::vector<std::string>{"bright", "catalyst", "membrane"}));
+}
+
+TEST(Parse, UnknownWordsGetLowWeight) {
+  zm::TextEncoder enc;
+  const auto tokens = enc.parse("zorblax");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_FALSE(tokens[0].known);
+  EXPECT_LT(tokens[0].weight, 0.3f);
+  for (float v : tokens[0].concept_vec) EXPECT_LT(std::abs(v), 0.2f);
+}
+
+TEST(Parse, UnknownEmbeddingDeterministic) {
+  zm::TextEncoder a(7), b(7), c(8);
+  const auto ta = a.parse("zorblax")[0];
+  const auto tb = b.parse("zorblax")[0];
+  const auto tc = c.parse("zorblax")[0];
+  EXPECT_EQ(ta.concept_vec, tb.concept_vec);
+  EXPECT_NE(ta.concept_vec, tc.concept_vec);
+}
+
+TEST(Encode, MatrixShapeMatchesTokens) {
+  zm::TextEncoder enc;
+  const auto t = enc.encode("bright needle catalyst");
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t.dim(1), zm::kFeatureChannels);
+}
+
+TEST(Encode, EmptyPromptZeroRows) {
+  zm::TextEncoder enc;
+  EXPECT_EQ(enc.encode("").dim(0), 0);
+}
+
+TEST(Encode, RowsAreWeightScaled) {
+  zm::TextEncoder enc;
+  const auto tokens = enc.parse("needle");
+  const auto mat = enc.encode("needle");
+  EXPECT_NEAR(mat.at(0, zm::kCoherence),
+              tokens[0].concept_vec[zm::kCoherence] * tokens[0].weight, 1e-5f);
+}
+
+TEST(TotalWeight, AccumulatesEvidence) {
+  zm::TextEncoder enc;
+  EXPECT_GT(enc.total_weight("bright needle catalyst"), 2.0f);
+  EXPECT_LT(enc.total_weight("zorblax"), 0.3f);
+}
+
+TEST(Vocabulary, DomainCoverage) {
+  // The materials vocabulary the paper's workflows rely on must exist.
+  for (const char* word : {"catalyst", "membrane", "ionomer", "crystalline",
+                           "amorphous", "particle", "pore", "background"}) {
+    EXPECT_TRUE(zm::lookup_concept(word).has_value()) << word;
+  }
+}

@@ -1,0 +1,141 @@
+// Otsu and thresholding tests.
+#include <gtest/gtest.h>
+
+#include "zenesis/cv/threshold.hpp"
+#include "zenesis/parallel/rng.hpp"
+
+namespace zc = zenesis::cv;
+namespace zi = zenesis::image;
+
+namespace {
+
+/// Bimodal image: left half around `lo`, right half around `hi`.
+zi::ImageF32 bimodal(std::int64_t w, std::int64_t h, float lo, float hi,
+                     float noise, std::uint64_t seed) {
+  zenesis::parallel::Rng rng(seed);
+  zi::ImageF32 img(w, h, 1);
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      const float base = x < w / 2 ? lo : hi;
+      img.at(x, y) = base + static_cast<float>(rng.normal(0.0, noise));
+    }
+  }
+  return img;
+}
+
+}  // namespace
+
+TEST(OtsuBin, SeparatesTwoSpikes) {
+  std::vector<std::int64_t> hist(256, 0);
+  hist[40] = 1000;
+  hist[200] = 1000;
+  const int cut = zc::otsu_bin(hist);
+  EXPECT_GE(cut, 40);
+  EXPECT_LT(cut, 200);
+}
+
+TEST(OtsuBin, EmptyHistogramIsZero) {
+  std::vector<std::int64_t> hist(256, 0);
+  EXPECT_EQ(zc::otsu_bin(hist), 0);
+}
+
+TEST(OtsuBin, TooFewBinsThrows) {
+  EXPECT_THROW(zc::otsu_bin({5}), std::invalid_argument);
+}
+
+TEST(OtsuThreshold, SplitsBimodalImage) {
+  const zi::ImageF32 img = bimodal(64, 64, 0.2f, 0.8f, 0.03f, 1);
+  const zc::ThresholdResult r = zc::otsu_threshold(img);
+  EXPECT_GT(r.threshold, 0.3f);
+  EXPECT_LT(r.threshold, 0.7f);
+  // Right half must be foreground.
+  std::int64_t correct = 0;
+  for (std::int64_t y = 0; y < 64; ++y) {
+    for (std::int64_t x = 0; x < 64; ++x) {
+      const bool fg = r.mask.at(x, y) != 0;
+      correct += fg == (x >= 32);
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / (64 * 64), 0.99);
+}
+
+TEST(OtsuThreshold, DominatedByLargestContrast) {
+  // Three phases: black 40%, gray 48%, bright 12%. Otsu's single cut must
+  // fall between black and the rest — the paper's crystalline failure.
+  zenesis::parallel::Rng rng(2);
+  zi::ImageF32 img(100, 100, 1);
+  for (std::int64_t y = 0; y < 100; ++y) {
+    for (std::int64_t x = 0; x < 100; ++x) {
+      float base = 0.05f;           // holder
+      if (y < 60) base = 0.45f;     // membrane
+      if (y < 60 && x < 12) base = 0.85f;  // needles (12% of membrane rows)
+      img.at(x, y) = base + static_cast<float>(rng.normal(0.0, 0.02));
+    }
+  }
+  const zc::ThresholdResult r = zc::otsu_threshold(img);
+  EXPECT_LT(r.threshold, 0.45f);  // cut below the membrane level
+  // So the "foreground" is membrane+needles, vastly over-segmenting.
+  std::int64_t fg = 0;
+  for (auto v : r.mask.pixels()) fg += v != 0;
+  EXPECT_GT(fg, 50 * 100);
+}
+
+TEST(MultiOtsu, ThreeLevelsFindTwoCuts) {
+  zenesis::parallel::Rng rng(3);
+  zi::ImageF32 img(60, 60, 1);
+  for (std::int64_t y = 0; y < 60; ++y) {
+    for (std::int64_t x = 0; x < 60; ++x) {
+      const float base = x < 20 ? 0.1f : (x < 40 ? 0.5f : 0.9f);
+      img.at(x, y) = base + static_cast<float>(rng.normal(0.0, 0.02));
+    }
+  }
+  const auto cuts = zc::multi_otsu(img, 3);
+  ASSERT_EQ(cuts.size(), 2u);
+  EXPECT_GT(cuts[0], 0.1f);
+  EXPECT_LT(cuts[0], 0.5f);
+  EXPECT_GT(cuts[1], 0.5f);
+  EXPECT_LT(cuts[1], 0.9f);
+}
+
+TEST(MultiOtsu, LevelsValidated) {
+  zi::ImageF32 img(4, 4, 1);
+  EXPECT_THROW(zc::multi_otsu(img, 1), std::invalid_argument);
+  EXPECT_THROW(zc::multi_otsu(img, 5), std::invalid_argument);
+}
+
+TEST(MultiOtsu, TwoLevelsAgreesWithOtsuRoughly) {
+  const zi::ImageF32 img = bimodal(64, 64, 0.2f, 0.8f, 0.03f, 4);
+  const auto cuts = zc::multi_otsu(img, 2);
+  ASSERT_EQ(cuts.size(), 1u);
+  const zc::ThresholdResult r = zc::otsu_threshold(img);
+  EXPECT_NEAR(cuts[0], r.threshold, 0.06f);
+}
+
+TEST(FixedThreshold, StrictlyGreater) {
+  zi::ImageF32 img(2, 1, 1);
+  img.at(0, 0) = 0.5f;
+  img.at(1, 0) = 0.51f;
+  const zi::Mask m = zc::fixed_threshold(img, 0.5f);
+  EXPECT_EQ(m.at(0, 0), 0);
+  EXPECT_EQ(m.at(1, 0), 1);
+}
+
+TEST(AdaptiveMeanThreshold, TracksLocalShading) {
+  // A bright blob on a linear shading ramp: a global threshold fails on
+  // one side, the adaptive threshold does not.
+  zi::ImageF32 img(80, 40, 1);
+  for (std::int64_t y = 0; y < 40; ++y) {
+    for (std::int64_t x = 0; x < 80; ++x) {
+      img.at(x, y) = 0.2f + 0.5f * static_cast<float>(x) / 80.0f;
+    }
+  }
+  // Two identical bumps at the dark and bright ends.
+  for (std::int64_t y = 18; y < 22; ++y) {
+    for (std::int64_t x = 8; x < 12; ++x) img.at(x, y) += 0.2f;
+    for (std::int64_t x = 68; x < 72; ++x) img.at(x, y) += 0.2f;
+  }
+  const zi::Mask m = zc::adaptive_mean_threshold(img, 6, 0.05f);
+  EXPECT_EQ(m.at(10, 20), 1);  // dark-end bump found
+  EXPECT_EQ(m.at(70, 20), 1);  // bright-end bump found
+  EXPECT_EQ(m.at(40, 5), 0);   // plain ramp is background
+}

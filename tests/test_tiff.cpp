@@ -1,0 +1,149 @@
+// TIFF reader/writer tests: round trips, multi-page, malformed input.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "zenesis/io/tiff.hpp"
+
+namespace zio = zenesis::io;
+namespace zi = zenesis::image;
+
+namespace {
+
+zi::ImageU16 ramp_u16(std::int64_t w, std::int64_t h, std::uint16_t base) {
+  zi::ImageU16 img(w, h, 1);
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      img.at(x, y) = static_cast<std::uint16_t>(base + y * w + x);
+    }
+  }
+  return img;
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+}  // namespace
+
+TEST(Tiff, RoundTripU16InMemory) {
+  zio::TiffStack stack;
+  stack.pages.emplace_back(ramp_u16(7, 5, 1000));
+  const auto bytes = zio::write_tiff_bytes(stack);
+  const zio::TiffStack back = zio::read_tiff_bytes(bytes);
+  ASSERT_EQ(back.pages.size(), 1u);
+  const auto& img = std::get<zi::ImageU16>(back.pages[0]);
+  EXPECT_EQ(img.width(), 7);
+  EXPECT_EQ(img.height(), 5);
+  EXPECT_EQ(img.at(3, 2), 1000 + 2 * 7 + 3);
+}
+
+TEST(Tiff, RoundTripU8) {
+  zi::ImageU8 img(3, 3, 1);
+  img.at(1, 1) = 200;
+  zio::TiffStack stack;
+  stack.pages.emplace_back(img);
+  const zio::TiffStack back = zio::read_tiff_bytes(zio::write_tiff_bytes(stack));
+  EXPECT_EQ(std::get<zi::ImageU8>(back.pages[0]).at(1, 1), 200);
+}
+
+TEST(Tiff, RoundTripU32) {
+  zi::ImageU32 img(2, 2, 1);
+  img.at(1, 0) = 4000000000u;
+  zio::TiffStack stack;
+  stack.pages.emplace_back(img);
+  const zio::TiffStack back = zio::read_tiff_bytes(zio::write_tiff_bytes(stack));
+  EXPECT_EQ(std::get<zi::ImageU32>(back.pages[0]).at(1, 0), 4000000000u);
+}
+
+TEST(Tiff, MultiPageOrderPreserved) {
+  zio::TiffStack stack;
+  for (std::uint16_t z = 0; z < 5; ++z) {
+    stack.pages.emplace_back(ramp_u16(4, 4, static_cast<std::uint16_t>(z * 100)));
+  }
+  const zio::TiffStack back = zio::read_tiff_bytes(zio::write_tiff_bytes(stack));
+  ASSERT_EQ(back.pages.size(), 5u);
+  for (std::uint16_t z = 0; z < 5; ++z) {
+    EXPECT_EQ(std::get<zi::ImageU16>(back.pages[z]).at(0, 0), z * 100);
+  }
+}
+
+TEST(Tiff, FileRoundTripVolume) {
+  const std::string path = temp_path("zenesis_test_volume.tif");
+  zi::VolumeU16 vol(6, 4, 3);
+  vol.slice(2).at(5, 3) = 12345;
+  zio::write_volume_tiff(path, vol);
+  const zi::VolumeU16 back = zio::read_volume_tiff_u16(path);
+  EXPECT_EQ(back.depth(), 3);
+  EXPECT_EQ(back.slice(2).at(5, 3), 12345);
+  std::remove(path.c_str());
+}
+
+TEST(Tiff, RejectsGarbage) {
+  EXPECT_THROW(zio::read_tiff_bytes({1, 2, 3}), std::runtime_error);
+  std::vector<std::uint8_t> bad = {'X', 'X', 42, 0, 8, 0, 0, 0};
+  EXPECT_THROW(zio::read_tiff_bytes(bad), std::runtime_error);
+}
+
+TEST(Tiff, RejectsBadMagic) {
+  std::vector<std::uint8_t> bad = {'I', 'I', 43, 0, 8, 0, 0, 0};
+  EXPECT_THROW(zio::read_tiff_bytes(bad), std::runtime_error);
+}
+
+TEST(Tiff, RejectsTruncatedStrip) {
+  zio::TiffStack stack;
+  stack.pages.emplace_back(ramp_u16(8, 8, 0));
+  auto bytes = zio::write_tiff_bytes(stack);
+  bytes.resize(40);  // keep the header, drop pixel data and IFD
+  EXPECT_THROW(zio::read_tiff_bytes(bytes), std::runtime_error);
+}
+
+TEST(Tiff, EmptyStackWriteThrows) {
+  EXPECT_THROW(zio::write_tiff_bytes({}), std::runtime_error);
+}
+
+TEST(Tiff, MissingFileThrows) {
+  EXPECT_THROW(zio::read_tiff("/nonexistent/nowhere.tif"), std::runtime_error);
+}
+
+TEST(Tiff, BigEndianHeaderParses) {
+  // Hand-built big-endian single-strip 8-bit 2x1 image.
+  std::vector<std::uint8_t> be = {
+      'M', 'M', 0, 42, 0, 0, 0, 10,  // header: IFD at offset 10
+      0xAB, 0xCD,                    // pixel data at offset 8 (2 bytes)
+      0, 8,                          // 8 entries
+  };
+  auto entry = [&](std::uint16_t tag, std::uint16_t type, std::uint32_t count,
+                   std::uint32_t value) {
+    be.push_back(static_cast<std::uint8_t>(tag >> 8));
+    be.push_back(static_cast<std::uint8_t>(tag & 0xFF));
+    be.push_back(static_cast<std::uint8_t>(type >> 8));
+    be.push_back(static_cast<std::uint8_t>(type & 0xFF));
+    for (int i = 3; i >= 0; --i) be.push_back(static_cast<std::uint8_t>((count >> (8 * i)) & 0xFF));
+    if (type == 3) {  // SHORT: value left-justified in the 4-byte field
+      be.push_back(static_cast<std::uint8_t>((value >> 8) & 0xFF));
+      be.push_back(static_cast<std::uint8_t>(value & 0xFF));
+      be.push_back(0);
+      be.push_back(0);
+    } else {
+      for (int i = 3; i >= 0; --i) {
+        be.push_back(static_cast<std::uint8_t>((value >> (8 * i)) & 0xFF));
+      }
+    }
+  };
+  entry(256, 4, 1, 2);   // width
+  entry(257, 4, 1, 1);   // height
+  entry(258, 3, 1, 8);   // bits
+  entry(259, 3, 1, 1);   // compression: none
+  entry(273, 4, 1, 8);   // strip offset
+  entry(277, 3, 1, 1);   // samples per pixel
+  entry(278, 4, 1, 1);   // rows per strip
+  entry(279, 4, 1, 2);   // strip byte count
+  be.push_back(0); be.push_back(0); be.push_back(0); be.push_back(0);  // next IFD
+
+  const zio::TiffStack stack = zio::read_tiff_bytes(be);
+  const auto& img = std::get<zi::ImageU8>(stack.pages.at(0));
+  EXPECT_EQ(img.at(0, 0), 0xAB);
+  EXPECT_EQ(img.at(1, 0), 0xCD);
+}

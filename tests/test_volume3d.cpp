@@ -1,0 +1,129 @@
+// Heuristic volumetric box refinement tests (Fig. 7 behaviour).
+#include <gtest/gtest.h>
+
+#include "zenesis/volume3d/heuristic.hpp"
+
+namespace zv = zenesis::volume3d;
+namespace zi = zenesis::image;
+
+namespace {
+
+std::vector<zi::Box> stable_sequence(std::size_t n) {
+  std::vector<zi::Box> boxes;
+  for (std::size_t i = 0; i < n; ++i) {
+    boxes.push_back({10 + static_cast<std::int64_t>(i), 20, 40, 30});
+  }
+  return boxes;
+}
+
+}  // namespace
+
+TEST(MeanBox, AveragesComponents) {
+  const std::vector<zi::Box> boxes = {{0, 0, 10, 10}, {10, 10, 20, 20}};
+  const zi::Box m = zv::mean_box(boxes, 0, 2);
+  EXPECT_EQ(m, (zi::Box{5, 5, 15, 15}));
+}
+
+TEST(MeanBox, SkipsEmptyBoxes) {
+  const std::vector<zi::Box> boxes = {{0, 0, 10, 10}, {}, {20, 20, 10, 10}};
+  const zi::Box m = zv::mean_box(boxes, 0, 3);
+  EXPECT_EQ(m, (zi::Box{10, 10, 10, 10}));
+}
+
+TEST(MeanBox, AllEmptyIsEmpty) {
+  EXPECT_TRUE(zv::mean_box({{}, {}}, 0, 2).empty());
+}
+
+TEST(Refine, StableSequenceUntouched) {
+  const auto boxes = stable_sequence(8);
+  const zv::RefineOutcome out = zv::refine_box_sequence(boxes);
+  EXPECT_EQ(out.replaced_count, 0);
+  EXPECT_EQ(out.boxes, boxes);
+}
+
+TEST(Refine, OversizedOutlierReplaced) {
+  auto boxes = stable_sequence(8);
+  boxes[5] = {0, 0, 200, 150};  // 5x blow-up: a DINO failure
+  const zv::RefineOutcome out = zv::refine_box_sequence(boxes);
+  EXPECT_TRUE(out.replaced[5]);
+  EXPECT_EQ(out.replaced_count, 1);
+  EXPECT_LT(out.boxes[5].w, 60);
+  EXPECT_LT(out.boxes[5].h, 45);
+}
+
+TEST(Refine, UndersizedOutlierReplaced) {
+  auto boxes = stable_sequence(8);
+  boxes[6] = {30, 30, 5, 4};
+  const zv::RefineOutcome out = zv::refine_box_sequence(boxes);
+  EXPECT_TRUE(out.replaced[6]);
+}
+
+TEST(Refine, MissingDetectionFilledFromWindow) {
+  auto boxes = stable_sequence(8);
+  boxes[4] = {};  // detection failure
+  const zv::RefineOutcome out = zv::refine_box_sequence(boxes);
+  EXPECT_TRUE(out.replaced[4]);
+  EXPECT_FALSE(out.boxes[4].empty());
+  EXPECT_NEAR(static_cast<double>(out.boxes[4].w), 40.0, 1.0);
+}
+
+TEST(Refine, MissingNotFilledWhenDisabled) {
+  auto boxes = stable_sequence(8);
+  boxes[4] = {};
+  zv::HeuristicConfig cfg;
+  cfg.replace_missing = false;
+  const zv::RefineOutcome out = zv::refine_box_sequence(boxes, cfg);
+  EXPECT_TRUE(out.boxes[4].empty());
+  EXPECT_EQ(out.replaced_count, 0);
+}
+
+TEST(Refine, WarmupSlicesNotSizeChecked) {
+  // A big first box is accepted (no window yet).
+  std::vector<zi::Box> boxes = {{0, 0, 200, 200}};
+  auto rest = stable_sequence(5);
+  boxes.insert(boxes.end(), rest.begin(), rest.end());
+  const zv::RefineOutcome out = zv::refine_box_sequence(boxes);
+  EXPECT_FALSE(out.replaced[0]);
+}
+
+TEST(Refine, CorrectedWindowStopsErrorPropagation) {
+  // Two consecutive failures: the second window must use the *corrected*
+  // first value, keeping the average sane.
+  auto boxes = stable_sequence(10);
+  boxes[5] = {0, 0, 300, 300};
+  boxes[6] = {0, 0, 300, 300};
+  const zv::RefineOutcome out = zv::refine_box_sequence(boxes);
+  EXPECT_TRUE(out.replaced[5]);
+  EXPECT_TRUE(out.replaced[6]);
+  EXPECT_LT(out.boxes[6].w, 60);
+}
+
+TEST(Refine, FactorSweepMonotone) {
+  auto boxes = stable_sequence(10);
+  boxes[5] = {10, 20, 70, 52};  // ~1.75x
+  zv::HeuristicConfig strict, loose;
+  strict.size_factor = 1.3;
+  loose.size_factor = 2.5;
+  EXPECT_TRUE(zv::refine_box_sequence(boxes, strict).replaced[5]);
+  EXPECT_FALSE(zv::refine_box_sequence(boxes, loose).replaced[5]);
+}
+
+TEST(Refine, EmptyInputHandled) {
+  const zv::RefineOutcome out = zv::refine_box_sequence({});
+  EXPECT_TRUE(out.boxes.empty());
+  EXPECT_EQ(out.replaced_count, 0);
+}
+
+TEST(SliceConsistency, IdenticalMasksGiveOne) {
+  zi::Mask m(8, 8);
+  m.at(3, 3) = 1;
+  EXPECT_DOUBLE_EQ(zv::slice_consistency({m, m, m}), 1.0);
+  EXPECT_DOUBLE_EQ(zv::slice_consistency({m}), 1.0);
+}
+
+TEST(SliceConsistency, DisjointMasksGiveZero) {
+  zi::Mask a(8, 8), b(8, 8);
+  a.at(0, 0) = 1;
+  b.at(7, 7) = 1;
+  EXPECT_DOUBLE_EQ(zv::slice_consistency({a, b}), 0.0);
+}

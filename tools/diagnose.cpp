@@ -1,0 +1,203 @@
+// Ad-hoc diagnostic for pipeline tuning (not part of the build).
+#include <cstdio>
+
+#include "zenesis/core/session.hpp"
+#include "zenesis/eval/metrics.hpp"
+#include "zenesis/fibsem/synth.hpp"
+#include "zenesis/image/roi.hpp"
+#include "zenesis/io/pnm.hpp"
+#include "zenesis/cv/distance.hpp"
+#include "zenesis/cv/filters.hpp"
+
+using namespace zenesis;
+
+static void diagnose(fibsem::SampleType type) {
+  fibsem::SynthConfig cfg;
+  cfg.type = type;
+  cfg.width = 256;
+  cfg.height = 256;
+  cfg.seed = 2025;
+  const auto s = fibsem::generate_slice(cfg, 1);
+  const char* name = fibsem::sample_type_name(type);
+
+  core::Session session;
+  const image::ImageF32 ready =
+      session.pipeline().make_ready(image::AnyImage(s.raw));
+  std::printf("\n==== %s ==== GT fraction=%.3f\n", name,
+              image::mask_fraction(s.ground_truth));
+  io::write_pgm_f32(std::string("diag_") + name + "_ready.pgm", ready);
+  io::write_pgm_f32(std::string("diag_") + name + "_gt.pgm", [&] {
+    image::ImageF32 g(256, 256, 1);
+    for (std::int64_t y = 0; y < 256; ++y)
+      for (std::int64_t x = 0; x < 256; ++x)
+        g.at(x, y) = s.ground_truth.at(x, y) ? 1.0f : 0.0f;
+    return g;
+  }());
+
+  // Feature stats on GT vs non-GT patches
+  const auto maps = models::compute_features(ready);
+  double fgf[5] = {0}, bgf[5] = {0};
+  std::int64_t nfg = 0, nbg = 0;
+  for (std::int64_t y = 0; y < 256; ++y) {
+    for (std::int64_t x = 0; x < 256; ++x) {
+      const auto f = maps.at(x, y);
+      if (s.ground_truth.at(x, y)) {
+        for (int c = 0; c < 5; ++c) fgf[c] += f[c];
+        ++nfg;
+      } else {
+        for (int c = 0; c < 5; ++c) bgf[c] += f[c];
+        ++nbg;
+      }
+    }
+  }
+  std::printf("feat fg: I=%.3f T=%.3f E=%.3f C=%.3f R=%.3f\n", fgf[0] / nfg,
+              fgf[1] / nfg, fgf[2] / nfg, fgf[3] / nfg, fgf[4] / nfg);
+  std::printf("feat bg: I=%.3f T=%.3f E=%.3f C=%.3f R=%.3f\n", bgf[0] / nbg,
+              bgf[1] / nbg, bgf[2] / nbg, bgf[3] / nbg, bgf[4] / nbg);
+
+  // DINO
+  const auto g = session.pipeline().detector().detect(maps, fibsem::default_prompt(type));
+  std::printf("DINO: %zu boxes\n", g.boxes.size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, g.boxes.size()); ++i) {
+    // GT coverage of box
+    std::int64_t in_box_gt = 0;
+    const auto& b = g.boxes[i].box;
+    for (std::int64_t y = b.y; y < b.bottom(); ++y)
+      for (std::int64_t x = b.x; x < b.right(); ++x)
+        in_box_gt += s.ground_truth.at(x, y);
+    std::printf("  box[%zu] (%lld,%lld %lldx%lld) conf=%.3f gt_recall=%.2f "
+                "gt_density=%.2f\n",
+                i, (long long)b.x, (long long)b.y, (long long)b.w,
+                (long long)b.h, g.boxes[i].score,
+                (double)in_box_gt / image::mask_area(s.ground_truth),
+                (double)in_box_gt / b.area());
+  }
+  // relevance map dump
+  io::write_pgm_f32(std::string("diag_") + name + "_rel.pgm", [&] {
+    image::ImageF32 r(g.relevance.width(), g.relevance.height(), 1);
+    for (std::int64_t y = 0; y < r.height(); ++y)
+      for (std::int64_t x = 0; x < r.width(); ++x)
+        r.at(x, y) = 0.5f + 0.5f * g.relevance.at(x, y);
+    return r;
+  }());
+
+  // Zenesis result
+  const auto zres = session.pipeline().segment_ready(ready, fibsem::default_prompt(type));
+  const auto zm = eval::compute_metrics(zres.mask, s.ground_truth);
+  std::printf("ZENESIS: acc=%.3f iou=%.3f dice=%.3f pred_frac=%.3f\n",
+              zm.accuracy, zm.iou, zm.dice, image::mask_fraction(zres.mask));
+  io::write_ppm(std::string("diag_") + name + "_zen.ppm",
+                image::overlay_mask(ready, zres.mask));
+
+  // FP/FN structure of the Zenesis mask
+  {
+    // classify FP: near-dark-region (within 8px of pixel<0.15) vs other
+    image::Mask dark(256, 256);
+    for (std::int64_t y = 0; y < 256; ++y)
+      for (std::int64_t x = 0; x < 256; ++x)
+        dark.at(x, y) = ready.at(x, y) < 0.15f ? 1 : 0;
+    const auto dist = cv::distance_to_foreground(dark);
+    std::int64_t fp_halo = 0, fp_other = 0, fn = 0;
+    for (std::int64_t y = 0; y < 256; ++y) {
+      for (std::int64_t x = 0; x < 256; ++x) {
+        const bool p = zres.mask.at(x, y) != 0, g = s.ground_truth.at(x, y) != 0;
+        if (p && !g) (dist.at(x, y) < 8.0f ? fp_halo : fp_other)++;
+        if (!p && g) fn++;
+      }
+    }
+    std::printf("  FP near dark boundary: %lld, FP elsewhere: %lld, FN: %lld\n",
+                (long long)fp_halo, (long long)fp_other, (long long)fn);
+  }
+
+  // FN structure: residue statistics at FN pixels
+  {
+    const auto ctx = cv::median_filter_large(maps.channels[models::kIntensity], 48);
+    const auto ctx_s = cv::median_filter_large(maps.channels[models::kIntensity], 20);
+    std::int64_t bins[6] = {0};  // residue <0, 0-0.03, .03-.06, .06-.1, .1-.15, >.15
+    std::int64_t veto_only = 0;
+    for (std::int64_t y = 0; y < 256; ++y) {
+      for (std::int64_t x = 0; x < 256; ++x) {
+        if (zres.mask.at(x, y) != 0 || s.ground_truth.at(x, y) == 0) continue;
+        const float r = maps.channels[models::kIntensity].at(x, y) - ctx.at(x, y);
+        const float rs2 = maps.channels[models::kIntensity].at(x, y) - ctx_s.at(x, y);
+        int b = r < 0 ? 0 : r < 0.03f ? 1 : r < 0.06f ? 2 : r < 0.1f ? 3 : r < 0.15f ? 4 : 5;
+        bins[b]++;
+        if (r > 0.06f && rs2 < 0.015f) veto_only++;
+      }
+    }
+    std::printf("  FN residue bins: <0:%lld 0-.03:%lld .03-.06:%lld .06-.1:%lld .1-.15:%lld >.15:%lld veto_blocked:%lld\n",
+                (long long)bins[0], (long long)bins[1], (long long)bins[2],
+                (long long)bins[3], (long long)bins[4], (long long)bins[5],
+                (long long)veto_only);
+  }
+
+  // Per-box SAM candidate analysis for each DINO box
+  {
+    const auto enc = session.pipeline().sam().encode(ready);
+    for (std::size_t bi = 0; bi < std::min<std::size_t>(3, g.boxes.size()); ++bi) {
+      const auto cands =
+          session.pipeline().sam().predict_box_candidates(enc, g.boxes[bi].box);
+      for (const auto& c : cands) {
+        const auto cm = eval::compute_metrics(c.mask, s.ground_truth);
+        // mean relevance inside mask
+        double rsum = 0.0;
+        std::int64_t rn = 0;
+        for (std::int64_t y = 0; y < 256; ++y) {
+          for (std::int64_t x = 0; x < 256; ++x) {
+            if (c.mask.at(x, y) == 0) continue;
+            rsum += g.relevance.at(std::min(g.grid_w - 1, x / 8),
+                                   std::min(g.grid_h - 1, y / 8));
+            ++rn;
+          }
+        }
+        // replicate the pipeline's AlignmentScorer
+        double S = 0.0;
+        {
+          std::vector<float> vals;
+          const auto& b = g.boxes[bi].box;
+          auto align = [&](std::int64_t x, std::int64_t y) {
+            float dot = 0.0f;
+            for (int ch = 0; ch < 5; ++ch)
+              dot += g.concept_direction[(size_t)ch] *
+                     (maps.channels[(size_t)ch].at(x, y) - enc.enc.mean_feature.at(ch));
+            return dot;
+          };
+          for (std::int64_t y = b.y; y < b.bottom(); ++y)
+            for (std::int64_t x = b.x; x < b.right(); ++x) vals.push_back(align(x, y));
+          auto mid = vals.begin() + vals.size() / 2;
+          std::nth_element(vals.begin(), mid, vals.end());
+          const float theta = *mid;
+          auto p90i = vals.begin() + (size_t)(0.9 * (vals.size() - 1));
+          std::nth_element(vals.begin(), p90i, vals.end());
+          const double lam = 0.4 * std::max(0.0f, *p90i - theta);
+          for (std::int64_t y = b.y; y < b.bottom(); ++y)
+            for (std::int64_t x = b.x; x < b.right(); ++x)
+              if (c.mask.at(x, y)) S += align(x, y) - theta - lam;
+          std::printf(
+              "  box%zu cand p=%+d: iou=%.3f frac=%.3f stab=%.2f rim=%.2f "
+              "conf=%.3f relv=%.3f S=%.0f theta=%.2f lam=%.2f\n",
+              bi, c.polarity, cm.iou, c.area_fraction, c.stability,
+              c.rim_overlap, c.confidence, rn ? rsum / rn : 0.0, S, theta, lam);
+        }
+      }
+    }
+  }
+
+  // Otsu
+  const auto otsu = core::baseline_otsu(ready);
+  const auto om = eval::compute_metrics(otsu, s.ground_truth);
+  std::printf("OTSU: acc=%.3f iou=%.3f dice=%.3f pred_frac=%.3f\n", om.accuracy,
+              om.iou, om.dice, image::mask_fraction(otsu));
+
+  // SAM only
+  const auto sam = core::baseline_sam_only(session.pipeline().sam(), ready);
+  const auto sm = eval::compute_metrics(sam, s.ground_truth);
+  std::printf("SAM-ONLY: acc=%.3f iou=%.3f dice=%.3f pred_frac=%.3f\n",
+              sm.accuracy, sm.iou, sm.dice, image::mask_fraction(sam));
+}
+
+int main() {
+  diagnose(fibsem::SampleType::kCrystalline);
+  diagnose(fibsem::SampleType::kAmorphous);
+  return 0;
+}
