@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hitl.dir/ablation_hitl.cpp.o"
+  "CMakeFiles/ablation_hitl.dir/ablation_hitl.cpp.o.d"
+  "ablation_hitl"
+  "ablation_hitl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hitl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prompts.dir/ablation_prompts.cpp.o"
+  "CMakeFiles/ablation_prompts.dir/ablation_prompts.cpp.o.d"
+  "ablation_prompts"
+  "ablation_prompts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prompts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

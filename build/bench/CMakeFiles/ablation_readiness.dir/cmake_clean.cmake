@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_readiness.dir/ablation_readiness.cpp.o"
+  "CMakeFiles/ablation_readiness.dir/ablation_readiness.cpp.o.d"
+  "ablation_readiness"
+  "ablation_readiness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_readiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_data_readiness.dir/fig1_data_readiness.cpp.o"
+  "CMakeFiles/fig1_data_readiness.dir/fig1_data_readiness.cpp.o.d"
+  "fig1_data_readiness"
+  "fig1_data_readiness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_data_readiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_pipeline_walkthrough.dir/fig2_pipeline_walkthrough.cpp.o"
+  "CMakeFiles/fig2_pipeline_walkthrough.dir/fig2_pipeline_walkthrough.cpp.o.d"
+  "fig2_pipeline_walkthrough"
+  "fig2_pipeline_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_pipeline_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

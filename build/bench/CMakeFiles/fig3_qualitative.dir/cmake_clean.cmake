@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_qualitative.dir/fig3_qualitative.cpp.o"
+  "CMakeFiles/fig3_qualitative.dir/fig3_qualitative.cpp.o.d"
+  "fig3_qualitative"
+  "fig3_qualitative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_qualitative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

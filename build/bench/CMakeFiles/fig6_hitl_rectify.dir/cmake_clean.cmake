@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_hitl_rectify.dir/fig6_hitl_rectify.cpp.o"
+  "CMakeFiles/fig6_hitl_rectify.dir/fig6_hitl_rectify.cpp.o.d"
+  "fig6_hitl_rectify"
+  "fig6_hitl_rectify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_hitl_rectify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

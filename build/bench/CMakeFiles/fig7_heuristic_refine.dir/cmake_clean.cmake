@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_heuristic_refine.dir/fig7_heuristic_refine.cpp.o"
+  "CMakeFiles/fig7_heuristic_refine.dir/fig7_heuristic_refine.cpp.o.d"
+  "fig7_heuristic_refine"
+  "fig7_heuristic_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_heuristic_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_heuristic_refine.
+# This may be replaced when dependencies are built.

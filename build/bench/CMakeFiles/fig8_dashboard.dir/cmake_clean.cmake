@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_dashboard.dir/fig8_dashboard.cpp.o"
+  "CMakeFiles/fig8_dashboard.dir/fig8_dashboard.cpp.o.d"
+  "fig8_dashboard"
+  "fig8_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

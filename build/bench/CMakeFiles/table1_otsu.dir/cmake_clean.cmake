@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_otsu.dir/table1_otsu.cpp.o"
+  "CMakeFiles/table1_otsu.dir/table1_otsu.cpp.o.d"
+  "table1_otsu"
+  "table1_otsu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_otsu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

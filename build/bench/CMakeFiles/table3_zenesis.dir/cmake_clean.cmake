@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_zenesis.dir/table3_zenesis.cpp.o"
+  "CMakeFiles/table3_zenesis.dir/table3_zenesis.cpp.o.d"
+  "table3_zenesis"
+  "table3_zenesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_zenesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zen_bench_common.dir/exp_common.cpp.o"
+  "CMakeFiles/zen_bench_common.dir/exp_common.cpp.o.d"
+  "libzen_bench_common.a"
+  "libzen_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zen_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

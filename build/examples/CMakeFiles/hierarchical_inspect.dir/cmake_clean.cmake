@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_inspect.dir/hierarchical_inspect.cpp.o"
+  "CMakeFiles/hierarchical_inspect.dir/hierarchical_inspect.cpp.o.d"
+  "hierarchical_inspect"
+  "hierarchical_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_rectify.dir/interactive_rectify.cpp.o"
+  "CMakeFiles/interactive_rectify.dir/interactive_rectify.cpp.o.d"
+  "interactive_rectify"
+  "interactive_rectify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_rectify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

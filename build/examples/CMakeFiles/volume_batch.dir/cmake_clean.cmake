@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volume_batch.dir/volume_batch.cpp.o"
+  "CMakeFiles/volume_batch.dir/volume_batch.cpp.o.d"
+  "volume_batch"
+  "volume_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volume_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

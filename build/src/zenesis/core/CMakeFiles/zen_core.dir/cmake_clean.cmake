@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zen_core.dir/pipeline.cpp.o"
+  "CMakeFiles/zen_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/zen_core.dir/session.cpp.o"
+  "CMakeFiles/zen_core.dir/session.cpp.o.d"
+  "libzen_core.a"
+  "libzen_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zen_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

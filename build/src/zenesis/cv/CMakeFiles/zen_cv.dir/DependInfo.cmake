@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zenesis/cv/components.cpp" "src/zenesis/cv/CMakeFiles/zen_cv.dir/components.cpp.o" "gcc" "src/zenesis/cv/CMakeFiles/zen_cv.dir/components.cpp.o.d"
+  "/root/repo/src/zenesis/cv/distance.cpp" "src/zenesis/cv/CMakeFiles/zen_cv.dir/distance.cpp.o" "gcc" "src/zenesis/cv/CMakeFiles/zen_cv.dir/distance.cpp.o.d"
+  "/root/repo/src/zenesis/cv/filters.cpp" "src/zenesis/cv/CMakeFiles/zen_cv.dir/filters.cpp.o" "gcc" "src/zenesis/cv/CMakeFiles/zen_cv.dir/filters.cpp.o.d"
+  "/root/repo/src/zenesis/cv/morphology.cpp" "src/zenesis/cv/CMakeFiles/zen_cv.dir/morphology.cpp.o" "gcc" "src/zenesis/cv/CMakeFiles/zen_cv.dir/morphology.cpp.o.d"
+  "/root/repo/src/zenesis/cv/threshold.cpp" "src/zenesis/cv/CMakeFiles/zen_cv.dir/threshold.cpp.o" "gcc" "src/zenesis/cv/CMakeFiles/zen_cv.dir/threshold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zenesis/image/CMakeFiles/zen_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/zenesis/parallel/CMakeFiles/zen_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zen_cv.dir/components.cpp.o"
+  "CMakeFiles/zen_cv.dir/components.cpp.o.d"
+  "CMakeFiles/zen_cv.dir/distance.cpp.o"
+  "CMakeFiles/zen_cv.dir/distance.cpp.o.d"
+  "CMakeFiles/zen_cv.dir/filters.cpp.o"
+  "CMakeFiles/zen_cv.dir/filters.cpp.o.d"
+  "CMakeFiles/zen_cv.dir/morphology.cpp.o"
+  "CMakeFiles/zen_cv.dir/morphology.cpp.o.d"
+  "CMakeFiles/zen_cv.dir/threshold.cpp.o"
+  "CMakeFiles/zen_cv.dir/threshold.cpp.o.d"
+  "libzen_cv.a"
+  "libzen_cv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zen_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zen_eval.dir/dashboard.cpp.o"
+  "CMakeFiles/zen_eval.dir/dashboard.cpp.o.d"
+  "CMakeFiles/zen_eval.dir/metrics.cpp.o"
+  "CMakeFiles/zen_eval.dir/metrics.cpp.o.d"
+  "libzen_eval.a"
+  "libzen_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zen_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zen_fibsem.dir/synth.cpp.o"
+  "CMakeFiles/zen_fibsem.dir/synth.cpp.o.d"
+  "libzen_fibsem.a"
+  "libzen_fibsem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zen_fibsem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

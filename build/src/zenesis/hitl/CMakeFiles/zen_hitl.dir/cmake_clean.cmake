@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zen_hitl.dir/rectify.cpp.o"
+  "CMakeFiles/zen_hitl.dir/rectify.cpp.o.d"
+  "libzen_hitl.a"
+  "libzen_hitl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zen_hitl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zenesis/image/image.cpp" "src/zenesis/image/CMakeFiles/zen_image.dir/image.cpp.o" "gcc" "src/zenesis/image/CMakeFiles/zen_image.dir/image.cpp.o.d"
+  "/root/repo/src/zenesis/image/normalize.cpp" "src/zenesis/image/CMakeFiles/zen_image.dir/normalize.cpp.o" "gcc" "src/zenesis/image/CMakeFiles/zen_image.dir/normalize.cpp.o.d"
+  "/root/repo/src/zenesis/image/roi.cpp" "src/zenesis/image/CMakeFiles/zen_image.dir/roi.cpp.o" "gcc" "src/zenesis/image/CMakeFiles/zen_image.dir/roi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zenesis/parallel/CMakeFiles/zen_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

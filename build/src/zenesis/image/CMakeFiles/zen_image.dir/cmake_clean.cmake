@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zen_image.dir/image.cpp.o"
+  "CMakeFiles/zen_image.dir/image.cpp.o.d"
+  "CMakeFiles/zen_image.dir/normalize.cpp.o"
+  "CMakeFiles/zen_image.dir/normalize.cpp.o.d"
+  "CMakeFiles/zen_image.dir/roi.cpp.o"
+  "CMakeFiles/zen_image.dir/roi.cpp.o.d"
+  "libzen_image.a"
+  "libzen_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zen_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zenesis/io/pnm.cpp" "src/zenesis/io/CMakeFiles/zen_io.dir/pnm.cpp.o" "gcc" "src/zenesis/io/CMakeFiles/zen_io.dir/pnm.cpp.o.d"
+  "/root/repo/src/zenesis/io/report.cpp" "src/zenesis/io/CMakeFiles/zen_io.dir/report.cpp.o" "gcc" "src/zenesis/io/CMakeFiles/zen_io.dir/report.cpp.o.d"
+  "/root/repo/src/zenesis/io/tiff.cpp" "src/zenesis/io/CMakeFiles/zen_io.dir/tiff.cpp.o" "gcc" "src/zenesis/io/CMakeFiles/zen_io.dir/tiff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zenesis/image/CMakeFiles/zen_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/zenesis/parallel/CMakeFiles/zen_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zen_io.dir/pnm.cpp.o"
+  "CMakeFiles/zen_io.dir/pnm.cpp.o.d"
+  "CMakeFiles/zen_io.dir/report.cpp.o"
+  "CMakeFiles/zen_io.dir/report.cpp.o.d"
+  "CMakeFiles/zen_io.dir/tiff.cpp.o"
+  "CMakeFiles/zen_io.dir/tiff.cpp.o.d"
+  "libzen_io.a"
+  "libzen_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zen_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

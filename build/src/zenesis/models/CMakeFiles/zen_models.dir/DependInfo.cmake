@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zenesis/models/auto_mask.cpp" "src/zenesis/models/CMakeFiles/zen_models.dir/auto_mask.cpp.o" "gcc" "src/zenesis/models/CMakeFiles/zen_models.dir/auto_mask.cpp.o.d"
+  "/root/repo/src/zenesis/models/backbone.cpp" "src/zenesis/models/CMakeFiles/zen_models.dir/backbone.cpp.o" "gcc" "src/zenesis/models/CMakeFiles/zen_models.dir/backbone.cpp.o.d"
+  "/root/repo/src/zenesis/models/features.cpp" "src/zenesis/models/CMakeFiles/zen_models.dir/features.cpp.o" "gcc" "src/zenesis/models/CMakeFiles/zen_models.dir/features.cpp.o.d"
+  "/root/repo/src/zenesis/models/finetune.cpp" "src/zenesis/models/CMakeFiles/zen_models.dir/finetune.cpp.o" "gcc" "src/zenesis/models/CMakeFiles/zen_models.dir/finetune.cpp.o.d"
+  "/root/repo/src/zenesis/models/grounding.cpp" "src/zenesis/models/CMakeFiles/zen_models.dir/grounding.cpp.o" "gcc" "src/zenesis/models/CMakeFiles/zen_models.dir/grounding.cpp.o.d"
+  "/root/repo/src/zenesis/models/sam.cpp" "src/zenesis/models/CMakeFiles/zen_models.dir/sam.cpp.o" "gcc" "src/zenesis/models/CMakeFiles/zen_models.dir/sam.cpp.o.d"
+  "/root/repo/src/zenesis/models/text_encoder.cpp" "src/zenesis/models/CMakeFiles/zen_models.dir/text_encoder.cpp.o" "gcc" "src/zenesis/models/CMakeFiles/zen_models.dir/text_encoder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zenesis/tensor/CMakeFiles/zen_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/zenesis/cv/CMakeFiles/zen_cv.dir/DependInfo.cmake"
+  "/root/repo/build/src/zenesis/image/CMakeFiles/zen_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/zenesis/parallel/CMakeFiles/zen_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zen_models.dir/auto_mask.cpp.o"
+  "CMakeFiles/zen_models.dir/auto_mask.cpp.o.d"
+  "CMakeFiles/zen_models.dir/backbone.cpp.o"
+  "CMakeFiles/zen_models.dir/backbone.cpp.o.d"
+  "CMakeFiles/zen_models.dir/features.cpp.o"
+  "CMakeFiles/zen_models.dir/features.cpp.o.d"
+  "CMakeFiles/zen_models.dir/finetune.cpp.o"
+  "CMakeFiles/zen_models.dir/finetune.cpp.o.d"
+  "CMakeFiles/zen_models.dir/grounding.cpp.o"
+  "CMakeFiles/zen_models.dir/grounding.cpp.o.d"
+  "CMakeFiles/zen_models.dir/sam.cpp.o"
+  "CMakeFiles/zen_models.dir/sam.cpp.o.d"
+  "CMakeFiles/zen_models.dir/text_encoder.cpp.o"
+  "CMakeFiles/zen_models.dir/text_encoder.cpp.o.d"
+  "libzen_models.a"
+  "libzen_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zen_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

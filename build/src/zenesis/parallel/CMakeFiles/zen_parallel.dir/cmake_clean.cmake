@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zen_parallel.dir/parallel_for.cpp.o"
+  "CMakeFiles/zen_parallel.dir/parallel_for.cpp.o.d"
+  "CMakeFiles/zen_parallel.dir/rng.cpp.o"
+  "CMakeFiles/zen_parallel.dir/rng.cpp.o.d"
+  "CMakeFiles/zen_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/zen_parallel.dir/thread_pool.cpp.o.d"
+  "libzen_parallel.a"
+  "libzen_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zen_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

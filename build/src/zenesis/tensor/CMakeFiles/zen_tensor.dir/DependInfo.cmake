@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zenesis/tensor/conv.cpp" "src/zenesis/tensor/CMakeFiles/zen_tensor.dir/conv.cpp.o" "gcc" "src/zenesis/tensor/CMakeFiles/zen_tensor.dir/conv.cpp.o.d"
+  "/root/repo/src/zenesis/tensor/init.cpp" "src/zenesis/tensor/CMakeFiles/zen_tensor.dir/init.cpp.o" "gcc" "src/zenesis/tensor/CMakeFiles/zen_tensor.dir/init.cpp.o.d"
+  "/root/repo/src/zenesis/tensor/ops.cpp" "src/zenesis/tensor/CMakeFiles/zen_tensor.dir/ops.cpp.o" "gcc" "src/zenesis/tensor/CMakeFiles/zen_tensor.dir/ops.cpp.o.d"
+  "/root/repo/src/zenesis/tensor/tensor.cpp" "src/zenesis/tensor/CMakeFiles/zen_tensor.dir/tensor.cpp.o" "gcc" "src/zenesis/tensor/CMakeFiles/zen_tensor.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zenesis/parallel/CMakeFiles/zen_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zen_tensor.dir/conv.cpp.o"
+  "CMakeFiles/zen_tensor.dir/conv.cpp.o.d"
+  "CMakeFiles/zen_tensor.dir/init.cpp.o"
+  "CMakeFiles/zen_tensor.dir/init.cpp.o.d"
+  "CMakeFiles/zen_tensor.dir/ops.cpp.o"
+  "CMakeFiles/zen_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/zen_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/zen_tensor.dir/tensor.cpp.o.d"
+  "libzen_tensor.a"
+  "libzen_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zen_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zen_volume3d.dir/heuristic.cpp.o"
+  "CMakeFiles/zen_volume3d.dir/heuristic.cpp.o.d"
+  "libzen_volume3d.a"
+  "libzen_volume3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zen_volume3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

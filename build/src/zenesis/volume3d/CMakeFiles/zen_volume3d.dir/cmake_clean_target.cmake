@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzen_volume3d.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_auto_mask.dir/test_auto_mask.cpp.o"
+  "CMakeFiles/test_auto_mask.dir/test_auto_mask.cpp.o.d"
+  "test_auto_mask"
+  "test_auto_mask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_auto_mask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_features.cpp" "tests/CMakeFiles/test_features.dir/test_features.cpp.o" "gcc" "tests/CMakeFiles/test_features.dir/test_features.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zenesis/core/CMakeFiles/zen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/zenesis/fibsem/CMakeFiles/zen_fibsem.dir/DependInfo.cmake"
+  "/root/repo/build/src/zenesis/hitl/CMakeFiles/zen_hitl.dir/DependInfo.cmake"
+  "/root/repo/build/src/zenesis/models/CMakeFiles/zen_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/zenesis/volume3d/CMakeFiles/zen_volume3d.dir/DependInfo.cmake"
+  "/root/repo/build/src/zenesis/eval/CMakeFiles/zen_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/zenesis/cv/CMakeFiles/zen_cv.dir/DependInfo.cmake"
+  "/root/repo/build/src/zenesis/io/CMakeFiles/zen_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/zenesis/image/CMakeFiles/zen_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/zenesis/tensor/CMakeFiles/zen_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/zenesis/parallel/CMakeFiles/zen_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

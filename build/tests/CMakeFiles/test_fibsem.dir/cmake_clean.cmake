@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fibsem.dir/test_fibsem.cpp.o"
+  "CMakeFiles/test_fibsem.dir/test_fibsem.cpp.o.d"
+  "test_fibsem"
+  "test_fibsem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fibsem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_finetune.dir/test_finetune.cpp.o"
+  "CMakeFiles/test_finetune.dir/test_finetune.cpp.o.d"
+  "test_finetune"
+  "test_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

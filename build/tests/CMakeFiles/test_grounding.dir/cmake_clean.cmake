@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grounding.dir/test_grounding.cpp.o"
+  "CMakeFiles/test_grounding.dir/test_grounding.cpp.o.d"
+  "test_grounding"
+  "test_grounding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hitl.dir/test_hitl.cpp.o"
+  "CMakeFiles/test_hitl.dir/test_hitl.cpp.o.d"
+  "test_hitl"
+  "test_hitl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hitl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

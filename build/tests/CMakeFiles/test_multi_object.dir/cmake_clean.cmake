@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_object.dir/test_multi_object.cpp.o"
+  "CMakeFiles/test_multi_object.dir/test_multi_object.cpp.o.d"
+  "test_multi_object"
+  "test_multi_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

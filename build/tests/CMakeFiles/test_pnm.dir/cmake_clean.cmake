@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pnm.dir/test_pnm.cpp.o"
+  "CMakeFiles/test_pnm.dir/test_pnm.cpp.o.d"
+  "test_pnm"
+  "test_pnm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pnm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_roi.dir/test_roi.cpp.o"
+  "CMakeFiles/test_roi.dir/test_roi.cpp.o.d"
+  "test_roi"
+  "test_roi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_roi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_text_encoder.dir/test_text_encoder.cpp.o"
+  "CMakeFiles/test_text_encoder.dir/test_text_encoder.cpp.o.d"
+  "test_text_encoder"
+  "test_text_encoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_text_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_volume3d.dir/test_volume3d.cpp.o"
+  "CMakeFiles/test_volume3d.dir/test_volume3d.cpp.o.d"
+  "test_volume3d"
+  "test_volume3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_volume3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
