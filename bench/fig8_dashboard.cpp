@@ -11,6 +11,7 @@ int main() {
   const std::string out = bench::ensure_out_dir(cfg);
 
   core::Session session = bench::run_comparison(cfg);
+  session.publish_runtime_stats();
   bench::print_header("Figure 8", "segmentation performance dashboard");
   std::printf("%s", session.dashboard().render().c_str());
 

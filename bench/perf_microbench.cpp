@@ -1,10 +1,19 @@
 // Performance microbenchmarks (the venue's HPC angle): tensor kernels,
-// attention, feature extraction, model inference, and end-to-end slice
-// latency, plus thread-scaling of the parallel substrate.
+// attention, feature extraction, model inference, end-to-end slice
+// latency, thread-scaling of the parallel substrate, and Mode-B volume
+// throughput (serial vs. parallel vs. feature-cached). The main() also
+// emits out/BENCH_volume.json — one machine-readable record per run so
+// successive PRs accumulate a perf trajectory.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "exp_common.hpp"
 #include "zenesis/core/pipeline.hpp"
 #include "zenesis/fibsem/synth.hpp"
+#include "zenesis/io/report.hpp"
 #include "zenesis/models/auto_mask.hpp"
 #include "zenesis/parallel/parallel_for.hpp"
 #include "zenesis/tensor/init.hpp"
@@ -132,6 +141,46 @@ void BM_SliceGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_SliceGeneration);
 
+fibsem::SyntheticVolume bench_volume() {
+  fibsem::SynthConfig cfg;
+  cfg.type = fibsem::SampleType::kCrystalline;
+  cfg.width = 128;
+  cfg.height = 128;
+  cfg.depth = 8;
+  cfg.seed = 2025;
+  return fibsem::generate_volume(cfg);
+}
+
+core::PipelineConfig volume_config(std::size_t threads, bool cache) {
+  core::PipelineConfig cfg;
+  cfg.volume_threads = threads;
+  cfg.feature_cache.enabled = cache;
+  return cfg;
+}
+
+/// Mode-B volume throughput. Arg 0: worker threads (1 = serial path);
+/// arg 1: feature cache on/off. Items processed = slices.
+void BM_VolumeSegment(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const bool cache = state.range(1) != 0;
+  const fibsem::SyntheticVolume vol = bench_volume();
+  const core::ZenesisPipeline pipe(volume_config(threads, cache));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pipe.segment_volume(vol.volume, "bright needle-like crystalline catalyst"));
+  }
+  state.SetItemsProcessed(state.iterations() * vol.depth());
+  state.counters["cache_hit_rate"] = pipe.cache_stats().hit_rate();
+}
+BENCHMARK(BM_VolumeSegment)
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({0, 0})   // global pool (one worker per hardware thread)
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ParallelForScaling(benchmark::State& state) {
   const auto threads = static_cast<std::size_t>(state.range(0));
   parallel::ThreadPool pool(threads);
@@ -150,6 +199,71 @@ void BM_ParallelForScaling(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelForScaling)->Arg(1)->Arg(2)->Arg(4);
 
+/// Times one segment_volume pass in seconds (best of `reps`).
+double time_volume_pass(const core::ZenesisPipeline& pipe,
+                        const image::VolumeU16& volume, int reps) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(
+        pipe.segment_volume(volume, "bright needle-like crystalline catalyst"));
+    const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
+/// Standalone serial-vs-parallel-vs-cached volume measurement, persisted
+/// as out/BENCH_volume.json so future PRs have a perf trajectory to
+/// compare against. Runs regardless of --benchmark_filter.
+void write_volume_record() {
+  const fibsem::SyntheticVolume vol = bench_volume();
+  const auto hw = static_cast<std::size_t>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  constexpr int kReps = 3;
+
+  const core::ZenesisPipeline serial(volume_config(1, false));
+  const double t_serial = time_volume_pass(serial, vol.volume, kReps);
+
+  const core::ZenesisPipeline parallel(volume_config(hw, false));
+  const double t_parallel = time_volume_pass(parallel, vol.volume, kReps);
+
+  const core::ZenesisPipeline cached(volume_config(hw, true));
+  (void)time_volume_pass(cached, vol.volume, 1);  // cold pass fills the cache
+  const double t_cached = time_volume_pass(cached, vol.volume, kReps);
+  const models::FeatureCacheStats cache_stats = cached.cache_stats();
+
+  const double slices = static_cast<double>(vol.depth());
+  io::JsonObject rec;
+  rec.set("bench", "volume_mode_b");
+  rec.set("width", static_cast<std::int64_t>(128));
+  rec.set("height", static_cast<std::int64_t>(128));
+  rec.set("depth", vol.depth());
+  rec.set("hardware_threads", static_cast<std::int64_t>(hw));
+  rec.set("serial_slices_per_sec", slices / t_serial);
+  rec.set("parallel_slices_per_sec", slices / t_parallel);
+  rec.set("parallel_speedup", t_serial / t_parallel);
+  rec.set("cached_warm_slices_per_sec", slices / t_cached);
+  rec.set("cached_warm_speedup", t_serial / t_cached);
+  rec.set("cache_hits", static_cast<std::int64_t>(cache_stats.hits));
+  rec.set("cache_misses", static_cast<std::int64_t>(cache_stats.misses));
+  rec.set("cache_hit_rate", cache_stats.hit_rate());
+
+  bench::ExperimentConfig out_cfg;
+  const std::string out = bench::ensure_out_dir(out_cfg);
+  const std::string path = out + "/BENCH_volume.json";
+  rec.write(path);
+  std::printf("\n%s\n", rec.to_string(2).c_str());
+  std::printf("volume perf record written to %s\n", path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_volume_record();
+  return 0;
+}

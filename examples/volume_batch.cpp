@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
           "amorphous", "zenesis", z, res.slices[static_cast<std::size_t>(z)].mask,
           synthetic.ground_truth[static_cast<std::size_t>(z)]);
     }
+    session.publish_runtime_stats();
     std::printf("%s", session.dashboard().render().c_str());
   }
 

@@ -6,11 +6,39 @@
 #include "zenesis/cv/morphology.hpp"
 #include "zenesis/cv/threshold.hpp"
 #include "zenesis/image/roi.hpp"
+#include "zenesis/parallel/parallel_for.hpp"
 
 namespace zenesis::core {
 
 ZenesisPipeline::ZenesisPipeline(const PipelineConfig& cfg)
-    : cfg_(cfg), dino_(cfg.grounding), sam_(cfg.sam) {}
+    : cfg_(cfg),
+      dino_(cfg.grounding),
+      sam_(cfg.sam),
+      cache_(std::make_unique<models::FeatureCache>(cfg.feature_cache)),
+      pool_(cfg.volume_threads > 1
+                ? std::make_unique<parallel::ThreadPool>(cfg.volume_threads)
+                : nullptr) {}
+
+parallel::ThreadPool& ZenesisPipeline::volume_pool() const {
+  return pool_ ? *pool_ : parallel::ThreadPool::global();
+}
+
+void ZenesisPipeline::for_each_slice(
+    std::int64_t n, const std::function<void(std::int64_t)>& body) const {
+  if (cfg_.volume_threads == 1) {
+    for (std::int64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  // Grain 1: per-slice cost is irregular (detection count varies), so
+  // idle workers pull slices dynamically. Each index writes to its own
+  // output slot, so gathering preserves slice order bit-exactly.
+  parallel::parallel_for_chunked(
+      0, n, 1,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) body(i);
+      },
+      volume_pool());
+}
 
 image::ImageF32 ZenesisPipeline::make_ready(const image::AnyImage& raw) const {
   return image::make_ai_ready(raw, cfg_.readiness);
@@ -23,7 +51,8 @@ SliceResult ZenesisPipeline::segment(const image::AnyImage& raw,
 
 SliceResult ZenesisPipeline::segment_ready(const image::ImageF32& ready,
                                            const std::string& prompt) const {
-  models::GroundingResult g = dino_.detect(ready, prompt);
+  const auto enc = cache_->encode(ready, dino_.backbone());
+  models::GroundingResult g = dino_.detect(enc->maps, enc->enc, prompt);
   return assemble(ready, std::move(g));
 }
 
@@ -119,7 +148,8 @@ SliceResult ZenesisPipeline::assemble(image::ImageF32 ready,
                                       models::GroundingResult grounding) const {
   SliceResult res;
   res.mask = image::Mask(ready.width(), ready.height());
-  const models::SamEncoded enc = sam_.encode(ready);
+  const auto enc_ptr = encode_cached(ready);
+  const models::SamEncoded& enc = *enc_ptr;
   const bool have_relevance = grounding.has_direction;
   const int k = std::max(1, cfg_.max_boxes);
   const std::size_t n =
@@ -192,11 +222,14 @@ SliceResult ZenesisPipeline::assemble(image::ImageF32 ready,
 VolumeResult ZenesisPipeline::segment_volume(const image::VolumeU16& volume,
                                              const std::string& prompt) const {
   VolumeResult res;
-  res.slices.reserve(static_cast<std::size_t>(volume.depth()));
-  for (std::int64_t z = 0; z < volume.depth(); ++z) {
-    res.slices.push_back(segment(image::AnyImage(volume.slice(z)), prompt));
-    res.raw_boxes.push_back(res.slices.back().primary_box);
-  }
+  const std::int64_t depth = volume.depth();
+  res.slices.resize(static_cast<std::size_t>(depth));
+  for_each_slice(depth, [&](std::int64_t z) {
+    res.slices[static_cast<std::size_t>(z)] =
+        segment(image::AnyImage(volume.slice(z)), prompt);
+  });
+  res.raw_boxes.reserve(res.slices.size());
+  for (const auto& s : res.slices) res.raw_boxes.push_back(s.primary_box);
   res.refined_boxes = res.raw_boxes;
   res.replaced.assign(res.raw_boxes.size(), false);
   if (cfg_.enable_heuristic_refine) {
@@ -205,17 +238,30 @@ VolumeResult ZenesisPipeline::segment_volume(const image::VolumeU16& volume,
     res.refined_boxes = refined.boxes;
     res.replaced = refined.replaced;
     res.replaced_count = refined.replaced_count;
-    // Re-segment the corrected slices from their replacement box.
-    for (std::size_t i = 0; i < res.slices.size(); ++i) {
-      if (!res.replaced[i] || res.refined_boxes[i].empty()) continue;
+    // Re-segment the corrected slices from their replacement box. With
+    // the feature cache on, each slice's encoder output is a hit here.
+    for_each_slice(static_cast<std::int64_t>(res.slices.size()),
+                   [&](std::int64_t zi) {
+      const auto i = static_cast<std::size_t>(zi);
+      if (!res.replaced[i] || res.refined_boxes[i].empty()) return;
       SliceResult fixed =
           segment_with_box(res.slices[i].ai_ready, res.refined_boxes[i], prompt);
       res.slices[i].mask = std::move(fixed.mask);
       res.slices[i].box_masks = std::move(fixed.box_masks);
       res.slices[i].primary_box = res.refined_boxes[i];
-    }
+    });
   }
   return res;
+}
+
+std::vector<SliceResult> ZenesisPipeline::segment_images(
+    const std::vector<image::AnyImage>& images, const std::string& prompt) const {
+  std::vector<SliceResult> out(images.size());
+  for_each_slice(static_cast<std::int64_t>(images.size()), [&](std::int64_t i) {
+    out[static_cast<std::size_t>(i)] =
+        segment(images[static_cast<std::size_t>(i)], prompt);
+  });
+  return out;
 }
 
 SliceResult ZenesisPipeline::further_segment(const SliceResult& parent,
@@ -263,7 +309,8 @@ ZenesisPipeline::MultiObjectResult ZenesisPipeline::segment_multi(
   // Conflicts go to the class whose concept direction aligns best with
   // the pixel's features (same signal the single-object path uses for
   // mask selection).
-  const models::SamEncoded enc = sam_.encode(ready);
+  const auto enc_ptr = encode_cached(ready);
+  const models::SamEncoded& enc = *enc_ptr;
   std::array<float, models::kFeatureChannels> mean{};
   for (int c = 0; c < models::kFeatureChannels; ++c) {
     mean[static_cast<std::size_t>(c)] = enc.enc.mean_feature.at(c);

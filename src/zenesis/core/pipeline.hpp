@@ -5,6 +5,8 @@
 // Processing Pipeline; the Session in session.hpp wraps it in the three
 // platform modes.
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,8 +14,10 @@
 #include "zenesis/image/image.hpp"
 #include "zenesis/image/normalize.hpp"
 #include "zenesis/models/auto_mask.hpp"
+#include "zenesis/models/feature_cache.hpp"
 #include "zenesis/models/grounding.hpp"
 #include "zenesis/models/sam.hpp"
+#include "zenesis/parallel/thread_pool.hpp"
 #include "zenesis/volume3d/heuristic.hpp"
 
 namespace zenesis::core {
@@ -28,6 +32,13 @@ struct PipelineConfig {
   int max_boxes = 6;
   /// Apply the sliding-window box correction in volume mode.
   bool enable_heuristic_refine = true;
+  /// Mode-B scheduling width: slices are distributed across this many
+  /// workers. 0 = the process-global pool (one worker per hardware
+  /// thread); 1 = serial; N > 1 = a dedicated pool of N workers owned by
+  /// the pipeline. Results are byte-identical for every setting.
+  std::size_t volume_threads = 0;
+  /// Backbone feature/encoder memoization (off switch + LRU sizing).
+  models::FeatureCacheConfig feature_cache;
 };
 
 /// Everything the platform produced for one image/slice (the UI state of
@@ -66,6 +77,19 @@ class ZenesisPipeline {
   const models::SamModel& sam() const noexcept { return sam_; }
   const models::GroundingDetector& detector() const noexcept { return dino_; }
 
+  /// Feature-cache hit/miss/eviction counters (all zero when the cache is
+  /// disabled — a disabled cache never records traffic).
+  models::FeatureCacheStats cache_stats() const { return cache_->stats(); }
+
+  /// Cached (or freshly computed, when caching is off) encoder output for
+  /// `ready` under the SAM backbone. Interactive flows that prompt the
+  /// same slice repeatedly (HITL rectification) share the pipeline's
+  /// cache through this.
+  std::shared_ptr<const models::SamEncoded> encode_cached(
+      const image::ImageF32& ready) const {
+    return cache_->encode(ready, sam_.backbone());
+  }
+
   /// Readiness layer only (Fig. 1 transform).
   image::ImageF32 make_ready(const image::AnyImage& raw) const;
 
@@ -89,9 +113,17 @@ class ZenesisPipeline {
                                const image::Box& box,
                                const std::string& prompt) const;
 
-  /// Mode B: batch volume with temporal refinement.
+  /// Mode B: batch volume with temporal refinement. Slices are segmented
+  /// in parallel across `config().volume_threads` workers and gathered in
+  /// slice order, so the result is byte-identical to the serial path
+  /// regardless of thread count.
   VolumeResult segment_volume(const image::VolumeU16& volume,
                               const std::string& prompt) const;
+
+  /// Mode B over independent images, scheduled like segment_volume.
+  std::vector<SliceResult> segment_images(
+      const std::vector<image::AnyImage>& images,
+      const std::string& prompt) const;
 
   /// Hierarchical Further Segment: crops `roi` from the parent's AI-ready
   /// image, re-runs DINO+SAM inside it, and returns the child result in
@@ -116,9 +148,21 @@ class ZenesisPipeline {
   SliceResult assemble(image::ImageF32 ready,
                        models::GroundingResult grounding) const;
 
+  /// Pool used for Mode-B slice scheduling (global or dedicated).
+  parallel::ThreadPool& volume_pool() const;
+
+  /// Runs `body(i)` for i in [0, n) — serial when volume_threads == 1,
+  /// otherwise one slice at a time pulled dynamically from volume_pool().
+  void for_each_slice(std::int64_t n,
+                      const std::function<void(std::int64_t)>& body) const;
+
   PipelineConfig cfg_;
   models::GroundingDetector dino_;
   models::SamModel sam_;
+  /// Internally synchronized; safe to use from const methods and from
+  /// concurrent slice tasks.
+  std::unique_ptr<models::FeatureCache> cache_;
+  std::unique_ptr<parallel::ThreadPool> pool_;  ///< only when volume_threads > 1
 };
 
 // --- Baselines (the paper's comparison columns) ---

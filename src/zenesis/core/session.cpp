@@ -27,10 +27,15 @@ VolumeResult Session::mode_b_segment_volume(const image::VolumeU16& volume,
 
 std::vector<SliceResult> Session::mode_b_segment_images(
     const std::vector<image::AnyImage>& images, const std::string& prompt) const {
-  std::vector<SliceResult> out;
-  out.reserve(images.size());
-  for (const auto& img : images) out.push_back(pipeline_.segment(img, prompt));
-  return out;
+  return pipeline_.segment_images(images, prompt);
+}
+
+void Session::publish_runtime_stats() {
+  const models::FeatureCacheStats s = pipeline_.cache_stats();
+  dashboard_.set_stat("feature_cache_hits", static_cast<double>(s.hits));
+  dashboard_.set_stat("feature_cache_misses", static_cast<double>(s.misses));
+  dashboard_.set_stat("feature_cache_evictions", static_cast<double>(s.evictions));
+  dashboard_.set_stat("feature_cache_hit_rate", s.hit_rate());
 }
 
 eval::Metrics Session::mode_c_evaluate(const std::string& dataset,
@@ -48,9 +53,12 @@ hitl::RectifyResult Session::rectify(const SliceResult& automated,
                                      hitl::SimulatedAnnotator& annotator,
                                      const hitl::RandomBoxConfig& boxes,
                                      std::uint64_t episode_seed) const {
-  const models::SamEncoded enc = pipeline_.sam().encode(automated.ai_ready);
+  // The cached encoder output — a rectify episode over a slice the
+  // pipeline already segmented reuses the embedding instead of re-running
+  // the encoder (SAM's embed-once / prompt-many pattern).
+  const auto enc = pipeline_.encode_cached(automated.ai_ready);
   parallel::Rng rng(episode_seed, 4242);
-  return hitl::rectify_segmentation(pipeline_.sam(), enc, automated.mask,
+  return hitl::rectify_segmentation(pipeline_.sam(), *enc, automated.mask,
                                     reference, boxes, annotator, rng);
 }
 

@@ -40,12 +40,20 @@ class Session {
       const image::AnyImage& raw, const std::vector<std::string>& prompts) const;
 
   // --- Mode B: batch processing ---
+  /// Parallel across slices (see PipelineConfig::volume_threads); results
+  /// are identical to the serial path for every thread count.
   VolumeResult mode_b_segment_volume(const image::VolumeU16& volume,
                                      const std::string& prompt) const;
-  /// Batch over independent images (each gets its own SliceResult).
+  /// Batch over independent images (each gets its own SliceResult),
+  /// scheduled like mode_b_segment_volume.
   std::vector<SliceResult> mode_b_segment_images(
       const std::vector<image::AnyImage>& images,
       const std::string& prompt) const;
+
+  /// Copies the pipeline's runtime counters (feature-cache hits, misses,
+  /// evictions, hit rate) into the dashboard's runtime-stats section so
+  /// Mode C reports them next to the quality metrics.
+  void publish_runtime_stats();
 
   // --- Mode C: evaluation ---
   /// Scores a prediction against ground truth and records it under

@@ -25,6 +25,10 @@ void Dashboard::add(const std::string& dataset, const std::string& method,
   records_.push_back({dataset, method, slice, metrics});
 }
 
+void Dashboard::set_stat(const std::string& key, double value) {
+  stats_[key] = value;
+}
+
 io::Table Dashboard::per_slice_table(const std::string& dataset,
                                      const std::string& method) const {
   io::Table t({"slice", "accuracy", "iou", "dice", "precision", "recall"});
@@ -81,6 +85,12 @@ std::string Dashboard::render() const {
     out += "\nPer-slice [" + dataset + " / " + method + "]:\n";
     out += per_slice_table(dataset, method).to_ascii();
   }
+  if (!stats_.empty()) {
+    out += "\nRuntime counters:\n";
+    io::Table t({"counter", "value"});
+    for (const auto& [key, value] : stats_) t.add_row({key, value});
+    out += t.to_ascii();
+  }
   return out;
 }
 
@@ -119,6 +129,17 @@ io::JsonObject Dashboard::to_json() const {
     sums.push_back(std::move(o));
   }
   root.set_array("summaries", std::move(sums));
+  if (!stats_.empty()) {
+    std::vector<io::JsonObject> stats;
+    stats.reserve(stats_.size());
+    for (const auto& [key, value] : stats_) {
+      io::JsonObject o;
+      o.set("counter", key);
+      o.set("value", value);
+      stats.push_back(std::move(o));
+    }
+    root.set_array("runtime_stats", std::move(stats));
+  }
   return root;
 }
 

@@ -27,6 +27,12 @@ class Dashboard {
 
   const std::vector<Record>& records() const noexcept { return records_; }
 
+  /// Records a runtime counter (feature-cache hit rate, scheduling width,
+  /// throughput …) shown in a dedicated dashboard section. Setting an
+  /// existing key overwrites it.
+  void set_stat(const std::string& key, double value);
+  const std::map<std::string, double>& stats() const noexcept { return stats_; }
+
   /// Per-slice table for one (dataset, method); all slices in order.
   io::Table per_slice_table(const std::string& dataset,
                             const std::string& method) const;
@@ -51,6 +57,7 @@ class Dashboard {
 
  private:
   std::vector<Record> records_;
+  std::map<std::string, double> stats_;
 };
 
 }  // namespace zenesis::eval

@@ -1,0 +1,102 @@
+#include "zenesis/models/feature_cache.hpp"
+
+namespace zenesis::models {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t fnv1a_bytes(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+template <typename T>
+std::uint64_t fnv1a_value(std::uint64_t h, const T& v) {
+  return fnv1a_bytes(h, &v, sizeof(v));
+}
+
+}  // namespace
+
+std::uint64_t hash_image(const image::ImageF32& img) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a_value(h, img.width());
+  h = fnv1a_value(h, img.height());
+  h = fnv1a_value(h, img.channels());
+  const auto px = img.pixels();
+  h = fnv1a_bytes(h, px.data(), px.size() * sizeof(float));
+  return h;
+}
+
+std::uint64_t hash_backbone_config(const BackboneConfig& cfg) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a_value(h, cfg.patch_size);
+  h = fnv1a_value(h, cfg.dim);
+  h = fnv1a_value(h, cfg.blocks);
+  h = fnv1a_value(h, cfg.heads);
+  h = fnv1a_value(h, cfg.branch_scale);
+  h = fnv1a_value(h, cfg.seed);
+  return h;
+}
+
+FeatureCache::FeatureCache(const FeatureCacheConfig& cfg) : cfg_(cfg) {}
+
+std::shared_ptr<const SamEncoded> FeatureCache::encode(
+    const image::ImageF32& img, const VisionBackbone& backbone) {
+  const auto compute = [&] {
+    auto fresh = std::make_shared<SamEncoded>();
+    fresh->maps = compute_features(img);
+    fresh->enc = backbone.encode(fresh->maps);
+    return std::shared_ptr<const SamEncoded>(std::move(fresh));
+  };
+  if (!cfg_.enabled || cfg_.capacity == 0) return compute();
+
+  const Key key{hash_image(img), hash_backbone_config(backbone.config())};
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return it->second.value;
+    }
+    ++stats_.misses;
+  }
+  // Compute outside the lock: concurrent misses of the same key duplicate
+  // work but never block each other, and both produce identical values.
+  std::shared_ptr<const SamEncoded> value = compute();
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      it->second.value = value;
+      return value;
+    }
+    lru_.push_front(key);
+    map_.emplace(key, Entry{value, lru_.begin()});
+    while (map_.size() > cfg_.capacity) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+  }
+  return value;
+}
+
+FeatureCacheStats FeatureCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+void FeatureCache::clear() {
+  std::lock_guard lock(mutex_);
+  map_.clear();
+  lru_.clear();
+}
+
+}  // namespace zenesis::models

@@ -20,6 +20,12 @@ GroundingResult GroundingDetector::detect(const image::ImageF32& img,
 
 GroundingResult GroundingDetector::detect(const FeatureMaps& maps,
                                           const std::string& prompt) const {
+  return detect(maps, backbone_.encode(maps), prompt);
+}
+
+GroundingResult GroundingDetector::detect(const FeatureMaps& maps,
+                                          const EncodedImage& enc,
+                                          const std::string& prompt) const {
   // Text side: gate tokens by text_threshold, weight the survivors.
   const auto tokens = text_.parse(prompt);
   std::vector<TextToken> active;
@@ -29,7 +35,6 @@ GroundingResult GroundingDetector::detect(const FeatureMaps& maps,
   if (active.empty()) {
     // Nothing grounded: an empty result of the right grid geometry.
     GroundingResult res;
-    const EncodedImage enc = backbone_.encode(maps);
     res.grid_h = enc.grid_h;
     res.grid_w = enc.grid_w;
     res.patch_size = enc.patch_size;
@@ -44,17 +49,22 @@ GroundingResult GroundingDetector::detect(const FeatureMaps& maps,
           active[i].concept_vec[static_cast<std::size_t>(c)] * active[i].weight;
     }
   }
-  return detect_with_concepts(maps, concepts);
+  return detect_with_concepts(maps, enc, concepts);
 }
 
 GroundingResult GroundingDetector::detect_with_concepts(
     const FeatureMaps& maps, const tensor::Tensor& concepts) const {
+  return detect_with_concepts(maps, backbone_.encode(maps), concepts);
+}
+
+GroundingResult GroundingDetector::detect_with_concepts(
+    const FeatureMaps& maps, const EncodedImage& enc,
+    const tensor::Tensor& concepts) const {
   if (concepts.rank() != 2 || concepts.dim(1) != kFeatureChannels ||
       concepts.dim(0) == 0) {
     throw std::invalid_argument(
         "detect_with_concepts: [T, kFeatureChannels] with T >= 1 expected");
   }
-  const EncodedImage enc = backbone_.encode(maps);
   GroundingResult res;
   res.grid_h = enc.grid_h;
   res.grid_w = enc.grid_w;

@@ -65,11 +65,23 @@ class GroundingDetector {
   GroundingResult detect(const FeatureMaps& maps,
                          const std::string& prompt) const;
 
+  /// Run on a precomputed encoding (feature maps + patch tokens). `enc`
+  /// must have been produced by a backbone with this detector's
+  /// configuration — the feature-cache path, which skips the encoder
+  /// entirely.
+  GroundingResult detect(const FeatureMaps& maps, const EncodedImage& enc,
+                         const std::string& prompt) const;
+
   /// Runs the detector with explicit concept rows [T, kFeatureChannels]
   /// instead of parsing a prompt (the fine-tuning module's entry point;
   /// also useful for programmatic concept engineering). Each row is a
   /// pre-weighted concept vector.
   GroundingResult detect_with_concepts(const FeatureMaps& maps,
+                                       const tensor::Tensor& concepts) const;
+
+  /// As above on a precomputed encoding (no encoder run).
+  GroundingResult detect_with_concepts(const FeatureMaps& maps,
+                                       const EncodedImage& enc,
                                        const tensor::Tensor& concepts) const;
 
   /// Wraps an externally supplied box (user interaction, temporal

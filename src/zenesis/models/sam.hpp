@@ -91,6 +91,7 @@ class SamModel {
   MaskPrediction predict_point(const SamEncoded& enc, image::Point p) const;
 
   const SamConfig& config() const noexcept { return cfg_; }
+  const VisionBackbone& backbone() const noexcept { return backbone_; }
 
  private:
   /// Two-way attention decoder: prompt tokens attend to image tokens and

@@ -2,28 +2,63 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <exception>
 #include <mutex>
 
 namespace zenesis::parallel {
 namespace {
 
-/// Countdown latch used to block the caller until all chunks complete.
-class Latch {
+/// Fork/join bookkeeping for one batch of submitted chunks: a countdown
+/// latch that (a) records the first exception thrown by a chunk so the
+/// caller can rethrow it, and (b) *helps* — while waiting, the caller
+/// drains tasks from the pool's queue. Helping is what makes nested
+/// parallelism safe: a chunk running on a worker can itself fork and join
+/// on the same pool without parking the worker.
+class TaskGroup {
  public:
-  explicit Latch(std::size_t count) : count_(count) {}
-  void count_down() {
+  explicit TaskGroup(std::size_t count) : count_(count) {}
+
+  /// Marks one chunk finished, recording its exception (if any).
+  void finish(std::exception_ptr error) {
     std::lock_guard lock(mutex_);
+    if (error && !error_) error_ = error;
     if (--count_ == 0) cv_.notify_all();
   }
-  void wait() {
-    std::unique_lock lock(mutex_);
-    cv_.wait(lock, [this] { return count_ == 0; });
+
+  /// Runs `body` for one chunk, routing any exception into the group.
+  template <typename Fn>
+  void run(Fn&& body) {
+    std::exception_ptr error;
+    try {
+      body();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    finish(error);
+  }
+
+  /// Blocks until every chunk has finished, executing queued pool tasks
+  /// while waiting. Rethrows the first chunk exception.
+  void wait(ThreadPool& pool) {
+    for (;;) {
+      {
+        std::lock_guard lock(mutex_);
+        if (count_ == 0) break;
+      }
+      if (pool.try_run_one()) continue;
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return count_ == 0; });
+      break;
+    }
+    std::lock_guard lock(mutex_);
+    if (error_) std::rethrow_exception(error_);
   }
 
  private:
   std::mutex mutex_;
   std::condition_variable cv_;
   std::size_t count_;
+  std::exception_ptr error_;
 };
 
 constexpr std::int64_t kSerialCutoff = 256;
@@ -42,16 +77,17 @@ void parallel_for(std::int64_t begin, std::int64_t end,
   }
   const std::int64_t chunks = std::min<std::int64_t>(workers, n);
   const std::int64_t per = (n + chunks - 1) / chunks;
-  Latch latch(static_cast<std::size_t>(chunks));
+  TaskGroup group(static_cast<std::size_t>(chunks));
   for (std::int64_t c = 0; c < chunks; ++c) {
     const std::int64_t lo = begin + c * per;
     const std::int64_t hi = std::min(end, lo + per);
-    pool.submit([lo, hi, &body, &latch] {
-      for (std::int64_t i = lo; i < hi; ++i) body(i);
-      latch.count_down();
+    pool.submit([lo, hi, &body, &group] {
+      group.run([&] {
+        for (std::int64_t i = lo; i < hi; ++i) body(i);
+      });
     });
   }
-  latch.wait();
+  group.wait(pool);
 }
 
 void parallel_for_chunked(std::int64_t begin, std::int64_t end,
@@ -68,19 +104,19 @@ void parallel_for_chunked(std::int64_t begin, std::int64_t end,
   }
   auto next = std::make_shared<std::atomic<std::int64_t>>(begin);
   const std::int64_t tasks = std::min<std::int64_t>(workers, (n + grain - 1) / grain);
-  Latch latch(static_cast<std::size_t>(tasks));
+  TaskGroup group(static_cast<std::size_t>(tasks));
   for (std::int64_t t = 0; t < tasks; ++t) {
-    pool.submit([next, begin, end, grain, &body, &latch] {
-      for (;;) {
-        const std::int64_t lo = next->fetch_add(grain);
-        if (lo >= end) break;
-        body(lo, std::min(end, lo + grain));
-      }
-      latch.count_down();
+    pool.submit([next, end, grain, &body, &group] {
+      group.run([&] {
+        for (;;) {
+          const std::int64_t lo = next->fetch_add(grain);
+          if (lo >= end) break;
+          body(lo, std::min(end, lo + grain));
+        }
+      });
     });
   }
-  latch.wait();
-  (void)begin;
+  group.wait(pool);
 }
 
 double parallel_reduce(std::int64_t begin, std::int64_t end, double identity,
@@ -98,18 +134,19 @@ double parallel_reduce(std::int64_t begin, std::int64_t end, double identity,
   const std::int64_t chunks = std::min<std::int64_t>(workers, n);
   const std::int64_t per = (n + chunks - 1) / chunks;
   std::vector<double> partial(static_cast<std::size_t>(chunks), identity);
-  Latch latch(static_cast<std::size_t>(chunks));
+  TaskGroup group(static_cast<std::size_t>(chunks));
   for (std::int64_t c = 0; c < chunks; ++c) {
     const std::int64_t lo = begin + c * per;
     const std::int64_t hi = std::min(end, lo + per);
-    pool.submit([lo, hi, c, &partial, &body, &latch, identity] {
-      double acc = identity;
-      for (std::int64_t i = lo; i < hi; ++i) acc = body(i, acc);
-      partial[static_cast<std::size_t>(c)] = acc;
-      latch.count_down();
+    pool.submit([lo, hi, c, &partial, &body, &group, identity] {
+      group.run([&] {
+        double acc = identity;
+        for (std::int64_t i = lo; i < hi; ++i) acc = body(i, acc);
+        partial[static_cast<std::size_t>(c)] = acc;
+      });
     });
   }
-  latch.wait();
+  group.wait(pool);
   double acc = identity;
   for (double p : partial) acc = join(acc, p);
   return acc;

@@ -1,6 +1,7 @@
 #include "zenesis/parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace zenesis::parallel {
 
@@ -32,13 +33,46 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(mutex_);
+    cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+    ++in_flight_;
+  }
+  run_task(std::move(task));
+  return true;
 }
 
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
   return pool;
+}
+
+void ThreadPool::run_task(std::function<void()> task) {
+  std::exception_ptr error;
+  try {
+    task();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    std::lock_guard lock(mutex_);
+    if (error && !first_error_) first_error_ = error;
+    --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -52,12 +86,7 @@ void ThreadPool::worker_loop() {
       queue_.pop();
       ++in_flight_;
     }
-    task();
-    {
-      std::lock_guard lock(mutex_);
-      --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
-    }
+    run_task(std::move(task));
   }
 }
 

@@ -4,9 +4,23 @@
 // The pool is the single parallel substrate for the whole library: tensor
 // kernels, the synthetic FIB-SEM generator, and Mode-B batch processing all
 // schedule through it, so thread counts are controlled in one place.
+//
+// Re-entrancy: a task running on a pool worker may itself submit to the
+// same pool and wait on the nested work, provided the wait loop helps via
+// `try_run_one()` (the data-parallel helpers in parallel_for.hpp do this).
+// Blocked waiters drain the shared queue instead of idling, so nested
+// fork/join — e.g. a Mode-B slice task whose filters call parallel_for —
+// cannot deadlock the pool.
+//
+// Exceptions: a throwing task no longer terminates the process. The first
+// exception is captured and rethrown from the next `wait_idle()` call;
+// later exceptions raised before that call are dropped. Tasks still queued
+// or running keep executing. The destructor drains the queue and swallows
+// captured exceptions (destructors cannot throw).
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -15,9 +29,7 @@
 
 namespace zenesis::parallel {
 
-/// Fixed-size worker pool. Tasks are `void()` callables; exceptions thrown
-/// by a task terminate the program (tasks are expected to be noexcept in
-/// spirit — the library's kernels do not throw).
+/// Fixed-size worker pool. Tasks are `void()` callables.
 class ThreadPool {
  public:
   /// Creates `threads` workers. `threads == 0` resolves to
@@ -35,7 +47,15 @@ class ThreadPool {
   void submit(std::function<void()> task);
 
   /// Blocks until the queue is empty and all running tasks have finished.
+  /// Rethrows the first exception captured from a task since the previous
+  /// wait_idle (the capture slot is cleared on rethrow).
   void wait_idle();
+
+  /// Runs one queued task on the calling thread, if any is available.
+  /// Returns false when the queue is empty. This is the helping primitive
+  /// that makes the pool safely re-entrant: callers blocked on nested
+  /// work keep the queue moving instead of parking a worker.
+  bool try_run_one();
 
   /// Process-wide default pool, created on first use with one worker per
   /// hardware thread.
@@ -43,6 +63,7 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  void run_task(std::function<void()> task);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
@@ -51,6 +72,7 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;
 };
 
 }  // namespace zenesis::parallel

@@ -7,6 +7,7 @@
 #include "zenesis/cv/distance.hpp"
 #include "zenesis/cv/morphology.hpp"
 #include "zenesis/cv/threshold.hpp"
+#include "zenesis/eval/metrics.hpp"
 #include "zenesis/image/normalize.hpp"
 #include "zenesis/image/roi.hpp"
 #include "zenesis/io/tiff.hpp"
@@ -19,6 +20,7 @@ namespace zi = zenesis::image;
 namespace zc = zenesis::cv;
 namespace zio = zenesis::io;
 namespace zp = zenesis::parallel;
+namespace ze = zenesis::eval;
 
 // ---------------------------------------------------------------- matmul
 
@@ -160,6 +162,74 @@ TEST_P(MorphologySweep, OpeningShrinksClosingGrows) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MorphologySweep,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ------------------------------------------------ IoU/Dice invariants
+
+// The dashboard numbers the pipeline refactors are judged against: if
+// these invariants drift, every table in Mode C is suspect.
+class MetricSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetricSweep, IouDiceInvariantsOnRandomMasks) {
+  const std::uint64_t seed = GetParam();
+  zp::Rng densities(seed, 555);
+  const zi::Mask a = random_mask(40, 40, seed + 101, 0.2 + 0.6 * densities.uniform());
+  const zi::Mask b = random_mask(40, 40, seed + 202, 0.2 + 0.6 * densities.uniform());
+
+  const ze::Metrics ab = ze::compute_metrics(a, b);
+  const ze::Metrics ba = ze::compute_metrics(b, a);
+
+  // Symmetry: IoU and Dice are symmetric in their arguments.
+  EXPECT_DOUBLE_EQ(ab.iou, ba.iou);
+  EXPECT_DOUBLE_EQ(ab.dice, ba.dice);
+
+  // Range and ordering: 0 ≤ IoU ≤ Dice ≤ 1.
+  EXPECT_GE(ab.iou, 0.0);
+  EXPECT_LE(ab.iou, ab.dice);
+  EXPECT_LE(ab.dice, 1.0);
+
+  // Algebraic identity: Dice = 2·IoU / (1 + IoU) for set-based masks.
+  EXPECT_NEAR(ab.dice, 2.0 * ab.iou / (1.0 + ab.iou), 1e-12);
+
+  // Precision/recall swap under argument exchange.
+  EXPECT_DOUBLE_EQ(ab.precision, ba.recall);
+  EXPECT_DOUBLE_EQ(ab.recall, ba.precision);
+
+  // Identity: a mask against itself scores perfectly.
+  const ze::Metrics self = ze::compute_metrics(a, a);
+  EXPECT_DOUBLE_EQ(self.iou, 1.0);
+  EXPECT_DOUBLE_EQ(self.dice, 1.0);
+  EXPECT_DOUBLE_EQ(self.accuracy, 1.0);
+}
+
+TEST_P(MetricSweep, DisjointAndDegenerateMasks) {
+  const std::uint64_t seed = GetParam();
+  // Disjoint halves: left-only vs right-only foreground.
+  zi::Mask left(32, 32), right(32, 32);
+  const zi::Mask noise = random_mask(32, 32, seed + 7, 0.5);
+  for (std::int64_t y = 0; y < 32; ++y) {
+    for (std::int64_t x = 0; x < 32; ++x) {
+      if (noise.at(x, y) == 0) continue;
+      (x < 16 ? left : right).at(x, y) = 1;
+    }
+  }
+  if (zi::mask_area(left) == 0 || zi::mask_area(right) == 0) GTEST_SKIP();
+  const ze::Metrics disjoint = ze::compute_metrics(left, right);
+  EXPECT_DOUBLE_EQ(disjoint.iou, 0.0);
+  EXPECT_DOUBLE_EQ(disjoint.dice, 0.0);
+
+  // Documented conventions: empty-vs-empty is perfect agreement, exactly
+  // one empty mask is total disagreement.
+  const zi::Mask empty(32, 32);
+  const ze::Metrics both_empty = ze::compute_metrics(empty, empty);
+  EXPECT_DOUBLE_EQ(both_empty.iou, 1.0);
+  EXPECT_DOUBLE_EQ(both_empty.dice, 1.0);
+  const ze::Metrics one_empty = ze::compute_metrics(left, empty);
+  EXPECT_DOUBLE_EQ(one_empty.iou, 0.0);
+  EXPECT_DOUBLE_EQ(one_empty.dice, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricSweep,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u, 2026u));
 
 // ----------------------------------------------------- distance bounds
 

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI entry point: build + test the repo twice — a default RelWithDebInfo
+# build running the full tier-1 suite, then a ThreadSanitizer build
+# race-checking the concurrency surface (thread pool, parallel Mode-B
+# volume pipeline, feature cache).
+#
+# Usage:
+#   tools/ci.sh                # default + TSAN (concurrency tests)
+#   CI_TSAN_ALL=1 tools/ci.sh  # run the ENTIRE suite under TSAN (slow)
+#   CI_JOBS=8 tools/ci.sh      # override build/test parallelism
+#
+# Exit status is non-zero if any build or test fails.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${CI_JOBS:-$(nproc)}"
+# Tests exercising the new concurrency paths; extend when adding parallel
+# features. CI_TSAN_ALL=1 widens to the full suite.
+TSAN_FILTER="${CI_TSAN_FILTER:-test_parallel|test_volume_parallel|test_pipeline|test_session|test_integration}"
+
+echo "=== [1/2] default build + full tier-1 suite ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "=== [2/2] ThreadSanitizer build + concurrency suite ==="
+cmake -B build-tsan -S . -DZENESIS_SANITIZE=thread \
+      -DZENESIS_BUILD_BENCH=OFF -DZENESIS_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-tsan -j "$JOBS"
+if [[ "${CI_TSAN_ALL:-0}" == "1" ]]; then
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+else
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R "$TSAN_FILTER"
+fi
+
+echo "CI OK"
