@@ -43,13 +43,15 @@ int main() {
     const auto zi = static_cast<std::size_t>(z);
     double iou_raw = 0.0, iou_ref = 0.0;
     if (!corrupted[zi].empty()) {
-      const core::SliceResult r =
-          session.pipeline().segment_with_box(slices[zi].ai_ready, corrupted[zi], prompt);
+      const core::SliceResult r = session.pipeline().segment_with_box(
+          slices[zi].ai_ready, corrupted[zi],
+          core::BoxPromptOptions{prompt, {}});
       iou_raw = image::mask_iou(r.mask, vol.ground_truth[zi]);
     }
     if (!refined.boxes[zi].empty()) {
-      const core::SliceResult r =
-          session.pipeline().segment_with_box(slices[zi].ai_ready, refined.boxes[zi], prompt);
+      const core::SliceResult r = session.pipeline().segment_with_box(
+          slices[zi].ai_ready, refined.boxes[zi],
+          core::BoxPromptOptions{prompt, {}});
       iou_ref = image::mask_iou(r.mask, vol.ground_truth[zi]);
     }
     t.add_row({z, corrupted[zi].w, corrupted[zi].h, refined.boxes[zi].w,

@@ -1,14 +1,18 @@
 // Performance microbenchmarks (the venue's HPC angle): tensor kernels,
 // attention, feature extraction, model inference, end-to-end slice
-// latency, thread-scaling of the parallel substrate, and Mode-B volume
-// throughput (serial vs. parallel vs. feature-cached). The main() also
-// emits out/BENCH_volume.json — one machine-readable record per run so
-// successive PRs accumulate a perf trajectory.
+// latency, thread-scaling of the parallel substrate, Mode-B volume
+// throughput (serial vs. parallel vs. feature-cached), and serving-layer
+// throughput (blocking submit vs. micro-batched SegmentService). The
+// main() also emits out/BENCH_volume.json and out/BENCH_serve.json — one
+// machine-readable record per run so successive PRs accumulate a perf
+// trajectory.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <future>
 #include <thread>
+#include <vector>
 
 #include "exp_common.hpp"
 #include "zenesis/core/pipeline.hpp"
@@ -16,6 +20,7 @@
 #include "zenesis/io/report.hpp"
 #include "zenesis/models/auto_mask.hpp"
 #include "zenesis/parallel/parallel_for.hpp"
+#include "zenesis/serve/service.hpp"
 #include "zenesis/tensor/init.hpp"
 #include "zenesis/tensor/ops.hpp"
 
@@ -199,6 +204,66 @@ void BM_ParallelForScaling(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelForScaling)->Arg(1)->Arg(2)->Arg(4);
 
+/// Repeated-slice request traffic (cache-hot serving): `kDistinct` unique
+/// slices cycled `kRequests` times — the request-per-micrograph pattern
+/// the serving layer amortizes via the FeatureCache.
+constexpr int kServeRequests = 24;
+constexpr int kServeDistinct = 4;
+
+std::vector<image::AnyImage> serve_traffic() {
+  std::vector<image::AnyImage> distinct;
+  for (int i = 0; i < kServeDistinct; ++i) {
+    fibsem::SynthConfig cfg;
+    cfg.type = fibsem::SampleType::kCrystalline;
+    cfg.width = 128;
+    cfg.height = 128;
+    cfg.seed = 5000 + static_cast<std::uint64_t>(i);
+    distinct.emplace_back(fibsem::generate_slice(cfg, 0).raw);
+  }
+  std::vector<image::AnyImage> traffic;
+  traffic.reserve(kServeRequests);
+  for (int i = 0; i < kServeRequests; ++i) {
+    traffic.push_back(distinct[static_cast<std::size_t>(i % kServeDistinct)]);
+  }
+  return traffic;
+}
+
+constexpr const char* kServePrompt = "bright needle-like crystalline catalyst";
+
+/// Serving throughput on repeated-slice traffic. Arg 0: mode — 0 = serial
+/// blocking pipeline calls (the pre-serve baseline), 1 = micro-batched
+/// SegmentService. Items processed = requests.
+void BM_ServeThroughput(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  const std::vector<image::AnyImage> traffic = serve_traffic();
+  if (batched) {
+    serve::ServiceConfig cfg;
+    cfg.queue_capacity = kServeRequests * 2;
+    cfg.max_batch = 8;
+    serve::SegmentService service(cfg);
+    for (auto _ : state) {
+      std::vector<std::future<serve::Response>> futures;
+      futures.reserve(traffic.size());
+      for (const auto& img : traffic) {
+        futures.push_back(
+            service.submit(serve::Request::slice(img, kServePrompt)));
+      }
+      for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+    }
+    state.counters["cache_hit_rate"] = service.pipeline().cache_stats().hit_rate();
+    state.counters["mean_batch"] = service.stats().batch_size.mean();
+  } else {
+    const core::ZenesisPipeline pipe(volume_config(1, false));
+    for (auto _ : state) {
+      for (const auto& img : traffic) {
+        benchmark::DoNotOptimize(pipe.segment(img, kServePrompt));
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kServeRequests);
+}
+BENCHMARK(BM_ServeThroughput)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 /// Times one segment_volume pass in seconds (best of `reps`).
 double time_volume_pass(const core::ZenesisPipeline& pipe,
                         const image::VolumeU16& volume, int reps) {
@@ -257,6 +322,69 @@ void write_volume_record() {
   std::printf("volume perf record written to %s\n", path.c_str());
 }
 
+/// Standalone serial-submit vs micro-batched-service measurement on
+/// cache-hot repeated-slice traffic, persisted as out/BENCH_serve.json.
+/// Runs regardless of --benchmark_filter.
+void write_serve_record() {
+  const std::vector<image::AnyImage> traffic = serve_traffic();
+  constexpr int kReps = 3;
+
+  const auto time_pass = [&](const std::function<void()>& pass) {
+    double best = 1e30;
+    for (int r = 0; r < kReps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      pass();
+      const std::chrono::duration<double> dt =
+          std::chrono::steady_clock::now() - t0;
+      best = std::min(best, dt.count());
+    }
+    return best;
+  };
+
+  const core::ZenesisPipeline blocking(volume_config(1, false));
+  const double t_serial = time_pass([&] {
+    for (const auto& img : traffic) {
+      benchmark::DoNotOptimize(blocking.segment(img, kServePrompt));
+    }
+  });
+
+  serve::ServiceConfig scfg;
+  scfg.queue_capacity = kServeRequests * 2;
+  scfg.max_batch = 8;
+  serve::SegmentService service(scfg);
+  const double t_serve = time_pass([&] {
+    std::vector<std::future<serve::Response>> futures;
+    futures.reserve(traffic.size());
+    for (const auto& img : traffic) {
+      futures.push_back(
+          service.submit(serve::Request::slice(img, kServePrompt)));
+    }
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+  });
+  const serve::ServiceStats stats = service.stats();
+
+  const double requests = static_cast<double>(kServeRequests);
+  io::JsonObject rec;
+  rec.set("bench", "serve_throughput");
+  rec.set("requests", static_cast<std::int64_t>(kServeRequests));
+  rec.set("distinct_slices", static_cast<std::int64_t>(kServeDistinct));
+  rec.set("serial_requests_per_sec", requests / t_serial);
+  rec.set("serve_requests_per_sec", requests / t_serve);
+  rec.set("serve_speedup", t_serial / t_serve);
+  rec.set("mean_batch_size", stats.batch_size.mean());
+  rec.set("queue_us_p95", stats.queue_us.percentile(95.0));
+  rec.set("decode_us_p95", stats.decode_us.percentile(95.0));
+  rec.set("total_us_p95", stats.total_us.percentile(95.0));
+  rec.set("cache_hit_rate", service.pipeline().cache_stats().hit_rate());
+
+  bench::ExperimentConfig out_cfg;
+  const std::string out = bench::ensure_out_dir(out_cfg);
+  const std::string path = out + "/BENCH_serve.json";
+  rec.write(path);
+  std::printf("\n%s\n", rec.to_string(2).c_str());
+  std::printf("serve perf record written to %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -265,5 +393,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   write_volume_record();
+  write_serve_record();
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <sstream>
+#include <stdexcept>
 
 #include "zenesis/cv/morphology.hpp"
 #include "zenesis/cv/threshold.hpp"
@@ -10,8 +12,58 @@
 
 namespace zenesis::core {
 
+std::vector<std::string> PipelineConfig::validate() const {
+  std::vector<std::string> issues;
+  const auto flag = [&](bool bad, const std::string& msg) {
+    if (bad) issues.push_back(msg);
+  };
+  flag(readiness.lo_percentile < 0.0 || readiness.lo_percentile > 100.0,
+       "readiness.lo_percentile must be in [0, 100]");
+  flag(readiness.hi_percentile < 0.0 || readiness.hi_percentile > 100.0,
+       "readiness.hi_percentile must be in [0, 100]");
+  flag(readiness.lo_percentile >= readiness.hi_percentile,
+       "readiness.lo_percentile must be below hi_percentile");
+  flag(readiness.use_clahe && readiness.clahe_tiles < 1,
+       "readiness.clahe_tiles must be >= 1 when CLAHE is enabled");
+  flag(grounding.box_threshold < 0.0f,
+       "grounding.box_threshold must be non-negative");
+  flag(grounding.text_threshold < 0.0f,
+       "grounding.text_threshold must be non-negative");
+  flag(grounding.min_patches < 0, "grounding.min_patches must be non-negative");
+  flag(grounding.pad_fraction < 0.0f,
+       "grounding.pad_fraction must be non-negative");
+  flag(sam.grow_tolerance < 0.0f, "sam.grow_tolerance must be non-negative");
+  flag(sam.min_contrast_cut < 0.0f,
+       "sam.min_contrast_cut must be non-negative");
+  flag(sam.stability_delta < 0.0f, "sam.stability_delta must be non-negative");
+  flag(sam.morph_radius < 0, "sam.morph_radius must be non-negative");
+  flag(sam.min_component_area < 0,
+       "sam.min_component_area must be non-negative");
+  flag(max_boxes < 1, "max_boxes must be >= 1");
+  flag(heuristic.window < 1, "heuristic.window must be >= 1");
+  flag(heuristic.size_factor <= 0.0, "heuristic.size_factor must be positive");
+  flag(feature_cache.enabled && feature_cache.capacity == 0,
+       "feature_cache.capacity must be >= 1 when the cache is enabled");
+  return issues;
+}
+
+namespace {
+
+PipelineConfig checked(const PipelineConfig& cfg) {
+  const std::vector<std::string> issues = cfg.validate();
+  if (!issues.empty()) {
+    std::ostringstream msg;
+    msg << "invalid PipelineConfig:";
+    for (const auto& issue : issues) msg << "\n  - " << issue;
+    throw std::invalid_argument(msg.str());
+  }
+  return cfg;
+}
+
+}  // namespace
+
 ZenesisPipeline::ZenesisPipeline(const PipelineConfig& cfg)
-    : cfg_(cfg),
+    : cfg_(checked(cfg)),
       dino_(cfg.grounding),
       sam_(cfg.sam),
       cache_(std::make_unique<models::FeatureCache>(cfg.feature_cache)),
@@ -57,7 +109,17 @@ SliceResult ZenesisPipeline::segment_ready(const image::ImageF32& ready,
 }
 
 SliceResult ZenesisPipeline::segment_with_box(const image::ImageF32& ready,
-                                              const image::Box& box) const {
+                                              const image::Box& box,
+                                              const BoxPromptOptions& opts) const {
+  // Text-guided ranking needs a prompt and must not be explicitly turned
+  // off; every other combination is the pure-SAM path of the old
+  // two-argument overload (kSamScore deliberately ignores the prompt so
+  // forcing SAM ranking reproduces that path bit-exactly).
+  const bool text_ranked = opts.prompt.has_value() &&
+                           opts.ranking != BoxPromptOptions::Ranking::kSamScore;
+  if (text_ranked) {
+    return assemble(ready, dino_.ground_box(box, *opts.prompt));
+  }
   models::GroundingResult g;
   g.boxes.push_back({box, 1.0});
   return assemble(ready, std::move(g));
@@ -66,7 +128,7 @@ SliceResult ZenesisPipeline::segment_with_box(const image::ImageF32& ready,
 SliceResult ZenesisPipeline::segment_with_box(const image::ImageF32& ready,
                                               const image::Box& box,
                                               const std::string& prompt) const {
-  return assemble(ready, dino_.ground_box(box, prompt));
+  return segment_with_box(ready, box, BoxPromptOptions{prompt, {}});
 }
 
 namespace {
@@ -244,8 +306,9 @@ VolumeResult ZenesisPipeline::segment_volume(const image::VolumeU16& volume,
                    [&](std::int64_t zi) {
       const auto i = static_cast<std::size_t>(zi);
       if (!res.replaced[i] || res.refined_boxes[i].empty()) return;
-      SliceResult fixed =
-          segment_with_box(res.slices[i].ai_ready, res.refined_boxes[i], prompt);
+      SliceResult fixed = segment_with_box(res.slices[i].ai_ready,
+                                           res.refined_boxes[i],
+                                           BoxPromptOptions{prompt, {}});
       res.slices[i].mask = std::move(fixed.mask);
       res.slices[i].box_masks = std::move(fixed.box_masks);
       res.slices[i].primary_box = res.refined_boxes[i];

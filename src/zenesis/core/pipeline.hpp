@@ -7,6 +7,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,31 @@ struct PipelineConfig {
   std::size_t volume_threads = 0;
   /// Backbone feature/encoder memoization (off switch + LRU sizing).
   models::FeatureCacheConfig feature_cache;
+
+  /// Sanity-checks every knob and returns one human-readable message per
+  /// violation (empty = valid). `ZenesisPipeline`'s constructor calls this
+  /// and throws `std::invalid_argument` with the joined messages, so a
+  /// misconfigured pipeline fails loudly at construction instead of
+  /// silently misbehaving mid-run.
+  std::vector<std::string> validate() const;
+};
+
+/// Options for explicit-box segmentation (`segment_with_box`). Replaces
+/// the old prompt-string overload: one struct names both knobs instead of
+/// overload position deciding the ranking behavior.
+struct BoxPromptOptions {
+  /// Mask-candidate ranking inside the box.
+  enum class Ranking {
+    kAuto,           ///< text alignment when a prompt is set, else SAM
+    kSamScore,       ///< SAM's own stability ranking, prompt ignored
+    kTextAlignment,  ///< force text alignment (needs a prompt; falls back
+                     ///< to SAM ranking when none is set)
+  };
+  /// Concept direction for mask selection. The path taken when the
+  /// temporal heuristic replaces a failed detection: the box is
+  /// corrected, the text intent is unchanged.
+  std::optional<std::string> prompt;
+  Ranking ranking = Ranking::kAuto;
 };
 
 /// Everything the platform produced for one image/slice (the UI state of
@@ -101,14 +127,15 @@ class ZenesisPipeline {
                             const std::string& prompt) const;
 
   /// Segment with an explicit user box instead of text grounding
-  /// (interactive bounding-box guidance). Pure SAM ranking.
+  /// (interactive bounding-box guidance). Default options reproduce the
+  /// old two-argument overload (pure SAM ranking); set `opts.prompt` to
+  /// keep the text's concept direction for mask selection.
   SliceResult segment_with_box(const image::ImageF32& ready,
-                               const image::Box& box) const;
+                               const image::Box& box,
+                               const BoxPromptOptions& opts = {}) const;
 
-  /// Segment with an explicit box but keep the prompt's concept direction
-  /// for mask selection (the path taken when the temporal heuristic
-  /// replaces a failed detection: the box is corrected, the text intent
-  /// is unchanged).
+  /// Deprecated forwarder for the old prompt-string overload.
+  [[deprecated("use segment_with_box(ready, box, BoxPromptOptions{...})")]]
   SliceResult segment_with_box(const image::ImageF32& ready,
                                const image::Box& box,
                                const std::string& prompt) const;

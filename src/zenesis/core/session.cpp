@@ -30,12 +30,19 @@ std::vector<SliceResult> Session::mode_b_segment_images(
   return pipeline_.segment_images(images, prompt);
 }
 
+void Session::add_stats_source(StatsSource source) {
+  if (source) stats_sources_.push_back(std::move(source));
+}
+
+void Session::clear_stats_sources() { stats_sources_.clear(); }
+
 void Session::publish_runtime_stats() {
   const models::FeatureCacheStats s = pipeline_.cache_stats();
   dashboard_.set_stat("feature_cache_hits", static_cast<double>(s.hits));
   dashboard_.set_stat("feature_cache_misses", static_cast<double>(s.misses));
   dashboard_.set_stat("feature_cache_evictions", static_cast<double>(s.evictions));
   dashboard_.set_stat("feature_cache_hit_rate", s.hit_rate());
+  for (const auto& source : stats_sources_) source(dashboard_);
 }
 
 eval::Metrics Session::mode_c_evaluate(const std::string& dataset,
@@ -45,6 +52,9 @@ eval::Metrics Session::mode_c_evaluate(const std::string& dataset,
                                        const image::Mask& ground_truth) {
   const eval::Metrics m = eval::compute_metrics(prediction, ground_truth);
   dashboard_.add(dataset, method, slice, m);
+  // Runtime counters ride along with every evaluation, so rendering the
+  // dashboard right after Mode C never shows stale cache/service numbers.
+  publish_runtime_stats();
   return m;
 }
 

@@ -8,6 +8,7 @@
 // dashboard; CLI examples and benches drive everything through it, the
 // same way the web UI drives the Python original.
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -50,14 +51,27 @@ class Session {
       const std::vector<image::AnyImage>& images,
       const std::string& prompt) const;
 
-  /// Copies the pipeline's runtime counters (feature-cache hits, misses,
-  /// evictions, hit rate) into the dashboard's runtime-stats section so
-  /// Mode C reports them next to the quality metrics.
+  /// Extra producer of runtime stats (e.g. a serve::SegmentService
+  /// publishing its admission/latency counters). Sources are invoked every
+  /// time runtime stats are refreshed; the source must outlive the
+  /// session (or be removed by value via `clear_stats_sources`).
+  using StatsSource = std::function<void(eval::Dashboard&)>;
+  void add_stats_source(StatsSource source);
+  void clear_stats_sources();
+
+  /// Refreshes the dashboard's runtime-stats section: the pipeline's
+  /// feature-cache counters (hits, misses, evictions, hit rate) plus every
+  /// registered stats source. Since PR 2 this happens automatically on
+  /// each `mode_c_evaluate` call, so Mode C always reports current
+  /// counters next to the quality metrics; the explicit method remains as
+  /// a compatible alias for callers that render the dashboard without
+  /// evaluating anything.
   void publish_runtime_stats();
 
   // --- Mode C: evaluation ---
   /// Scores a prediction against ground truth and records it under
-  /// (dataset, method, slice) in the dashboard.
+  /// (dataset, method, slice) in the dashboard. Also refreshes the
+  /// runtime-stats section (see publish_runtime_stats).
   eval::Metrics mode_c_evaluate(const std::string& dataset,
                                 const std::string& method, std::int64_t slice,
                                 const image::Mask& prediction,
@@ -78,6 +92,7 @@ class Session {
  private:
   ZenesisPipeline pipeline_;
   eval::Dashboard dashboard_;
+  std::vector<StatsSource> stats_sources_;
 };
 
 }  // namespace zenesis::core

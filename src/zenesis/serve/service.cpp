@@ -1,0 +1,421 @@
+#include "zenesis/serve/service.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "zenesis/core/session.hpp"
+#include "zenesis/models/feature_cache.hpp"
+#include "zenesis/parallel/parallel_for.hpp"
+
+namespace zenesis::serve {
+
+namespace {
+
+double us_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+Response rejected_response(RejectReason reason, RequestKind kind) {
+  Response r;
+  r.status = Response::Status::kRejected;
+  r.reject = reason;
+  r.kind = kind;
+  return r;
+}
+
+ServiceConfig checked(const ServiceConfig& cfg) {
+  const std::vector<std::string> issues = cfg.validate();
+  if (!issues.empty()) {
+    std::ostringstream msg;
+    msg << "invalid ServiceConfig:";
+    for (const auto& issue : issues) msg << "\n  - " << issue;
+    throw std::invalid_argument(msg.str());
+  }
+  return cfg;
+}
+
+}  // namespace
+
+Request Request::slice(image::AnyImage img, std::string text) {
+  Request r;
+  r.kind = RequestKind::kSlice;
+  r.image = std::move(img);
+  r.prompt = std::move(text);
+  return r;
+}
+
+Request Request::boxed(image::AnyImage img, image::Box prompt_box,
+                       core::BoxPromptOptions opts) {
+  Request r;
+  r.kind = RequestKind::kBox;
+  r.image = std::move(img);
+  r.box = prompt_box;
+  r.box_options = std::move(opts);
+  return r;
+}
+
+Request Request::multi_object(image::AnyImage img,
+                              std::vector<std::string> class_prompts) {
+  Request r;
+  r.kind = RequestKind::kMultiObject;
+  r.image = std::move(img);
+  r.prompts = std::move(class_prompts);
+  return r;
+}
+
+Request Request::volume_batch(image::VolumeU16 vol, std::string text) {
+  Request r;
+  r.kind = RequestKind::kVolume;
+  r.volume = std::move(vol);
+  r.prompt = std::move(text);
+  return r;
+}
+
+std::vector<std::string> ServiceConfig::validate() const {
+  std::vector<std::string> issues = pipeline.validate();
+  if (queue_capacity < 1) issues.push_back("queue_capacity must be >= 1");
+  if (max_batch < 1) issues.push_back("max_batch must be >= 1");
+  return issues;
+}
+
+SegmentService::SegmentService(const ServiceConfig& cfg)
+    : cfg_(checked(cfg)),
+      pipeline_(cfg.pipeline),
+      pool_(cfg.fanout_threads > 1
+                ? std::make_unique<parallel::ThreadPool>(cfg.fanout_threads)
+                : nullptr),
+      paused_(cfg.start_paused) {
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+SegmentService::~SegmentService() { shutdown(); }
+
+parallel::ThreadPool& SegmentService::fanout_pool() const {
+  return pool_ ? *pool_ : parallel::ThreadPool::global();
+}
+
+void SegmentService::fan_out(std::size_t n,
+                             const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (cfg_.fanout_threads == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  // Grain 1: request cost is irregular; idle workers pull dynamically.
+  // body must not throw (every pipeline call below is wrapped).
+  parallel::parallel_for_chunked(
+      0, static_cast<std::int64_t>(n), 1,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          body(static_cast<std::size_t>(i));
+        }
+      },
+      fanout_pool());
+}
+
+std::future<Response> SegmentService::submit(Request req) {
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  const Clock::time_point now = Clock::now();
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    std::lock_guard<std::mutex> sl(stats_mutex_);
+    stats_.submitted += 1;
+    if (stopping_) {
+      stats_.rejected_shutting_down += 1;
+      promise.set_value(rejected_response(RejectReason::kShuttingDown, req.kind));
+    } else if (req.deadline && *req.deadline <= now) {
+      stats_.expired += 1;
+      promise.set_value(
+          rejected_response(RejectReason::kDeadlineExpired, req.kind));
+    } else if (queue_.size() >= cfg_.queue_capacity) {
+      stats_.rejected_queue_full += 1;
+      promise.set_value(rejected_response(RejectReason::kQueueFull, req.kind));
+    } else {
+      stats_.admitted += 1;
+      queue_.push_back(Pending{std::move(req), std::move(promise), next_seq_++, now});
+      stats_.queue_depth_high_water =
+          std::max<std::uint64_t>(stats_.queue_depth_high_water, queue_.size());
+      notify = true;
+    }
+  }
+  if (notify) cv_.notify_all();
+  return future;
+}
+
+void SegmentService::pause() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    paused_ = true;
+  }
+  cv_.notify_all();
+}
+
+void SegmentService::resume() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void SegmentService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  std::lock_guard<std::mutex> lg(lifecycle_mutex_);
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void SegmentService::dispatcher_loop() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  for (;;) {
+    if (paused_ && !stopping_) {  // shutdown drains even a paused service
+      cv_.wait(lk);
+      continue;
+    }
+    if (queue_.empty()) {
+      if (stopping_) break;
+      cv_.wait(lk);
+      continue;
+    }
+    // Deadline sweep: anything already past due completes with
+    // DeadlineExpired and never reaches the pipeline.
+    const Clock::time_point now = Clock::now();
+    std::vector<Pending> expired;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (it->req.deadline && *it->req.deadline <= now) {
+        expired.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    std::vector<Pending> batch = pop_batch_locked();
+    lk.unlock();
+    for (auto& p : expired) finish_rejected(p, RejectReason::kDeadlineExpired);
+    if (!batch.empty()) run_batch(std::move(batch));
+    lk.lock();
+  }
+}
+
+std::vector<SegmentService::Pending> SegmentService::pop_batch_locked() {
+  std::vector<Pending> batch;
+  if (queue_.empty()) return batch;
+  // Pivot: highest priority; FIFO (lowest seq) within a level. queue_ is
+  // append-ordered, so index order == admission order.
+  std::size_t pivot = 0;
+  for (std::size_t i = 1; i < queue_.size(); ++i) {
+    if (queue_[i].req.priority > queue_[pivot].req.priority) pivot = i;
+  }
+  std::vector<std::size_t> take{pivot};
+  if (queue_[pivot].req.kind == RequestKind::kSlice) {
+    for (std::size_t i = 0;
+         i < queue_.size() && take.size() < cfg_.max_batch; ++i) {
+      if (i == pivot) continue;
+      if (queue_[i].req.kind == RequestKind::kSlice &&
+          queue_[i].req.prompt == queue_[pivot].req.prompt) {
+        take.push_back(i);
+      }
+    }
+    std::sort(take.begin(), take.end());  // admission order inside the batch
+  }
+  batch.reserve(take.size());
+  for (const std::size_t idx : take) batch.push_back(std::move(queue_[idx]));
+  for (auto it = take.rbegin(); it != take.rend(); ++it) {
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(*it));
+  }
+  return batch;
+}
+
+void SegmentService::run_batch(std::vector<Pending> batch) {
+  const Clock::time_point dispatched = Clock::now();
+  {
+    std::lock_guard<std::mutex> sl(stats_mutex_);
+    stats_.batches += 1;
+    stats_.batch_size.record(static_cast<double>(batch.size()));
+    for (const auto& p : batch) {
+      stats_.queue_us.record(us_between(p.enqueued, dispatched));
+    }
+  }
+  std::vector<Pending> live;
+  live.reserve(batch.size());
+  for (auto& p : batch) {
+    if (p.req.cancel && p.req.cancel->cancelled()) {
+      finish_rejected(p, RejectReason::kCancelled);
+    } else {
+      live.push_back(std::move(p));
+    }
+  }
+  if (live.empty()) return;
+  if (live.front().req.kind == RequestKind::kSlice) {
+    run_slice_batch(live);
+  } else {
+    run_single(live.front());  // non-slice kinds dispatch as singletons
+  }
+}
+
+void SegmentService::run_slice_batch(std::vector<Pending>& batch) {
+  const std::size_t n = batch.size();
+  const std::string prompt = batch.front().req.prompt;
+
+  // Stage 1 — shared backbone encode. Readiness runs per request, then
+  // each *unique* image (by content hash) is encoded exactly once, warming
+  // the FeatureCache so every stage-2 decode hits.
+  const Clock::time_point t_encode = Clock::now();
+  std::vector<image::ImageF32> ready(n);
+  fan_out(n, [&](std::size_t i) {
+    ready[i] = pipeline_.make_ready(batch[i].req.image);
+  });
+  std::unordered_map<std::uint64_t, std::size_t> seen;
+  std::vector<std::size_t> unique_idx;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (seen.emplace(models::hash_image(ready[i]), i).second) {
+      unique_idx.push_back(i);
+    }
+  }
+  fan_out(unique_idx.size(), [&](std::size_t j) {
+    pipeline_.encode_cached(ready[unique_idx[j]]);
+  });
+  {
+    std::lock_guard<std::mutex> sl(stats_mutex_);
+    stats_.encode_us.record(us_between(t_encode, Clock::now()));
+  }
+
+  // Stage 2 — per-request decode, cache-hot.
+  fan_out(n, [&](std::size_t i) {
+    const Clock::time_point t0 = Clock::now();
+    Response r;
+    r.kind = RequestKind::kSlice;
+    try {
+      r.slice = pipeline_.segment_ready(ready[i], prompt);
+    } catch (const std::exception& e) {
+      r.status = Response::Status::kError;
+      r.error = e.what();
+    }
+    finish(batch[i], std::move(r), us_between(t0, Clock::now()));
+  });
+}
+
+void SegmentService::run_single(Pending& pending) {
+  const Clock::time_point t0 = Clock::now();
+  Response r;
+  r.kind = pending.req.kind;
+  double encode_us = 0.0;
+  Clock::time_point t_decode = t0;
+  try {
+    switch (pending.req.kind) {
+      case RequestKind::kBox: {
+        const image::ImageF32 ready = pipeline_.make_ready(pending.req.image);
+        pipeline_.encode_cached(ready);  // warm: decode below hits
+        encode_us = us_between(t0, Clock::now());
+        t_decode = Clock::now();
+        r.slice = pipeline_.segment_with_box(ready, pending.req.box,
+                                             pending.req.box_options);
+        break;
+      }
+      case RequestKind::kMultiObject:
+        r.multi = pipeline_.segment_multi(pending.req.image, pending.req.prompts);
+        break;
+      case RequestKind::kVolume:
+        r.volume = pipeline_.segment_volume(pending.req.volume, pending.req.prompt);
+        break;
+      case RequestKind::kSlice:
+        r.slice = pipeline_.segment(pending.req.image, pending.req.prompt);
+        break;
+    }
+  } catch (const std::exception& e) {
+    r.status = Response::Status::kError;
+    r.error = e.what();
+  }
+  if (encode_us > 0.0) {
+    std::lock_guard<std::mutex> sl(stats_mutex_);
+    stats_.encode_us.record(encode_us);
+  }
+  finish(pending, std::move(r), us_between(t_decode, Clock::now()));
+}
+
+void SegmentService::finish(Pending& pending, Response&& response,
+                            double decode_us) {
+  const Clock::time_point done = Clock::now();
+  response.decode_us = decode_us;
+  response.total_us = us_between(pending.enqueued, done);
+  response.queue_us = response.total_us - decode_us;
+  {
+    std::lock_guard<std::mutex> sl(stats_mutex_);
+    if (response.status == Response::Status::kOk) {
+      stats_.completed += 1;
+    } else {
+      stats_.failed += 1;
+    }
+    stats_.decode_us.record(decode_us);
+    stats_.total_us.record(response.total_us);
+  }
+  pending.promise.set_value(std::move(response));
+}
+
+void SegmentService::finish_rejected(Pending& pending, RejectReason reason) {
+  Response r = rejected_response(reason, pending.req.kind);
+  r.total_us = us_between(pending.enqueued, Clock::now());
+  r.queue_us = r.total_us;
+  {
+    std::lock_guard<std::mutex> sl(stats_mutex_);
+    if (reason == RejectReason::kDeadlineExpired) {
+      stats_.expired += 1;
+    } else if (reason == RejectReason::kCancelled) {
+      stats_.cancelled += 1;
+    }
+  }
+  pending.promise.set_value(std::move(r));
+}
+
+ServiceStats SegmentService::stats() const {
+  std::lock_guard<std::mutex> sl(stats_mutex_);
+  return stats_;
+}
+
+std::size_t SegmentService::queue_depth() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return queue_.size();
+}
+
+void SegmentService::publish_stats(eval::Dashboard& dashboard) const {
+  const ServiceStats s = stats();
+  const auto set_u64 = [&](const char* key, std::uint64_t v) {
+    dashboard.set_stat(key, static_cast<double>(v));
+  };
+  set_u64("serve_submitted", s.submitted);
+  set_u64("serve_admitted", s.admitted);
+  set_u64("serve_completed", s.completed);
+  set_u64("serve_failed", s.failed);
+  set_u64("serve_rejected_queue_full", s.rejected_queue_full);
+  set_u64("serve_rejected_shutting_down", s.rejected_shutting_down);
+  set_u64("serve_expired", s.expired);
+  set_u64("serve_cancelled", s.cancelled);
+  set_u64("serve_batches", s.batches);
+  set_u64("serve_queue_high_water", s.queue_depth_high_water);
+  dashboard.set_stat("serve_batch_size_mean", s.batch_size.mean());
+  dashboard.set_stat("serve_batch_size_max", s.batch_size.max());
+  const auto set_hist = [&](const std::string& prefix, const Histogram& h) {
+    dashboard.set_stat(prefix + "_p50", h.percentile(50.0));
+    dashboard.set_stat(prefix + "_p95", h.percentile(95.0));
+    dashboard.set_stat(prefix + "_p99", h.percentile(99.0));
+  };
+  set_hist("serve_queue_us", s.queue_us);
+  set_hist("serve_encode_us", s.encode_us);
+  set_hist("serve_decode_us", s.decode_us);
+  set_hist("serve_total_us", s.total_us);
+}
+
+void SegmentService::attach_to(core::Session& session) {
+  session.add_stats_source(
+      [this](eval::Dashboard& dashboard) { publish_stats(dashboard); });
+}
+
+}  // namespace zenesis::serve

@@ -52,7 +52,9 @@ TEST(PromptedBox, BeatsUnpromptedOnAmbiguousBox) {
   const zi::ImageF32 ready = pipe.make_ready(zi::AnyImage(s.raw));
   const zi::Box box{0, 0, 128, 128};
   const zc::SliceResult prompted = pipe.segment_with_box(
-      ready, box, zf::default_prompt(zf::SampleType::kCrystalline));
+      ready, box,
+      zc::BoxPromptOptions{zf::default_prompt(zf::SampleType::kCrystalline),
+                           zc::BoxPromptOptions::Ranking::kTextAlignment});
   const double prompted_iou = zi::mask_iou(prompted.mask, s.ground_truth);
   EXPECT_GT(prompted_iou, 0.35);
   const zc::SliceResult plain = pipe.segment_with_box(ready, box);

@@ -150,3 +150,91 @@ TEST(Baselines, SamOnlyReturnsMask) {
   const zi::Mask m = zc::baseline_sam_only(pipe.sam(), ready);
   EXPECT_EQ(m.width(), 128);
 }
+
+TEST(PipelineConfig, DefaultConfigIsValid) {
+  EXPECT_TRUE(zc::PipelineConfig{}.validate().empty());
+}
+
+TEST(PipelineConfig, ValidateCollectsEveryIssue) {
+  zc::PipelineConfig cfg;
+  cfg.max_boxes = 0;
+  cfg.heuristic.window = 0;
+  cfg.grounding.box_threshold = -0.1f;
+  cfg.feature_cache.enabled = true;
+  cfg.feature_cache.capacity = 0;
+  const auto issues = cfg.validate();
+  EXPECT_EQ(issues.size(), 4u);
+  EXPECT_THROW(zc::ZenesisPipeline{cfg}, std::invalid_argument);
+}
+
+TEST(PipelineConfig, ConstructorMessageNamesTheKnob) {
+  zc::PipelineConfig cfg;
+  cfg.max_boxes = -3;
+  try {
+    zc::ZenesisPipeline pipe(cfg);
+    FAIL() << "construction must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("max_boxes"), std::string::npos);
+  }
+}
+
+TEST(PipelineConfig, DisabledCacheMayHaveZeroCapacity) {
+  zc::PipelineConfig cfg;
+  cfg.feature_cache.enabled = false;
+  cfg.feature_cache.capacity = 0;
+  EXPECT_TRUE(cfg.validate().empty());
+  const zc::ZenesisPipeline pipe(cfg);  // must not throw
+  EXPECT_EQ(pipe.cache_stats().hits, 0u);
+}
+
+TEST(BoxPromptOptions, DefaultMatchesPlainBoxPath) {
+  // segment_with_box(ready, box) — now routed through the options
+  // overload's defaults — must reproduce the old pure-SAM two-argument
+  // overload exactly.
+  const auto s = zf::generate_slice(test_config(zf::SampleType::kCrystalline), 0);
+  zc::ZenesisPipeline pipe;
+  const zi::ImageF32 ready = pipe.make_ready(zi::AnyImage(s.raw));
+  const zi::Box box{10, 10, 100, 60};
+  const zc::SliceResult plain = pipe.segment_with_box(ready, box);
+  const zc::SliceResult explicit_opts =
+      pipe.segment_with_box(ready, box, zc::BoxPromptOptions{});
+  ASSERT_EQ(plain.mask.pixels().size(), explicit_opts.mask.pixels().size());
+  for (std::size_t i = 0; i < plain.mask.pixels().size(); ++i) {
+    ASSERT_EQ(plain.mask.pixels()[i], explicit_opts.mask.pixels()[i]);
+  }
+  EXPECT_FALSE(plain.grounding.has_direction);
+}
+
+TEST(BoxPromptOptions, SamScoreRankingIgnoresPrompt) {
+  const auto s = zf::generate_slice(test_config(zf::SampleType::kCrystalline), 0);
+  zc::ZenesisPipeline pipe;
+  const zi::ImageF32 ready = pipe.make_ready(zi::AnyImage(s.raw));
+  const zi::Box box{10, 10, 100, 60};
+  zc::BoxPromptOptions opts;
+  opts.prompt = zf::default_prompt(zf::SampleType::kCrystalline);
+  opts.ranking = zc::BoxPromptOptions::Ranking::kSamScore;
+  const zc::SliceResult forced = pipe.segment_with_box(ready, box, opts);
+  const zc::SliceResult plain = pipe.segment_with_box(ready, box);
+  EXPECT_FALSE(forced.grounding.has_direction);
+  for (std::size_t i = 0; i < plain.mask.pixels().size(); ++i) {
+    ASSERT_EQ(plain.mask.pixels()[i], forced.mask.pixels()[i]);
+  }
+}
+
+TEST(BoxPromptOptions, PromptedOptionsMatchDeprecatedStringOverload) {
+  const auto s = zf::generate_slice(test_config(zf::SampleType::kCrystalline), 0);
+  zc::ZenesisPipeline pipe;
+  const zi::ImageF32 ready = pipe.make_ready(zi::AnyImage(s.raw));
+  const zi::Box box{10, 10, 100, 60};
+  const std::string prompt = zf::default_prompt(zf::SampleType::kCrystalline);
+  const zc::SliceResult via_opts =
+      pipe.segment_with_box(ready, box, zc::BoxPromptOptions{prompt, {}});
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const zc::SliceResult via_string = pipe.segment_with_box(ready, box, prompt);
+#pragma GCC diagnostic pop
+  EXPECT_TRUE(via_opts.grounding.has_direction);
+  for (std::size_t i = 0; i < via_opts.mask.pixels().size(); ++i) {
+    ASSERT_EQ(via_opts.mask.pixels()[i], via_string.mask.pixels()[i]);
+  }
+}

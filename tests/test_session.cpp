@@ -88,3 +88,46 @@ TEST(Session, FurtherSegmentDelegates) {
                                              "bright needle catalyst");
   EXPECT_EQ(child.mask.width(), 128);
 }
+
+TEST(Session, ModeCEvaluateAutoPublishesRuntimeStats) {
+  // Since PR 2 the cache counters ride along with every evaluation — no
+  // explicit publish_runtime_stats() call required.
+  zc::Session session;
+  const auto s = zf::generate_slice(test_config(zf::SampleType::kCrystalline), 0);
+  const auto r = session.mode_a_segment(
+      zi::AnyImage(s.raw), zf::default_prompt(zf::SampleType::kCrystalline));
+  session.mode_c_evaluate("crystalline", "zenesis", 0, r.mask, s.ground_truth);
+  const auto& stats = session.dashboard().stats();
+  ASSERT_TRUE(stats.count("feature_cache_hits"));
+  ASSERT_TRUE(stats.count("feature_cache_hit_rate"));
+  // mode_a_segment encodes once for grounding and hits once in assemble.
+  EXPECT_GT(stats.at("feature_cache_hits"), 0.0);
+}
+
+TEST(Session, StatsSourcesFoldIntoDashboard) {
+  zc::Session session;
+  int calls = 0;
+  session.add_stats_source([&calls](zenesis::eval::Dashboard& d) {
+    ++calls;
+    d.set_stat("custom_source_stat", 42.0);
+  });
+  const auto s = zf::generate_slice(test_config(zf::SampleType::kAmorphous), 0);
+  const auto r = session.mode_a_segment(
+      zi::AnyImage(s.raw), zf::default_prompt(zf::SampleType::kAmorphous));
+  session.mode_c_evaluate("amorphous", "zenesis", 0, r.mask, s.ground_truth);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(session.dashboard().stats().at("custom_source_stat"), 42.0);
+
+  // The explicit method remains as a compatible alias.
+  session.publish_runtime_stats();
+  EXPECT_EQ(calls, 2);
+  session.clear_stats_sources();
+  session.publish_runtime_stats();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(Session, InvalidConfigThrowsAtConstruction) {
+  zc::PipelineConfig cfg;
+  cfg.max_boxes = 0;
+  EXPECT_THROW(zc::Session{cfg}, std::invalid_argument);
+}

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# CI entry point: build + test the repo twice — a default RelWithDebInfo
-# build running the full tier-1 suite, then a ThreadSanitizer build
-# race-checking the concurrency surface (thread pool, parallel Mode-B
-# volume pipeline, feature cache).
+# CI entry point: build + test the repo three times — a default
+# RelWithDebInfo build running the full tier-1 suite, a ThreadSanitizer
+# build race-checking the concurrency surface (thread pool, parallel
+# Mode-B pipelines, feature cache, segmentation service), and an
+# AddressSanitizer(+UBSan) build memory-checking the same surface.
 #
 # Usage:
-#   tools/ci.sh                # default + TSAN (concurrency tests)
+#   tools/ci.sh                # default + TSAN + ASAN (concurrency tests)
 #   CI_TSAN_ALL=1 tools/ci.sh  # run the ENTIRE suite under TSAN (slow)
+#   CI_ASAN_ALL=1 tools/ci.sh  # run the ENTIRE suite under ASAN (slow)
 #   CI_JOBS=8 tools/ci.sh      # override build/test parallelism
 #
 # Exit status is non-zero if any build or test fails.
@@ -14,23 +16,33 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${CI_JOBS:-$(nproc)}"
-# Tests exercising the new concurrency paths; extend when adding parallel
-# features. CI_TSAN_ALL=1 widens to the full suite.
-TSAN_FILTER="${CI_TSAN_FILTER:-test_parallel|test_volume_parallel|test_pipeline|test_session|test_integration}"
+# Tests exercising the concurrency paths; extend when adding parallel
+# features. CI_TSAN_ALL=1 / CI_ASAN_ALL=1 widen to the full suite.
+SAN_FILTER="${CI_SAN_FILTER:-test_parallel|test_volume_parallel|test_batch_images|test_serve|test_pipeline|test_session|test_integration}"
 
-echo "=== [1/2] default build + full tier-1 suite ==="
+echo "=== [1/3] default build + full tier-1 suite ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [2/2] ThreadSanitizer build + concurrency suite ==="
+echo "=== [2/3] ThreadSanitizer build + concurrency suite ==="
 cmake -B build-tsan -S . -DZENESIS_SANITIZE=thread \
       -DZENESIS_BUILD_BENCH=OFF -DZENESIS_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j "$JOBS"
 if [[ "${CI_TSAN_ALL:-0}" == "1" ]]; then
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
 else
-  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R "$TSAN_FILTER"
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R "$SAN_FILTER"
+fi
+
+echo "=== [3/3] AddressSanitizer build + concurrency suite ==="
+cmake -B build-asan -S . -DZENESIS_SANITIZE=address \
+      -DZENESIS_BUILD_BENCH=OFF -DZENESIS_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-asan -j "$JOBS"
+if [[ "${CI_ASAN_ALL:-0}" == "1" ]]; then
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+else
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" -R "$SAN_FILTER"
 fi
 
 echo "CI OK"
