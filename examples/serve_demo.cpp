@@ -91,6 +91,7 @@ int main(int argc, char** argv) {
   session.mode_c_evaluate("synthetic", "zenesis", 0, seg.mask,
                           probe.ground_truth);
   std::printf("\n%s\n", session.dashboard().render().c_str());
-  session.clear_stats_sources();  // service is destroyed before session
+  // No teardown ceremony: attach_to is a scoped registration, so any
+  // destruction order of service and session is safe.
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "zenesis/core/session.hpp"
 
+#include <algorithm>
+
 namespace zenesis::core {
 
 Session::Session(const PipelineConfig& cfg) : pipeline_(cfg) {}
@@ -31,7 +33,14 @@ std::vector<SliceResult> Session::mode_b_segment_images(
 }
 
 void Session::add_stats_source(StatsSource source) {
-  if (source) stats_sources_.push_back(std::move(source));
+  if (source) stats_sources_.push_back(StatsEntry{std::move(source), nullptr});
+}
+
+StatsRegistration Session::add_scoped_stats_source(StatsSource source) {
+  if (!source) return StatsRegistration{};
+  auto alive = std::make_shared<std::atomic<bool>>(true);
+  stats_sources_.push_back(StatsEntry{std::move(source), alive});
+  return StatsRegistration{std::move(alive)};
 }
 
 void Session::clear_stats_sources() { stats_sources_.clear(); }
@@ -42,7 +51,16 @@ void Session::publish_runtime_stats() {
   dashboard_.set_stat("feature_cache_misses", static_cast<double>(s.misses));
   dashboard_.set_stat("feature_cache_evictions", static_cast<double>(s.evictions));
   dashboard_.set_stat("feature_cache_hit_rate", s.hit_rate());
-  for (const auto& source : stats_sources_) source(dashboard_);
+  // Prune sources whose scoped registration died (e.g. a SegmentService
+  // destroyed before this session) so they are never invoked again.
+  stats_sources_.erase(
+      std::remove_if(stats_sources_.begin(), stats_sources_.end(),
+                     [](const StatsEntry& e) {
+                       return e.alive &&
+                              !e.alive->load(std::memory_order_relaxed);
+                     }),
+      stats_sources_.end());
+  for (const auto& entry : stats_sources_) entry.fn(dashboard_);
 }
 
 eval::Metrics Session::mode_c_evaluate(const std::string& dataset,

@@ -8,7 +8,9 @@
 // dashboard; CLI examples and benches drive everything through it, the
 // same way the web UI drives the Python original.
 
+#include <atomic>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -18,6 +20,44 @@
 #include "zenesis/hitl/rectify.hpp"
 
 namespace zenesis::core {
+
+/// RAII handle for a scoped runtime-stats source (see
+/// Session::add_scoped_stats_source). While the handle is alive the source
+/// runs on every runtime-stats refresh; destroying or reset()ing it
+/// deactivates the source, and the session prunes the dead entry on its
+/// next refresh — so a producer that dies before the session (e.g. a
+/// serve::SegmentService) is skipped instead of dereferenced.
+/// Deactivation is not synchronized with a refresh running concurrently on
+/// another thread; Session is single-threaded like the rest of the facade.
+class StatsRegistration {
+ public:
+  StatsRegistration() = default;
+  StatsRegistration(StatsRegistration&&) noexcept = default;
+  StatsRegistration& operator=(StatsRegistration&& other) noexcept {
+    if (this != &other) {
+      reset();
+      alive_ = std::move(other.alive_);
+    }
+    return *this;
+  }
+  StatsRegistration(const StatsRegistration&) = delete;
+  StatsRegistration& operator=(const StatsRegistration&) = delete;
+  ~StatsRegistration() { reset(); }
+
+  /// Deactivates the source. Idempotent; the empty handle is inert.
+  void reset() noexcept {
+    if (alive_) alive_->store(false, std::memory_order_relaxed);
+    alive_.reset();
+  }
+  bool active() const noexcept { return alive_ != nullptr; }
+
+ private:
+  friend class Session;
+  explicit StatsRegistration(std::shared_ptr<std::atomic<bool>> alive)
+      : alive_(std::move(alive)) {}
+
+  std::shared_ptr<std::atomic<bool>> alive_;
+};
 
 class Session {
  public:
@@ -53,10 +93,16 @@ class Session {
 
   /// Extra producer of runtime stats (e.g. a serve::SegmentService
   /// publishing its admission/latency counters). Sources are invoked every
-  /// time runtime stats are refreshed; the source must outlive the
-  /// session (or be removed by value via `clear_stats_sources`).
+  /// time runtime stats are refreshed.
   using StatsSource = std::function<void(eval::Dashboard&)>;
+  /// Permanent registration: the source must outlive the session (or be
+  /// removed wholesale via `clear_stats_sources`). Prefer the scoped
+  /// variant for any source with a shorter lifetime than the session.
   void add_stats_source(StatsSource source);
+  /// Scoped registration: the source runs only while the returned handle
+  /// is alive, so destroying the producer (which owns the handle)
+  /// automatically stops the session from calling into freed memory.
+  [[nodiscard]] StatsRegistration add_scoped_stats_source(StatsSource source);
   void clear_stats_sources();
 
   /// Refreshes the dashboard's runtime-stats section: the pipeline's
@@ -90,9 +136,16 @@ class Session {
                               const std::string& prompt) const;
 
  private:
+  /// A registered source; `alive == nullptr` means permanent, otherwise
+  /// the source is skipped (and pruned) once its registration died.
+  struct StatsEntry {
+    StatsSource fn;
+    std::shared_ptr<std::atomic<bool>> alive;
+  };
+
   ZenesisPipeline pipeline_;
   eval::Dashboard dashboard_;
-  std::vector<StatsSource> stats_sources_;
+  std::vector<StatsEntry> stats_sources_;
 };
 
 }  // namespace zenesis::core

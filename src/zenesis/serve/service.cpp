@@ -1,6 +1,7 @@
 #include "zenesis/serve/service.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
@@ -91,7 +92,13 @@ SegmentService::SegmentService(const ServiceConfig& cfg)
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
-SegmentService::~SegmentService() { shutdown(); }
+SegmentService::~SegmentService() {
+  shutdown();
+  // Deactivate dashboard registrations before members are torn down, so a
+  // Session that outlives this service skips (and prunes) the dead source
+  // instead of calling into freed memory.
+  for (auto& registration : stats_registrations_) registration.reset();
+}
 
 parallel::ThreadPool& SegmentService::fanout_pool() const {
   return pool_ ? *pool_ : parallel::ThreadPool::global();
@@ -121,8 +128,27 @@ std::future<Response> SegmentService::submit(Request req) {
   std::future<Response> future = promise.get_future();
   const Clock::time_point now = Clock::now();
   bool notify = false;
+  std::vector<Pending> purged;
+  std::vector<RejectReason> purge_reasons;
   {
     std::lock_guard<std::mutex> lk(mutex_);
+    if (!stopping_ && queue_.size() >= cfg_.queue_capacity) {
+      // Admission-time purge: cancelled or already-expired entries give
+      // up their slot before we reject with QueueFull, so cancellation
+      // relieves backpressure even when the dispatcher is busy or paused.
+      for (auto it = queue_.begin(); it != queue_.end();) {
+        const bool cancelled = it->req.cancel && it->req.cancel->cancelled();
+        const bool expired = it->req.deadline && *it->req.deadline <= now;
+        if (cancelled || expired) {
+          purge_reasons.push_back(cancelled ? RejectReason::kCancelled
+                                            : RejectReason::kDeadlineExpired);
+          purged.push_back(std::move(*it));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
     std::lock_guard<std::mutex> sl(stats_mutex_);
     stats_.submitted += 1;
     if (stopping_) {
@@ -142,6 +168,9 @@ std::future<Response> SegmentService::submit(Request req) {
           std::max<std::uint64_t>(stats_.queue_depth_high_water, queue_.size());
       notify = true;
     }
+  }
+  for (std::size_t i = 0; i < purged.size(); ++i) {
+    finish_rejected(purged[i], purge_reasons[i]);
   }
   if (notify) cv_.notify_all();
   return future;
@@ -176,30 +205,51 @@ void SegmentService::shutdown() {
 void SegmentService::dispatcher_loop() {
   std::unique_lock<std::mutex> lk(mutex_);
   for (;;) {
-    if (paused_ && !stopping_) {  // shutdown drains even a paused service
-      cv_.wait(lk);
-      continue;
+    // Sweep first — and on every iteration, even while paused: cancelled
+    // entries free their queue slot immediately and expired deadlines
+    // complete with DeadlineExpired without waiting for resume(); neither
+    // ever reaches the pipeline.
+    const Clock::time_point now = Clock::now();
+    std::vector<Pending> swept;
+    std::vector<RejectReason> swept_reasons;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      const bool cancelled = it->req.cancel && it->req.cancel->cancelled();
+      const bool expired = it->req.deadline && *it->req.deadline <= now;
+      if (cancelled || expired) {
+        swept_reasons.push_back(cancelled ? RejectReason::kCancelled
+                                          : RejectReason::kDeadlineExpired);
+        swept.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (!swept.empty()) {
+      lk.unlock();
+      for (std::size_t i = 0; i < swept.size(); ++i) {
+        finish_rejected(swept[i], swept_reasons[i]);
+      }
+      lk.lock();
+      continue;  // re-evaluate state after re-locking
     }
     if (queue_.empty()) {
       if (stopping_) break;
       cv_.wait(lk);
       continue;
     }
-    // Deadline sweep: anything already past due completes with
-    // DeadlineExpired and never reaches the pipeline.
-    const Clock::time_point now = Clock::now();
-    std::vector<Pending> expired;
-    for (auto it = queue_.begin(); it != queue_.end();) {
-      if (it->req.deadline && *it->req.deadline <= now) {
-        expired.push_back(std::move(*it));
-        it = queue_.erase(it);
-      } else {
-        ++it;
+    if (paused_ && !stopping_) {  // shutdown drains even a paused service
+      // Queue is non-empty: wake at the earliest queued deadline, or
+      // shortly regardless — cancellation has no wake-up signal, so a
+      // bounded wait keeps the sweep responsive while paused.
+      Clock::time_point wake = now + std::chrono::milliseconds(50);
+      for (const auto& p : queue_) {
+        if (p.req.deadline && *p.req.deadline < wake) wake = *p.req.deadline;
       }
+      cv_.wait_until(lk, wake);
+      continue;
     }
     std::vector<Pending> batch = pop_batch_locked();
     lk.unlock();
-    for (auto& p : expired) finish_rejected(p, RejectReason::kDeadlineExpired);
     if (!batch.empty()) run_batch(std::move(batch));
     lk.lock();
   }
@@ -236,14 +286,6 @@ std::vector<SegmentService::Pending> SegmentService::pop_batch_locked() {
 
 void SegmentService::run_batch(std::vector<Pending> batch) {
   const Clock::time_point dispatched = Clock::now();
-  {
-    std::lock_guard<std::mutex> sl(stats_mutex_);
-    stats_.batches += 1;
-    stats_.batch_size.record(static_cast<double>(batch.size()));
-    for (const auto& p : batch) {
-      stats_.queue_us.record(us_between(p.enqueued, dispatched));
-    }
-  }
   std::vector<Pending> live;
   live.reserve(batch.size());
   for (auto& p : batch) {
@@ -253,11 +295,43 @@ void SegmentService::run_batch(std::vector<Pending> batch) {
       live.push_back(std::move(p));
     }
   }
-  if (live.empty()) return;
-  if (live.front().req.kind == RequestKind::kSlice) {
-    run_slice_batch(live);
-  } else {
-    run_single(live.front());  // non-slice kinds dispatch as singletons
+  if (live.empty()) return;  // all cancelled: no batch was dispatched
+  {
+    // Batch stats cover only the live subset — cancelled requests never
+    // ran, so counting them would skew the serve_* histograms.
+    std::lock_guard<std::mutex> sl(stats_mutex_);
+    stats_.batches += 1;
+    stats_.batch_size.record(static_cast<double>(live.size()));
+    for (const auto& p : live) {
+      stats_.queue_us.record(us_between(p.enqueued, dispatched));
+    }
+  }
+  // Backstop: the stages below wrap every pipeline call per request, so
+  // nothing should reach these handlers — but an exception escaping here
+  // would leave promises broken and std::terminate the process, so fail
+  // the remainder of the batch instead.
+  try {
+    if (live.front().req.kind == RequestKind::kSlice) {
+      run_slice_batch(live);
+    } else {
+      run_single(live.front());  // non-slice kinds dispatch as singletons
+    }
+  } catch (const std::exception& e) {
+    fail_unfinished(live, e.what());
+  } catch (...) {
+    fail_unfinished(live, "unknown dispatcher error");
+  }
+}
+
+void SegmentService::fail_unfinished(std::vector<Pending>& batch,
+                                     const std::string& what) {
+  for (auto& p : batch) {
+    if (p.done) continue;
+    Response r;
+    r.kind = p.req.kind;
+    r.status = Response::Status::kError;
+    r.error = "internal serve error: " + what;
+    finish(p, std::move(r), 0.0);
   }
 }
 
@@ -267,21 +341,37 @@ void SegmentService::run_slice_batch(std::vector<Pending>& batch) {
 
   // Stage 1 — shared backbone encode. Readiness runs per request, then
   // each *unique* image (by content hash) is encoded exactly once, warming
-  // the FeatureCache so every stage-2 decode hits.
+  // the FeatureCache so every stage-2 decode hits. Every pipeline call is
+  // guarded per request: a malformed input (e.g. an empty image) fails
+  // only its own request with kError instead of throwing through the
+  // fan-out into the dispatcher thread.
   const Clock::time_point t_encode = Clock::now();
   std::vector<image::ImageF32> ready(n);
+  std::vector<std::optional<std::string>> prep_error(n);
   fan_out(n, [&](std::size_t i) {
-    ready[i] = pipeline_.make_ready(batch[i].req.image);
+    try {
+      ready[i] = pipeline_.make_ready(batch[i].req.image);
+    } catch (const std::exception& e) {
+      prep_error[i] = e.what();
+    } catch (...) {
+      prep_error[i] = "unknown error during make_ready";
+    }
   });
   std::unordered_map<std::uint64_t, std::size_t> seen;
   std::vector<std::size_t> unique_idx;
   for (std::size_t i = 0; i < n; ++i) {
+    if (prep_error[i]) continue;
     if (seen.emplace(models::hash_image(ready[i]), i).second) {
       unique_idx.push_back(i);
     }
   }
   fan_out(unique_idx.size(), [&](std::size_t j) {
-    pipeline_.encode_cached(ready[unique_idx[j]]);
+    try {
+      pipeline_.encode_cached(ready[unique_idx[j]]);
+    } catch (...) {
+      // Warm-up is best-effort: stage 2's segment_ready re-runs the
+      // encode and reports the error on the owning request.
+    }
   });
   {
     std::lock_guard<std::mutex> sl(stats_mutex_);
@@ -293,11 +383,19 @@ void SegmentService::run_slice_batch(std::vector<Pending>& batch) {
     const Clock::time_point t0 = Clock::now();
     Response r;
     r.kind = RequestKind::kSlice;
-    try {
-      r.slice = pipeline_.segment_ready(ready[i], prompt);
-    } catch (const std::exception& e) {
+    if (prep_error[i]) {
       r.status = Response::Status::kError;
-      r.error = e.what();
+      r.error = *prep_error[i];
+    } else {
+      try {
+        r.slice = pipeline_.segment_ready(ready[i], prompt);
+      } catch (const std::exception& e) {
+        r.status = Response::Status::kError;
+        r.error = e.what();
+      } catch (...) {
+        r.status = Response::Status::kError;
+        r.error = "unknown error during segment_ready";
+      }
     }
     finish(batch[i], std::move(r), us_between(t0, Clock::now()));
   });
@@ -333,6 +431,9 @@ void SegmentService::run_single(Pending& pending) {
   } catch (const std::exception& e) {
     r.status = Response::Status::kError;
     r.error = e.what();
+  } catch (...) {
+    r.status = Response::Status::kError;
+    r.error = "unknown pipeline error";
   }
   if (encode_us > 0.0) {
     std::lock_guard<std::mutex> sl(stats_mutex_);
@@ -357,6 +458,7 @@ void SegmentService::finish(Pending& pending, Response&& response,
     stats_.decode_us.record(decode_us);
     stats_.total_us.record(response.total_us);
   }
+  pending.done = true;
   pending.promise.set_value(std::move(response));
 }
 
@@ -372,6 +474,7 @@ void SegmentService::finish_rejected(Pending& pending, RejectReason reason) {
       stats_.cancelled += 1;
     }
   }
+  pending.done = true;
   pending.promise.set_value(std::move(r));
 }
 
@@ -414,8 +517,10 @@ void SegmentService::publish_stats(eval::Dashboard& dashboard) const {
 }
 
 void SegmentService::attach_to(core::Session& session) {
-  session.add_stats_source(
-      [this](eval::Dashboard& dashboard) { publish_stats(dashboard); });
+  // Scoped: the registration dies with this service, so a session that
+  // outlives it skips the source instead of hitting freed memory.
+  stats_registrations_.push_back(session.add_scoped_stats_source(
+      [this](eval::Dashboard& dashboard) { publish_stats(dashboard); }));
 }
 
 }  // namespace zenesis::serve

@@ -11,8 +11,11 @@
 //        └─▶ std::future<Response>
 //
 //   The single dispatcher thread pops the highest-priority request (FIFO
-//   within a priority level), sweeps expired deadlines (their futures
-//   complete with DeadlineExpired WITHOUT running the pipeline), groups
+//   within a priority level), sweeps expired deadlines and cancelled
+//   entries (their futures complete with DeadlineExpired / Cancelled
+//   WITHOUT running the pipeline; the sweep also runs while paused, and a
+//   full queue purges such entries at admission before rejecting with
+//   QueueFull, so cancellation relieves backpressure), groups
 //   compatible Mode-A slice requests — same prompt — into a micro-batch,
 //   and fans the batch out on the re-entrant ThreadPool: stage 1 shares
 //   the expensive backbone encode of each unique image through the
@@ -53,21 +56,21 @@
 #include <vector>
 
 #include "zenesis/core/pipeline.hpp"
+#include "zenesis/core/session.hpp"
 #include "zenesis/eval/dashboard.hpp"
 #include "zenesis/parallel/thread_pool.hpp"
 #include "zenesis/serve/histogram.hpp"
-
-namespace zenesis::core {
-class Session;
-}
 
 namespace zenesis::serve {
 
 using Clock = std::chrono::steady_clock;
 
 /// Cooperative cancellation. Share one token across requests to cancel a
-/// whole job; cancellation is checked at dispatch, so an already-running
-/// request completes normally.
+/// whole job. Cancellation is observed before the pipeline runs — at
+/// dispatch, during the dispatcher's queue sweep, and at admission when a
+/// full queue purges cancelled/expired entries before rejecting with
+/// QueueFull — so cancelling queued work frees its slot; an
+/// already-running request completes normally.
 class CancelToken {
  public:
   void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
@@ -240,8 +243,9 @@ class SegmentService {
 
   /// Registers publish_stats as a runtime-stats source on `session`, so
   /// every mode_c_evaluate republishes fresh service counters. The
-  /// service must outlive the session (or the session must
-  /// clear_stats_sources first).
+  /// registration is scoped: destroying this service deactivates it, and
+  /// a session that outlives the service simply skips (and prunes) the
+  /// dead source — no ordering requirement on the caller.
   void attach_to(core::Session& session);
 
   const core::ZenesisPipeline& pipeline() const noexcept { return pipeline_; }
@@ -253,6 +257,7 @@ class SegmentService {
     std::promise<Response> promise;
     std::uint64_t seq = 0;
     Clock::time_point enqueued{};
+    bool done = false;  ///< promise fulfilled (guards the run_batch backstop)
   };
 
   void dispatcher_loop();
@@ -266,6 +271,9 @@ class SegmentService {
   void fan_out(std::size_t n, const std::function<void(std::size_t)>& body);
   void finish(Pending& pending, Response&& response, double decode_us);
   void finish_rejected(Pending& pending, RejectReason reason);
+  /// Backstop: completes every not-yet-finished request with kError so no
+  /// exception can leave a promise unfulfilled or escape the dispatcher.
+  void fail_unfinished(std::vector<Pending>& batch, const std::string& what);
   parallel::ThreadPool& fanout_pool() const;
 
   ServiceConfig cfg_;
@@ -281,6 +289,10 @@ class SegmentService {
 
   mutable std::mutex stats_mutex_;
   ServiceStats stats_;
+
+  /// Scoped dashboard registrations from attach_to; reset in the
+  /// destructor so an outliving Session skips the dead source.
+  std::vector<core::StatsRegistration> stats_registrations_;
 
   std::mutex lifecycle_mutex_;  ///< serializes shutdown/join
   std::thread dispatcher_;

@@ -292,7 +292,93 @@ TEST(Serve, PublishesStatsIntoDashboardViaSession) {
   ASSERT_TRUE(stats.count("serve_total_us_p50"));
   EXPECT_GT(stats.at("serve_total_us_p50"), 0.0);
   ASSERT_TRUE(stats.count("feature_cache_hits"));
-  session.clear_stats_sources();  // service dies before session
+  // No clear_stats_sources needed: attach_to is a scoped registration.
+}
+
+// Regression: attach_to must not leave a dangling source behind — a
+// session outliving the service skips (and prunes) the dead registration,
+// so mode_c_evaluate after the service dies is safe (verified under ASAN).
+TEST(Serve, SessionOutlivingServiceSkipsDeadStatsSource) {
+  const auto s = make_slice(48, 13);
+  zc::Session session;
+  {
+    zs::SegmentService service;
+    service.attach_to(session);
+    service.submit(zs::Request::slice(zi::AnyImage(s.raw), kPrompt)).get();
+    session.publish_runtime_stats();
+    EXPECT_TRUE(session.dashboard().stats().count("serve_completed"));
+  }  // service destroyed first — the old ordering bug
+  const auto result = session.mode_a_segment(zi::AnyImage(s.raw), kPrompt);
+  session.mode_c_evaluate("synthetic", "zenesis", 0, result.mask,
+                          s.ground_truth);  // must not touch freed memory
+  // The stale serve_* values from the last live publish remain readable.
+  EXPECT_TRUE(session.dashboard().stats().count("serve_completed"));
+}
+
+// Regression: a malformed request inside a micro-batch fails with kError
+// instead of throwing through the fan-out and terminating the dispatcher;
+// healthy requests in the same batch are unaffected.
+TEST(Serve, MalformedSliceRequestFailsWithoutKillingTheBatch) {
+  const auto s = make_slice(48, 14);
+  zs::ServiceConfig cfg;
+  cfg.max_batch = 4;
+  cfg.start_paused = true;  // both requests join one micro-batch
+  zs::SegmentService service(cfg);
+
+  auto bad = service.submit(zs::Request::slice(zi::AnyImage(), kPrompt));
+  auto good = service.submit(zs::Request::slice(zi::AnyImage(s.raw), kPrompt));
+  service.resume();
+
+  const zs::Response rb = bad.get();
+  EXPECT_EQ(rb.status, zs::Response::Status::kError);
+  EXPECT_FALSE(rb.error.empty());
+  const zs::Response rg = good.get();
+  EXPECT_TRUE(rg.ok()) << rg.error;
+
+  const zs::ServiceStats st = service.stats();
+  EXPECT_EQ(st.failed, 1u);
+  EXPECT_EQ(st.completed, 1u);
+
+  // The dispatcher survived: the service still serves.
+  EXPECT_TRUE(service.submit(zs::Request::slice(zi::AnyImage(s.raw), kPrompt))
+                  .get()
+                  .ok());
+}
+
+// Regression: cancelling queued work frees its queue slot — a full queue
+// purges cancelled entries at admission instead of rejecting QueueFull.
+TEST(Serve, CancellationRelievesQueueFullBackpressure) {
+  const auto s = make_slice(48, 15);
+  zs::ServiceConfig cfg;
+  cfg.queue_capacity = 2;
+  cfg.start_paused = true;
+  zs::SegmentService service(cfg);
+
+  auto token = std::make_shared<zs::CancelToken>();
+  auto doomed = service.submit(
+      zs::Request::slice(zi::AnyImage(s.raw), kPrompt).with_cancel(token));
+  auto kept = service.submit(zs::Request::slice(zi::AnyImage(s.raw), kPrompt));
+
+  // Queue full, nothing cancelled yet: still an explicit rejection.
+  const zs::Response full =
+      service.submit(zs::Request::slice(zi::AnyImage(s.raw), kPrompt)).get();
+  EXPECT_EQ(full.reject, zs::RejectReason::kQueueFull);
+
+  token->cancel();
+  // Admission purges the cancelled entry, so this submission is admitted
+  // even though dispatch is still paused.
+  auto after = service.submit(zs::Request::slice(zi::AnyImage(s.raw), kPrompt));
+  EXPECT_EQ(doomed.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(doomed.get().reject, zs::RejectReason::kCancelled);
+
+  service.resume();
+  EXPECT_TRUE(kept.get().ok());
+  EXPECT_TRUE(after.get().ok());
+  const zs::ServiceStats st = service.stats();
+  EXPECT_EQ(st.rejected_queue_full, 1u);
+  EXPECT_EQ(st.cancelled, 1u);
+  EXPECT_EQ(st.completed, 2u);
 }
 
 TEST(Serve, InvalidConfigSurfacesEveryMessage) {

@@ -126,6 +126,25 @@ TEST(Session, StatsSourcesFoldIntoDashboard) {
   EXPECT_EQ(calls, 2);
 }
 
+TEST(Session, ScopedStatsSourceStopsWhenRegistrationDies) {
+  zc::Session session;
+  int calls = 0;
+  {
+    zc::StatsRegistration reg =
+        session.add_scoped_stats_source([&calls](zenesis::eval::Dashboard& d) {
+          ++calls;
+          d.set_stat("scoped_source_stat", 7.0);
+        });
+    EXPECT_TRUE(reg.active());
+    session.publish_runtime_stats();
+    EXPECT_EQ(calls, 1);
+  }  // registration destroyed → source deactivated
+  session.publish_runtime_stats();  // pruned, never invoked again
+  session.publish_runtime_stats();
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(session.dashboard().stats().at("scoped_source_stat"), 7.0);
+}
+
 TEST(Session, InvalidConfigThrowsAtConstruction) {
   zc::PipelineConfig cfg;
   cfg.max_boxes = 0;
