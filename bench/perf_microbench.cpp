@@ -18,6 +18,8 @@
 #include "zenesis/core/pipeline.hpp"
 #include "zenesis/fibsem/synth.hpp"
 #include "zenesis/io/report.hpp"
+#include "zenesis/io/tiff.hpp"
+#include "zenesis/io/tiff_stream.hpp"
 #include "zenesis/models/auto_mask.hpp"
 #include "zenesis/parallel/parallel_for.hpp"
 #include "zenesis/serve/service.hpp"
@@ -264,6 +266,84 @@ void BM_ServeThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeThroughput)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+/// A 4-page 256x256 u16 stack of synthetic FIB-SEM slices — realistic
+/// texture so PackBits sees real run-length structure, not ramps.
+io::TiffStack tiff_bench_stack() {
+  fibsem::SynthConfig cfg;
+  cfg.type = fibsem::SampleType::kCrystalline;
+  cfg.width = 256;
+  cfg.height = 256;
+  cfg.seed = 31337;
+  io::TiffStack stack;
+  for (std::int64_t z = 0; z < 4; ++z) {
+    stack.pages.emplace_back(fibsem::generate_slice(cfg, z).raw);
+  }
+  return stack;
+}
+
+io::TiffWriteOptions tiff_variant_options(int variant) {
+  io::TiffWriteOptions opt;
+  switch (variant) {
+    case 1:
+      opt.compression = io::TiffCompression::kPackBits;
+      break;
+    case 2:
+      opt.layout = io::TiffLayout::kTiles;
+      break;
+    case 3:
+      opt.format = io::TiffFormat::kBigTiff;
+      opt.layout = io::TiffLayout::kTiles;
+      opt.compression = io::TiffCompression::kPackBits;
+      break;
+    default:
+      break;  // classic LE, single strip, uncompressed
+  }
+  return opt;
+}
+
+const char* tiff_variant_name(int variant) {
+  switch (variant) {
+    case 1: return "classic_packbits";
+    case 2: return "classic_tiles";
+    case 3: return "bigtiff_tiles_packbits";
+    default: return "classic_strips";
+  }
+}
+
+/// Materializing-decoder throughput over the format variants. Items
+/// processed = decoded pages; bytes processed = decoded pixel bytes.
+void BM_TiffDecode(benchmark::State& state) {
+  const int variant = static_cast<int>(state.range(0));
+  const io::TiffStack stack = tiff_bench_stack();
+  const auto bytes = io::write_tiff_bytes(stack, tiff_variant_options(variant));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(io::read_tiff_bytes(bytes));
+  }
+  state.SetLabel(tiff_variant_name(variant));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stack.pages.size()));
+  state.SetBytesProcessed(state.iterations() * 4 * 256 * 256 * 2);
+}
+BENCHMARK(BM_TiffDecode)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+/// Streaming-reader throughput: parse once, decode pages on demand —
+/// the per-slice cost the Mode-B streaming path pays.
+void BM_TiffStream(benchmark::State& state) {
+  const int variant = static_cast<int>(state.range(0));
+  const auto bytes =
+      io::write_tiff_bytes(tiff_bench_stack(), tiff_variant_options(variant));
+  const auto reader = io::TiffVolumeReader::from_bytes(bytes);
+  std::int64_t page = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reader.read_page(page));
+    page = (page + 1) % reader.pages();
+  }
+  state.SetLabel(tiff_variant_name(variant));
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * 256 * 256 * 2);
+}
+BENCHMARK(BM_TiffStream)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
 /// Times one segment_volume pass in seconds (best of `reps`).
 double time_volume_pass(const core::ZenesisPipeline& pipe,
                         const image::VolumeU16& volume, int reps) {
@@ -385,6 +465,57 @@ void write_serve_record() {
   std::printf("serve perf record written to %s\n", path.c_str());
 }
 
+/// Standalone TIFF decode/stream measurement over the format variants,
+/// persisted as out/BENCH_tiff.json. Runs regardless of
+/// --benchmark_filter.
+void write_tiff_record() {
+  const io::TiffStack stack = tiff_bench_stack();
+  constexpr int kReps = 5;
+  const double pages = static_cast<double>(stack.pages.size());
+
+  io::JsonObject rec;
+  rec.set("bench", "tiff_ingest");
+  rec.set("width", static_cast<std::int64_t>(256));
+  rec.set("height", static_cast<std::int64_t>(256));
+  rec.set("pages", static_cast<std::int64_t>(stack.pages.size()));
+  rec.set("bits", static_cast<std::int64_t>(16));
+
+  for (int variant = 0; variant < 4; ++variant) {
+    const auto bytes =
+        io::write_tiff_bytes(stack, tiff_variant_options(variant));
+    double t_decode = 1e30;
+    for (int r = 0; r < kReps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(io::read_tiff_bytes(bytes));
+      const std::chrono::duration<double> dt =
+          std::chrono::steady_clock::now() - t0;
+      t_decode = std::min(t_decode, dt.count());
+    }
+    const auto reader = io::TiffVolumeReader::from_bytes(bytes);
+    double t_stream = 1e30;
+    for (int r = 0; r < kReps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::int64_t p = 0; p < reader.pages(); ++p) {
+        benchmark::DoNotOptimize(reader.read_page(p));
+      }
+      const std::chrono::duration<double> dt =
+          std::chrono::steady_clock::now() - t0;
+      t_stream = std::min(t_stream, dt.count());
+    }
+    const std::string name = tiff_variant_name(variant);
+    rec.set(name + "_file_bytes", static_cast<std::int64_t>(bytes.size()));
+    rec.set(name + "_decode_pages_per_sec", pages / t_decode);
+    rec.set(name + "_stream_pages_per_sec", pages / t_stream);
+  }
+
+  bench::ExperimentConfig out_cfg;
+  const std::string out = bench::ensure_out_dir(out_cfg);
+  const std::string path = out + "/BENCH_tiff.json";
+  rec.write(path);
+  std::printf("\n%s\n", rec.to_string(2).c_str());
+  std::printf("tiff perf record written to %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -394,5 +525,6 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   write_volume_record();
   write_serve_record();
+  write_tiff_record();
   return 0;
 }

@@ -283,12 +283,30 @@ SliceResult ZenesisPipeline::assemble(image::ImageF32 ready,
 
 VolumeResult ZenesisPipeline::segment_volume(const image::VolumeU16& volume,
                                              const std::string& prompt) const {
+  VolumeSource source;
+  source.depth = volume.depth();
+  source.slice = [&volume](std::int64_t z) {
+    return image::AnyImage(volume.slice(z));
+  };
+  return segment_volume(source, prompt);
+}
+
+VolumeResult ZenesisPipeline::segment_volume(const VolumeSource& source,
+                                             const std::string& prompt) const {
+  if (!source.slice) {
+    throw std::invalid_argument("segment_volume: VolumeSource::slice not set");
+  }
+  if (source.depth < 0) {
+    throw std::invalid_argument("segment_volume: negative VolumeSource depth");
+  }
   VolumeResult res;
-  const std::int64_t depth = volume.depth();
+  const std::int64_t depth = source.depth;
   res.slices.resize(static_cast<std::size_t>(depth));
   for_each_slice(depth, [&](std::int64_t z) {
-    res.slices[static_cast<std::size_t>(z)] =
-        segment(image::AnyImage(volume.slice(z)), prompt);
+    // The raw slice lives only for this task; what persists is the
+    // SliceResult (AI-ready image + mask), so a streamed stack is never
+    // held in memory whole in its raw form.
+    res.slices[static_cast<std::size_t>(z)] = segment(source.slice(z), prompt);
   });
   res.raw_boxes.reserve(res.slices.size());
   for (const auto& s : res.slices) res.raw_boxes.push_back(s.primary_box);

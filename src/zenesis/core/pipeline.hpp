@@ -78,6 +78,17 @@ struct SliceResult {
   double confidence = 0.0;                        ///< top detection score
 };
 
+/// On-demand slice feed for streaming Mode B: `slice(z)` produces slice z
+/// as raw instrument data and must be safe to call concurrently (the
+/// volume pipeline pulls slices from its worker threads). Lets
+/// segment_volume run over a stack that is never materialized — e.g. a
+/// multi-gigabyte BigTIFF streamed through io::TiffVolumeReader — with
+/// memory bounded by the slices in flight.
+struct VolumeSource {
+  std::int64_t depth = 0;
+  std::function<image::AnyImage(std::int64_t)> slice;
+};
+
 /// Volume (Mode B) output: per-slice results plus the box sequences
 /// before/after heuristic refinement.
 struct VolumeResult {
@@ -145,6 +156,12 @@ class ZenesisPipeline {
   /// slice order, so the result is byte-identical to the serial path
   /// regardless of thread count.
   VolumeResult segment_volume(const image::VolumeU16& volume,
+                              const std::string& prompt) const;
+
+  /// Mode B over an on-demand slice feed (streaming ingestion): identical
+  /// scheduling and byte-identical results to the materialized overload,
+  /// but raw slices are fetched lazily and dropped after segmentation.
+  VolumeResult segment_volume(const VolumeSource& source,
                               const std::string& prompt) const;
 
   /// Mode B over independent images, scheduled like segment_volume.

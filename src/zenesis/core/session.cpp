@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "zenesis/io/tiff_stream.hpp"
+
 namespace zenesis::core {
 
 Session::Session(const PipelineConfig& cfg) : pipeline_(cfg) {}
@@ -25,6 +27,22 @@ ZenesisPipeline::MultiObjectResult Session::mode_a_segment_multi(
 VolumeResult Session::mode_b_segment_volume(const image::VolumeU16& volume,
                                             const std::string& prompt) const {
   return pipeline_.segment_volume(volume, prompt);
+}
+
+VolumeResult Session::mode_b_segment_volume(const VolumeSource& source,
+                                            const std::string& prompt) const {
+  return pipeline_.segment_volume(source, prompt);
+}
+
+VolumeResult Session::mode_b_segment_volume_file(
+    const std::string& tiff_path, const std::string& prompt,
+    const io::TiffReadLimits& limits) const {
+  const io::TiffVolumeReader reader(tiff_path, limits);
+  reader.require_uniform_geometry();
+  VolumeSource source;
+  source.depth = reader.pages();
+  source.slice = [&reader](std::int64_t z) { return reader.read_page(z); };
+  return pipeline_.segment_volume(source, prompt);
 }
 
 std::vector<SliceResult> Session::mode_b_segment_images(

@@ -18,6 +18,7 @@
 #include "zenesis/core/pipeline.hpp"
 #include "zenesis/eval/dashboard.hpp"
 #include "zenesis/hitl/rectify.hpp"
+#include "zenesis/io/tiff_error.hpp"
 
 namespace zenesis::core {
 
@@ -85,6 +86,17 @@ class Session {
   /// are identical to the serial path for every thread count.
   VolumeResult mode_b_segment_volume(const image::VolumeU16& volume,
                                      const std::string& prompt) const;
+  /// Streaming Mode B: slices are pulled on demand from `source`
+  /// (thread-safe producer), never materializing the raw stack.
+  VolumeResult mode_b_segment_volume(const VolumeSource& source,
+                                     const std::string& prompt) const;
+  /// Streaming Mode B straight from a TIFF on disk (classic or BigTIFF,
+  /// striped or tiled, uncompressed or PackBits). The stack is parsed
+  /// once and decoded slice-by-slice with bounded memory under `limits`;
+  /// malformed files throw io::TiffError instead of crashing the session.
+  VolumeResult mode_b_segment_volume_file(
+      const std::string& tiff_path, const std::string& prompt,
+      const io::TiffReadLimits& limits = {}) const;
   /// Batch over independent images (each gets its own SliceResult),
   /// scheduled like mode_b_segment_volume.
   std::vector<SliceResult> mode_b_segment_images(

@@ -1,18 +1,29 @@
 #pragma once
-// Minimal baseline TIFF 6.0 support.
+// Hardened TIFF support for scientific image stacks.
 //
 // FIB-SEM stacks arrive as multi-page grayscale TIFFs (8/16/32-bit
-// unsigned), which is exactly the subset implemented here: uncompressed
-// strips, little- or big-endian byte order on read, little-endian on
-// write, one IFD per slice. This keeps the platform's ingestion path free
-// of external dependencies while handling the files the paper's workflows
-// produce.
+// unsigned) — often multi-gigabyte, tiled and compressed, and in a
+// production setting, untrusted. This module reads classic TIFF and
+// BigTIFF (strips or tiles, uncompressed or PackBits, either byte order,
+// BlackIsZero or MinIsWhite) and writes classic or BigTIFF with the same
+// layout/compression choices, all without external dependencies.
+//
+// Robustness contract: every malformed or out-of-subset input throws
+// TiffError (tiff_error.hpp) carrying a kind, byte offset, tag and page —
+// never a crash, hang or unbounded allocation. TiffReadLimits bounds what
+// a file may make the process allocate; all size arithmetic is
+// overflow-checked. tests/tiff_fuzz_harness.hpp enforces this contract
+// over thousands of structure-aware mutants under ASAN/UBSAN.
+//
+// For bounded-memory access to large stacks, use TiffVolumeReader in
+// tiff_stream.hpp; the readers here materialize whole stacks.
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "zenesis/image/image.hpp"
+#include "zenesis/io/tiff_error.hpp"
 
 namespace zenesis::io {
 
@@ -22,24 +33,61 @@ struct TiffStack {
   std::vector<image::AnyImage> pages;
 };
 
-/// Reads a TIFF file. Throws std::runtime_error on malformed input or on
-/// features outside the supported subset (compression, tiles, palettes).
-TiffStack read_tiff(const std::string& path);
+/// Container format for the writer. Classic TIFF caps every file offset
+/// at 32 bits (~4 GiB); the writer throws TiffError{kLimitExceeded}
+/// instead of truncating when a stack outgrows that — switch to kBigTiff.
+enum class TiffFormat { kClassic, kBigTiff };
 
-/// Decodes a TIFF from memory (used by tests and by network-free demos).
-TiffStack read_tiff_bytes(const std::vector<std::uint8_t>& bytes);
+enum class TiffCompression { kNone, kPackBits };
 
-/// Writes pages as a little-endian, uncompressed, grayscale baseline TIFF.
-void write_tiff(const std::string& path, const TiffStack& stack);
+enum class TiffLayout { kStrips, kTiles };
+
+/// Writer knobs. Defaults reproduce the historical output: classic
+/// little-endian, one uncompressed strip per page, BlackIsZero.
+struct TiffWriteOptions {
+  TiffFormat format = TiffFormat::kClassic;
+  TiffLayout layout = TiffLayout::kStrips;
+  TiffCompression compression = TiffCompression::kNone;
+  /// Strip layout: rows per strip; 0 = whole page in one strip.
+  std::int64_t rows_per_strip = 0;
+  /// Tile layout geometry (the spec wants multiples of 16).
+  std::int64_t tile_width = 64;
+  std::int64_t tile_height = 64;
+  /// Byte order of the emitted file (the reader accepts both).
+  bool big_endian = false;
+  /// Store pages as Photometric=MinIsWhite with inverted samples; reading
+  /// inverts back, so round trips are identity either way.
+  bool min_is_white = false;
+  /// Classic-format offset ceiling. Tests lower this to exercise the
+  /// 32-bit overflow guard without writing 4 GiB of pixels; production
+  /// callers leave it at UINT32_MAX.
+  std::uint64_t classic_offset_limit = 0xFFFFFFFFull;
+};
+
+/// Reads a TIFF file into memory. Throws TiffError on malformed input or
+/// on features outside the supported subset.
+TiffStack read_tiff(const std::string& path, const TiffReadLimits& limits = {});
+
+/// Decodes a TIFF from memory (tests, network buffers).
+TiffStack read_tiff_bytes(const std::vector<std::uint8_t>& bytes,
+                          const TiffReadLimits& limits = {});
+
+/// Writes pages as a grayscale TIFF shaped by `options`.
+void write_tiff(const std::string& path, const TiffStack& stack,
+                const TiffWriteOptions& options = {});
 
 /// Serializes to memory.
-std::vector<std::uint8_t> write_tiff_bytes(const TiffStack& stack);
+std::vector<std::uint8_t> write_tiff_bytes(const TiffStack& stack,
+                                           const TiffWriteOptions& options = {});
 
 /// Convenience: wraps a 16-bit volume as a multi-page stack and writes it.
-void write_volume_tiff(const std::string& path, const image::VolumeU16& vol);
+void write_volume_tiff(const std::string& path, const image::VolumeU16& vol,
+                       const TiffWriteOptions& options = {});
 
 /// Convenience: reads a multi-page TIFF as a 16-bit volume (pages must be
-/// 16-bit grayscale of identical size).
-image::VolumeU16 read_volume_tiff_u16(const std::string& path);
+/// 16-bit grayscale of identical size). Materializes the whole volume;
+/// prefer TiffVolumeReader for large stacks.
+image::VolumeU16 read_volume_tiff_u16(const std::string& path,
+                                      const TiffReadLimits& limits = {});
 
 }  // namespace zenesis::io

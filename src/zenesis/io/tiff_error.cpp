@@ -1,0 +1,43 @@
+#include "zenesis/io/tiff_error.hpp"
+
+namespace zenesis::io {
+namespace {
+
+std::string format_what(TiffErrorKind kind, const std::string& detail,
+                        std::uint64_t byte_offset, std::uint16_t tag,
+                        std::int64_t page) {
+  std::string what = "tiff: [";
+  what += to_string(kind);
+  what += "] ";
+  what += detail;
+  what += " (offset " + std::to_string(byte_offset);
+  if (tag != 0) what += ", tag " + std::to_string(tag);
+  if (page >= 0) what += ", page " + std::to_string(page);
+  what += ")";
+  return what;
+}
+
+}  // namespace
+
+const char* to_string(TiffErrorKind kind) noexcept {
+  switch (kind) {
+    case TiffErrorKind::kBadHeader: return "BadHeader";
+    case TiffErrorKind::kTruncated: return "Truncated";
+    case TiffErrorKind::kCorruptIfd: return "CorruptIfd";
+    case TiffErrorKind::kOffsetOutOfBounds: return "OffsetOutOfBounds";
+    case TiffErrorKind::kLimitExceeded: return "LimitExceeded";
+    case TiffErrorKind::kUnsupported: return "Unsupported";
+  }
+  return "Unknown";
+}
+
+TiffError::TiffError(TiffErrorKind kind, const std::string& detail,
+                     std::uint64_t byte_offset, std::uint16_t tag,
+                     std::int64_t page)
+    : std::runtime_error(format_what(kind, detail, byte_offset, tag, page)),
+      kind_(kind),
+      byte_offset_(byte_offset),
+      tag_(tag),
+      page_(page) {}
+
+}  // namespace zenesis::io

@@ -1,0 +1,69 @@
+#pragma once
+// Error taxonomy and resource limits for the hardened TIFF subsystem.
+//
+// Ingestion runs on untrusted uploads (the ROADMAP's production-traffic
+// north star), so every failure mode is classified and every allocation
+// the file can provoke is bounded *before* it happens. The fuzz harness
+// in tests/tiff_fuzz_harness.hpp enforces the contract: any input either
+// decodes or throws TiffError — nothing else, ever.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace zenesis::io {
+
+/// Classification of everything that can go wrong while reading or
+/// writing a TIFF. Kinds are coarse on purpose: callers branch on them
+/// (retry / reject-upload / suggest-BigTIFF), the message carries detail.
+enum class TiffErrorKind {
+  kBadHeader,          ///< not a TIFF: byte-order mark, magic, BigTIFF preamble
+  kTruncated,          ///< structure points past the end of the data
+  kCorruptIfd,         ///< malformed IFD: cycle, bad entry, count mismatch
+  kOffsetOutOfBounds,  ///< strip/tile/array offset outside the file
+  kLimitExceeded,      ///< TiffReadLimits violated or arithmetic would overflow
+  kUnsupported,        ///< valid TIFF, feature outside the supported subset
+};
+
+/// Stable name for a kind ("BadHeader", "Truncated", ...).
+const char* to_string(TiffErrorKind kind) noexcept;
+
+/// Carries the kind plus where the problem was detected: absolute byte
+/// offset in the file, the tag being processed (0 = none) and the page
+/// index (-1 = before the first page). what() embeds all of it.
+class TiffError : public std::runtime_error {
+ public:
+  TiffError(TiffErrorKind kind, const std::string& detail,
+            std::uint64_t byte_offset = 0, std::uint16_t tag = 0,
+            std::int64_t page = -1);
+
+  TiffErrorKind kind() const noexcept { return kind_; }
+  std::uint64_t byte_offset() const noexcept { return byte_offset_; }
+  std::uint16_t tag() const noexcept { return tag_; }
+  std::int64_t page() const noexcept { return page_; }
+
+ private:
+  TiffErrorKind kind_;
+  std::uint64_t byte_offset_;
+  std::uint16_t tag_;
+  std::int64_t page_;
+};
+
+/// Hard ceilings enforced while parsing, with overflow-checked arithmetic,
+/// so a crafted header can neither bypass bounds checks nor
+/// allocation-bomb the process. Defaults fit real FIB-SEM stacks with
+/// headroom; services ingesting untrusted uploads should tighten them.
+struct TiffReadLimits {
+  /// Maximum pages (IFDs) in one file.
+  std::uint64_t max_pages = 65536;
+  /// Maximum width*height of a single page.
+  std::uint64_t max_pixels_per_page = 1ull << 30;  // 1 Gpixel
+  /// Maximum bytes the reader may allocate for decoded pixels — per page
+  /// for the streaming reader, cumulative for the materializing readers.
+  std::uint64_t max_decoded_bytes = 8ull << 30;  // 8 GiB
+  /// Maximum entries in one IFD (the spec allows 65535; real grayscale
+  /// stacks use ~15).
+  std::uint64_t max_ifd_entries = 4096;
+};
+
+}  // namespace zenesis::io

@@ -1,0 +1,154 @@
+#pragma once
+// Streaming TIFF access: parse every IFD once, decode slices on demand.
+//
+// Real electron-microscopy stacks are multi-gigabyte, tiled, often
+// compressed TIFFs. Materializing such a file (read_tiff) costs
+// O(file size) memory; TiffVolumeReader costs O(metadata) + one slice
+// per read_page call, which is what lets Mode B stream a stack through
+// segment_volume instead of holding it whole. The reader is safe to
+// share across the volume pipeline's worker threads: decoding allocates
+// per call and the file handle is internally synchronized.
+//
+// Format coverage (read): classic TIFF and BigTIFF (version 43), little-
+// and big-endian, strip and tile layouts, uncompressed and PackBits,
+// 8/16/32-bit unsigned grayscale, Photometric BlackIsZero and MinIsWhite
+// (inverted on decode so callers always see "bright = signal"). Palette
+// and RGB pages are rejected with TiffError{kUnsupported}.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "zenesis/image/image.hpp"
+#include "zenesis/io/tiff_error.hpp"
+
+namespace zenesis::io {
+
+/// Random-access byte provider the parser/decoder run against. Both
+/// methods must be thread-safe; read_at throws TiffError{kTruncated}
+/// when [off, off+n) is not fully available.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+  virtual std::uint64_t size() const = 0;
+  virtual void read_at(std::uint64_t off, std::uint8_t* dst,
+                       std::size_t n) const = 0;
+};
+
+/// ByteSource over an owned in-memory buffer.
+class MemoryByteSource final : public ByteSource {
+ public:
+  explicit MemoryByteSource(std::vector<std::uint8_t> bytes)
+      : bytes_(std::move(bytes)) {}
+  std::uint64_t size() const override { return bytes_.size(); }
+  void read_at(std::uint64_t off, std::uint8_t* dst,
+               std::size_t n) const override;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// ByteSource over a file. Reads seek under a mutex, so concurrent
+/// slice decodes serialize on I/O but never interleave corruptly.
+class FileByteSource final : public ByteSource {
+ public:
+  explicit FileByteSource(const std::string& path);
+  ~FileByteSource() override;
+  std::uint64_t size() const override { return size_; }
+  void read_at(std::uint64_t off, std::uint8_t* dst,
+               std::size_t n) const override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::uint64_t size_ = 0;
+  mutable std::mutex mutex_;
+};
+
+/// Parsed per-page metadata: everything decode needs, nothing decoded.
+/// All fields are validated (limits, overflow, in-bounds) at parse time.
+struct TiffPageInfo {
+  std::int64_t width = 0;
+  std::int64_t height = 0;
+  int bits = 8;                 ///< 8, 16 or 32
+  int compression = 1;          ///< 1 = none, 32773 = PackBits
+  int photometric = 1;          ///< 0 = MinIsWhite, 1 = BlackIsZero
+  bool big_endian = false;      ///< byte order of multi-byte samples
+  bool tiled = false;
+  std::int64_t rows_per_strip = 0;  ///< strip layout
+  std::int64_t tile_width = 0;      ///< tile layout
+  std::int64_t tile_height = 0;
+  /// One entry per strip (striped) or per tile (tiled), row-major.
+  std::vector<std::uint64_t> segment_offsets;
+  std::vector<std::uint64_t> segment_counts;
+
+  std::uint64_t decoded_bytes() const noexcept {
+    return static_cast<std::uint64_t>(width) *
+           static_cast<std::uint64_t>(height) *
+           static_cast<std::uint64_t>(bits / 8);
+  }
+};
+
+/// Streaming multi-page reader: constructor parses and validates every
+/// IFD (cycle-safe, limit-enforced); read_page decodes one slice with
+/// bounded memory. const methods are safe to call concurrently.
+class TiffVolumeReader {
+ public:
+  /// Opens a file without reading pixel data.
+  explicit TiffVolumeReader(const std::string& path, TiffReadLimits limits = {});
+  /// Parses an in-memory TIFF (tests, network buffers).
+  static TiffVolumeReader from_bytes(std::vector<std::uint8_t> bytes,
+                                     TiffReadLimits limits = {});
+  /// Parses from an arbitrary source (mmap, object store, ...).
+  TiffVolumeReader(std::shared_ptr<const ByteSource> source,
+                   TiffReadLimits limits = {});
+
+  std::int64_t pages() const noexcept {
+    return static_cast<std::int64_t>(pages_.size());
+  }
+  const TiffPageInfo& page_info(std::int64_t page) const;
+  std::int64_t width(std::int64_t page = 0) const { return page_info(page).width; }
+  std::int64_t height(std::int64_t page = 0) const { return page_info(page).height; }
+  int bit_depth(std::int64_t page = 0) const { return page_info(page).bits; }
+
+  /// True when every page has identical width/height/bit depth (what the
+  /// volume pipeline requires).
+  bool uniform_geometry() const noexcept;
+  /// Throws TiffError{kUnsupported} unless uniform_geometry().
+  void require_uniform_geometry() const;
+
+  /// Decodes one page. Thread-safe; allocates only this page (plus a
+  /// transient compressed-segment buffer).
+  image::AnyImage read_page(std::int64_t page) const;
+  /// Decodes one page as 16-bit; throws TiffError{kUnsupported} for
+  /// other depths.
+  image::ImageU16 read_page_u16(std::int64_t page) const;
+
+  /// Materializes all pages as a 16-bit volume (convenience; defeats
+  /// streaming, cumulative size still checked against the limits).
+  image::VolumeU16 read_volume_u16() const;
+
+  const TiffReadLimits& limits() const noexcept { return limits_; }
+
+ private:
+  std::shared_ptr<const ByteSource> source_;
+  TiffReadLimits limits_;
+  std::vector<TiffPageInfo> pages_;
+};
+
+namespace detail {
+/// Parses and validates every IFD of `source`. Shared by
+/// TiffVolumeReader and the materializing read_tiff* entry points.
+std::vector<TiffPageInfo> parse_tiff_pages(const ByteSource& source,
+                                           const TiffReadLimits& limits);
+/// Decodes one parsed page (strips or tiles, PackBits-aware,
+/// photometric-corrected).
+image::AnyImage decode_tiff_page(const ByteSource& source,
+                                 const TiffPageInfo& info,
+                                 const TiffReadLimits& limits,
+                                 std::int64_t page_index);
+}  // namespace detail
+
+}  // namespace zenesis::io

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "zenesis/core/session.hpp"
+#include "zenesis/io/tiff_stream.hpp"
 #include "zenesis/models/feature_cache.hpp"
 #include "zenesis/parallel/parallel_for.hpp"
 
@@ -71,6 +72,14 @@ Request Request::volume_batch(image::VolumeU16 vol, std::string text) {
   Request r;
   r.kind = RequestKind::kVolume;
   r.volume = std::move(vol);
+  r.prompt = std::move(text);
+  return r;
+}
+
+Request Request::volume_file(std::string tiff_path, std::string text) {
+  Request r;
+  r.kind = RequestKind::kVolume;
+  r.volume_path = std::move(tiff_path);
   r.prompt = std::move(text);
   return r;
 }
@@ -422,7 +431,22 @@ void SegmentService::run_single(Pending& pending) {
         r.multi = pipeline_.segment_multi(pending.req.image, pending.req.prompts);
         break;
       case RequestKind::kVolume:
-        r.volume = pipeline_.segment_volume(pending.req.volume, pending.req.prompt);
+        if (!pending.req.volume_path.empty()) {
+          // Streamed ingestion: parse once, decode slices on demand from
+          // the pipeline's workers. TiffError (malformed upload, limits)
+          // lands in the catch below as a kError response.
+          const io::TiffVolumeReader reader(pending.req.volume_path);
+          reader.require_uniform_geometry();
+          core::VolumeSource source;
+          source.depth = reader.pages();
+          source.slice = [&reader](std::int64_t z) {
+            return reader.read_page(z);
+          };
+          r.volume = pipeline_.segment_volume(source, pending.req.prompt);
+        } else {
+          r.volume =
+              pipeline_.segment_volume(pending.req.volume, pending.req.prompt);
+        }
         break;
       case RequestKind::kSlice:
         r.slice = pipeline_.segment(pending.req.image, pending.req.prompt);

@@ -100,7 +100,11 @@ enum class RejectReason {
 struct Request {
   RequestKind kind = RequestKind::kSlice;
   image::AnyImage image;              ///< kSlice / kBox / kMultiObject input
-  image::VolumeU16 volume;            ///< kVolume input
+  image::VolumeU16 volume;            ///< kVolume input (materialized form)
+  /// kVolume alternative: path of a TIFF stack streamed slice-by-slice at
+  /// dispatch time. A queued request then holds a path, not gigabytes of
+  /// pixels, so volume traffic cannot memory-bomb the admission queue.
+  std::string volume_path;
   std::string prompt;                 ///< kSlice / kVolume text prompt
   std::vector<std::string> prompts;   ///< kMultiObject class prompts
   image::Box box;                     ///< kBox prompt box
@@ -119,6 +123,12 @@ struct Request {
   static Request multi_object(image::AnyImage img,
                               std::vector<std::string> class_prompts);
   static Request volume_batch(image::VolumeU16 vol, std::string text);
+  /// Mode B streamed from disk: the TIFF (classic or BigTIFF, tiled or
+  /// striped, PackBits or raw) is opened and decoded slice-by-slice when
+  /// the request dispatches. A malformed or oversized file produces a
+  /// kError response carrying the io::TiffError message; the service
+  /// itself is unaffected.
+  static Request volume_file(std::string tiff_path, std::string text);
 
   // Fluent knobs: Request::slice(img, p).with_priority(2).with_deadline_in(5ms)
   Request& with_priority(int p) & { priority = p; return *this; }

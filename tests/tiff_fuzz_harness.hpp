@@ -1,0 +1,54 @@
+#pragma once
+// Structure-aware TIFF mutation fuzzer.
+//
+// The robustness contract of zen_io's TIFF subsystem is binary: any byte
+// sequence either decodes or throws io::TiffError — never a crash, hang,
+// non-TiffError exception or over-limit allocation. This harness enforces
+// the contract deterministically: it builds a corpus of well-formed
+// stacks covering every supported format feature (classic/BigTIFF,
+// LE/BE, strips/tiles, uncompressed/PackBits, 8/16/32-bit, BlackIsZero/
+// MinIsWhite), then applies seeded structure-aware mutations — it scans
+// the real IFD structure of each file and rewrites entry types, counts,
+// value offsets and next-IFD pointers (including cycle grafts), alongside
+// truncations and raw byte flips — and runs every mutant through both the
+// materializing reader and the streaming TiffVolumeReader.
+//
+// gtest-free by design: tests/test_tiff_fuzz.cpp wraps it in a TEST, and
+// tools/tiff_corpus.cpp runs it standalone (and dumps the corpus for
+// external fuzzers). Run under ASAN/UBSAN via tools/ci.sh stages 3-4.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "zenesis/io/tiff.hpp"
+#include "zenesis/io/tiff_error.hpp"
+
+namespace zenesis::io::fuzz {
+
+/// One well-formed seed file plus the feature axes it covers.
+struct CorpusEntry {
+  std::string name;  ///< e.g. "bigtiff_tiles_packbits_u16_be"
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Builds the feature-complete corpus (50 entries: 2 formats x 2 layouts
+/// x 2 compressions x 3 depths x 2 byte orders, plus MinIsWhite extras).
+std::vector<CorpusEntry> build_corpus();
+
+struct FuzzStats {
+  std::uint64_t mutants = 0;   ///< total mutants executed
+  std::uint64_t decoded = 0;   ///< mutants that still parsed fully
+  std::uint64_t rejected = 0;  ///< mutants rejected with TiffError
+  std::uint64_t kind_counts[6] = {};  ///< rejections per TiffErrorKind
+  /// Contract violations (empty = pass). Capped at 20 entries.
+  std::vector<std::string> failures;
+};
+
+/// Runs `mutants_per_entry` deterministic mutants of every corpus entry
+/// (plus the pristine entry itself, which must decode) through both
+/// readers under `limits`. Same seed => same mutants => same stats.
+FuzzStats run_fuzz(std::uint64_t seed, std::size_t mutants_per_entry,
+                   const TiffReadLimits& limits);
+
+}  // namespace zenesis::io::fuzz

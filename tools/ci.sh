@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# CI entry point: build + test the repo three times — a default
+# CI entry point: build + test the repo four times — a default
 # RelWithDebInfo build running the full tier-1 suite, a ThreadSanitizer
 # build race-checking the concurrency surface (thread pool, parallel
-# Mode-B pipelines, feature cache, segmentation service), and an
-# AddressSanitizer(+UBSan) build memory-checking the same surface.
+# Mode-B pipelines, feature cache, segmentation service, streaming TIFF
+# reader), an AddressSanitizer(+UBSan) build memory-checking the same
+# surface plus the TIFF fuzz corpus, and a standalone UBSan build
+# replaying the fuzz corpus with recovery disabled (any UB aborts).
 #
 # Usage:
-#   tools/ci.sh                # default + TSAN + ASAN (concurrency tests)
+#   tools/ci.sh                # default + TSAN + ASAN + UBSAN
 #   CI_TSAN_ALL=1 tools/ci.sh  # run the ENTIRE suite under TSAN (slow)
 #   CI_ASAN_ALL=1 tools/ci.sh  # run the ENTIRE suite under ASAN (slow)
 #   CI_JOBS=8 tools/ci.sh      # override build/test parallelism
@@ -16,16 +18,18 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${CI_JOBS:-$(nproc)}"
-# Tests exercising the concurrency paths; extend when adding parallel
-# features. CI_TSAN_ALL=1 / CI_ASAN_ALL=1 widen to the full suite.
-SAN_FILTER="${CI_SAN_FILTER:-test_parallel|test_volume_parallel|test_batch_images|test_serve|test_pipeline|test_session|test_integration}"
+# Tests exercising the concurrency and hardened-ingestion paths; extend
+# when adding parallel features. CI_TSAN_ALL=1 / CI_ASAN_ALL=1 widen to
+# the full suite. test_tiff matches test_tiff, test_tiff_fuzz and
+# test_tiff_stream, so the mutation fuzzer runs under every sanitizer.
+SAN_FILTER="${CI_SAN_FILTER:-test_parallel|test_volume_parallel|test_batch_images|test_serve|test_pipeline|test_session|test_integration|test_tiff}"
 
-echo "=== [1/3] default build + full tier-1 suite ==="
+echo "=== [1/4] default build + full tier-1 suite ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [2/3] ThreadSanitizer build + concurrency suite ==="
+echo "=== [2/4] ThreadSanitizer build + concurrency suite ==="
 cmake -B build-tsan -S . -DZENESIS_SANITIZE=thread \
       -DZENESIS_BUILD_BENCH=OFF -DZENESIS_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j "$JOBS"
@@ -35,7 +39,7 @@ else
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R "$SAN_FILTER"
 fi
 
-echo "=== [3/3] AddressSanitizer build + concurrency suite ==="
+echo "=== [3/4] AddressSanitizer build + concurrency suite ==="
 cmake -B build-asan -S . -DZENESIS_SANITIZE=address \
       -DZENESIS_BUILD_BENCH=OFF -DZENESIS_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-asan -j "$JOBS"
@@ -44,5 +48,11 @@ if [[ "${CI_ASAN_ALL:-0}" == "1" ]]; then
 else
   ctest --test-dir build-asan --output-on-failure -j "$JOBS" -R "$SAN_FILTER"
 fi
+
+echo "=== [4/4] UndefinedBehaviorSanitizer build + TIFF fuzz corpus ==="
+cmake -B build-ubsan -S . -DZENESIS_SANITIZE=undefined \
+      -DZENESIS_BUILD_BENCH=OFF -DZENESIS_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-ubsan -j "$JOBS"
+ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" -R "test_tiff"
 
 echo "CI OK"
