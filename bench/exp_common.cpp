@@ -12,7 +12,8 @@ void run_sample(core::Session& session, const fibsem::SyntheticVolume& vol,
 
   core::VolumeResult zen;
   if (methods.zenesis) {
-    zen = session.mode_b_segment_volume(vol.volume, prompt);
+    zen = session.mode_b_segment_volume(
+        core::VolumeRequest::view(vol.volume, prompt));
   }
   for (std::int64_t z = 0; z < vol.depth(); ++z) {
     const auto zi = static_cast<std::size_t>(z);

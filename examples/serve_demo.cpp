@@ -11,6 +11,7 @@
 
 #include "zenesis/core/session.hpp"
 #include "zenesis/fibsem/synth.hpp"
+#include "zenesis/obs/trace.hpp"
 #include "zenesis/serve/service.hpp"
 
 int main(int argc, char** argv) {
@@ -91,6 +92,17 @@ int main(int argc, char** argv) {
   session.mode_c_evaluate("synthetic", "zenesis", 0, seg.mask,
                           probe.ground_truth);
   std::printf("\n%s\n", session.dashboard().render().c_str());
+
+  // With ZENESIS_TRACE=1 the whole burst was traced: dump the Chrome
+  // trace so each request can be followed across submitter, dispatcher
+  // and fan-out threads by its trace_id (echoed in Response::trace_id).
+  if (obs::enabled()) {
+    const char* trace_path = "serve_demo.trace.json";
+    obs::TraceCollector::global().write_chrome_trace(trace_path);
+    std::printf("tracing on: chrome trace written to %s "
+                "(open in chrome://tracing)\n",
+                trace_path);
+  }
   // No teardown ceremony: attach_to is a scoped registration, so any
   // destruction order of service and session is safe.
   return 0;

@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
   }
 
   core::Session session;
-  const core::VolumeResult res = session.mode_b_segment_volume(volume, prompt);
+  const core::VolumeResult res =
+      session.mode_b_segment_volume(core::VolumeRequest::view(volume, prompt));
 
   std::printf("segmented %zu slices; heuristic refinement replaced %d "
               "outlier box(es)\n", res.slices.size(), res.replaced_count);

@@ -1,0 +1,74 @@
+#include "zenesis/core/error.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "zenesis/io/tiff_error.hpp"
+
+namespace zenesis::core {
+
+const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kNone: return "None";
+    case ErrorCode::kInvalidArgument: return "InvalidArgument";
+    case ErrorCode::kIo: return "Io";
+    case ErrorCode::kLimitExceeded: return "LimitExceeded";
+    case ErrorCode::kUnsupported: return "Unsupported";
+    case ErrorCode::kCancelled: return "Cancelled";
+    case ErrorCode::kDeadlineExpired: return "DeadlineExpired";
+    case ErrorCode::kQueueFull: return "QueueFull";
+    case ErrorCode::kShuttingDown: return "ShuttingDown";
+    case ErrorCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Error::to_string() const {
+  if (ok()) return "ok";
+  std::string out = "[";
+  out += core::to_string(code);
+  if (!stage.empty()) {
+    out += " @ ";
+    out += stage;
+  }
+  out += "] ";
+  out += message;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Error& error) {
+  return os << error.to_string();
+}
+
+Error error_from_current_exception(std::string stage) {
+  Error e;
+  e.stage = std::move(stage);
+  try {
+    throw;  // rethrow the in-flight exception to dispatch on its type
+  } catch (const io::TiffError& t) {
+    switch (t.kind()) {
+      case io::TiffErrorKind::kLimitExceeded:
+        e.code = ErrorCode::kLimitExceeded;
+        break;
+      case io::TiffErrorKind::kUnsupported:
+        e.code = ErrorCode::kUnsupported;
+        break;
+      default:  // BadHeader / Truncated / CorruptIfd / OffsetOutOfBounds
+        e.code = ErrorCode::kIo;
+        break;
+    }
+    e.message = t.what();
+  } catch (const std::invalid_argument& ex) {
+    e.code = ErrorCode::kInvalidArgument;
+    e.message = ex.what();
+  } catch (const std::exception& ex) {
+    e.code = ErrorCode::kInternal;
+    e.message = ex.what();
+  } catch (...) {
+    e.code = ErrorCode::kInternal;
+    e.message = "unknown exception";
+  }
+  return e;
+}
+
+}  // namespace zenesis::core

@@ -1,0 +1,62 @@
+#pragma once
+// zenesis::core::Error — the one error taxonomy callers see.
+//
+// Before this, each layer surfaced failures its own way: the pipeline
+// threw std::invalid_argument, the TIFF subsystem threw io::TiffError,
+// and serve::Response carried a free-form what() string — so a client
+// deciding "retry / reject upload / shrink request" had to string-match.
+// Error collapses all of that into {code, stage, message}: the code is
+// what callers branch on, the stage says which subsystem/pipeline stage
+// detected the problem (same names the obs tracing spans use), and the
+// message keeps the full human-readable detail.
+
+#include <iosfwd>
+#include <string>
+
+namespace zenesis::core {
+
+/// Coarse, branch-on-able classification. Codes mirror the failure
+/// families of the layers they absorb: serve admission outcomes
+/// (kCancelled … kShuttingDown), TIFF ingestion (kIo / kLimitExceeded /
+/// kUnsupported via io::TiffErrorKind), and config/request validation
+/// (kInvalidArgument). Everything unclassified is kInternal.
+enum class ErrorCode {
+  kNone,             ///< no error (default-constructed Error)
+  kInvalidArgument,  ///< bad config knob or malformed request shape
+  kIo,               ///< file/byte-source failure (missing, truncated, corrupt)
+  kLimitExceeded,    ///< resource limit or overflow guard tripped
+  kUnsupported,      ///< valid input outside the supported feature subset
+  kCancelled,        ///< cooperative cancellation before execution
+  kDeadlineExpired,  ///< deadline passed before execution
+  kQueueFull,        ///< admission backpressure
+  kShuttingDown,     ///< submitted to a draining service
+  kInternal,         ///< unexpected failure (pipeline bug, unknown exception)
+};
+
+/// Stable name for a code ("InvalidArgument", "Io", ...).
+const char* to_string(ErrorCode code) noexcept;
+
+struct Error {
+  ErrorCode code = ErrorCode::kNone;
+  /// Where the error was detected — subsystem/stage names shared with the
+  /// obs tracing spans ("serve.decode", "tiff.parse", "pipeline.config").
+  std::string stage;
+  std::string message;
+
+  bool ok() const noexcept { return code == ErrorCode::kNone; }
+
+  /// "[Io @ tiff.parse] tiff: cannot open ..." (or "ok" when kNone).
+  std::string to_string() const;
+};
+
+/// Streams Error::to_string() (keeps `<< response.error` working in tests
+/// and logs).
+std::ostream& operator<<(std::ostream& os, const Error& error);
+
+/// Classifies the exception currently being handled — call inside a catch
+/// block. io::TiffError kinds map onto kIo/kLimitExceeded/kUnsupported,
+/// std::invalid_argument onto kInvalidArgument, any other std::exception
+/// (or non-exception) onto kInternal; what() becomes the message.
+Error error_from_current_exception(std::string stage);
+
+}  // namespace zenesis::core

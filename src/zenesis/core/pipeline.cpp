@@ -8,6 +8,8 @@
 #include "zenesis/cv/morphology.hpp"
 #include "zenesis/cv/threshold.hpp"
 #include "zenesis/image/roi.hpp"
+#include "zenesis/io/tiff_stream.hpp"
+#include "zenesis/obs/trace.hpp"
 #include "zenesis/parallel/parallel_for.hpp"
 
 namespace zenesis::core {
@@ -93,6 +95,7 @@ void ZenesisPipeline::for_each_slice(
 }
 
 image::ImageF32 ZenesisPipeline::make_ready(const image::AnyImage& raw) const {
+  obs::Span span("pipeline.readiness");
   return image::make_ai_ready(raw, cfg_.readiness);
 }
 
@@ -104,7 +107,10 @@ SliceResult ZenesisPipeline::segment(const image::AnyImage& raw,
 SliceResult ZenesisPipeline::segment_ready(const image::ImageF32& ready,
                                            const std::string& prompt) const {
   const auto enc = cache_->encode(ready, dino_.backbone());
-  models::GroundingResult g = dino_.detect(enc->maps, enc->enc, prompt);
+  models::GroundingResult g = [&] {
+    obs::Span span("dino.detect");
+    return dino_.detect(enc->maps, enc->enc, prompt);
+  }();
   return assemble(ready, std::move(g));
 }
 
@@ -123,12 +129,6 @@ SliceResult ZenesisPipeline::segment_with_box(const image::ImageF32& ready,
   models::GroundingResult g;
   g.boxes.push_back({box, 1.0});
   return assemble(ready, std::move(g));
-}
-
-SliceResult ZenesisPipeline::segment_with_box(const image::ImageF32& ready,
-                                              const image::Box& box,
-                                              const std::string& prompt) const {
-  return segment_with_box(ready, box, BoxPromptOptions{prompt, {}});
 }
 
 namespace {
@@ -208,6 +208,7 @@ class AlignmentScorer {
 
 SliceResult ZenesisPipeline::assemble(image::ImageF32 ready,
                                       models::GroundingResult grounding) const {
+  obs::Span span("sam.decode", grounding.boxes.size());
   SliceResult res;
   res.mask = image::Mask(ready.width(), ready.height());
   const auto enc_ptr = encode_cached(ready);
@@ -281,24 +282,114 @@ SliceResult ZenesisPipeline::assemble(image::ImageF32 ready,
   return res;
 }
 
+VolumeRequest VolumeRequest::in_memory(image::VolumeU16 vol, std::string text) {
+  VolumeRequest r;
+  r.volume = std::move(vol);
+  r.prompt = std::move(text);
+  return r;
+}
+
+VolumeRequest VolumeRequest::view(const image::VolumeU16& vol,
+                                  std::string text) {
+  VolumeSource source;
+  source.depth = vol.depth();
+  source.slice = [v = &vol](std::int64_t z) {
+    return image::AnyImage(v->slice(z));
+  };
+  return streamed(std::move(source), std::move(text));
+}
+
+VolumeRequest VolumeRequest::streamed(VolumeSource src, std::string text) {
+  VolumeRequest r;
+  r.source = std::move(src);
+  r.prompt = std::move(text);
+  return r;
+}
+
+VolumeRequest VolumeRequest::from_file(std::string path, std::string text,
+                                       io::TiffReadLimits limits) {
+  VolumeRequest r;
+  r.tiff_path = std::move(path);
+  r.prompt = std::move(text);
+  r.tiff_limits = limits;
+  return r;
+}
+
+std::vector<std::string> VolumeRequest::validate() const {
+  std::vector<std::string> issues;
+  const int engaged = (volume.has_value() ? 1 : 0) +
+                      (source.has_value() ? 1 : 0) +
+                      (tiff_path.has_value() ? 1 : 0);
+  if (engaged != 1) {
+    issues.push_back(
+        "exactly one of volume/source/tiff_path must be set (got " +
+        std::to_string(engaged) + ")");
+  }
+  if (source) {
+    if (!source->slice) issues.push_back("VolumeSource::slice not set");
+    if (source->depth < 0) issues.push_back("negative VolumeSource depth");
+  }
+  if (tiff_path && tiff_path->empty()) issues.push_back("empty tiff_path");
+  return issues;
+}
+
+VolumeResult ZenesisPipeline::segment_volume(const VolumeRequest& request) const {
+  const std::vector<std::string> issues = request.validate();
+  if (!issues.empty()) {
+    std::ostringstream msg;
+    msg << "invalid VolumeRequest:";
+    for (const auto& issue : issues) msg << "\n  - " << issue;
+    throw std::invalid_argument(msg.str());
+  }
+  if (request.volume) {
+    VolumeSource source;
+    source.depth = request.volume->depth();
+    source.slice = [vol = &*request.volume](std::int64_t z) {
+      return image::AnyImage(vol->slice(z));
+    };
+    return run_volume(source, request.prompt);
+  }
+  if (request.tiff_path) {
+    // Streamed ingestion: parse once, decode slices on demand from the
+    // volume workers (the reader is internally synchronized). TiffError
+    // from parse or decode propagates to the caller — serve maps it into
+    // core::Error via error_from_current_exception.
+    const io::TiffVolumeReader reader(*request.tiff_path, request.tiff_limits);
+    reader.require_uniform_geometry();
+    VolumeSource source;
+    source.depth = reader.pages();
+    source.slice = [&reader](std::int64_t z) { return reader.read_page(z); };
+    return run_volume(source, request.prompt);
+  }
+  return run_volume(*request.source, request.prompt);
+}
+
 VolumeResult ZenesisPipeline::segment_volume(const image::VolumeU16& volume,
                                              const std::string& prompt) const {
+  // Wraps by reference (no copy of the stack) — the request outlives the
+  // call, so lifetime matches the old overload exactly.
   VolumeSource source;
   source.depth = volume.depth();
   source.slice = [&volume](std::int64_t z) {
     return image::AnyImage(volume.slice(z));
   };
-  return segment_volume(source, prompt);
+  return run_volume(source, prompt);
 }
 
 VolumeResult ZenesisPipeline::segment_volume(const VolumeSource& source,
                                              const std::string& prompt) const {
+  return segment_volume(VolumeRequest::streamed(source, prompt));
+}
+
+VolumeResult ZenesisPipeline::run_volume(const VolumeSource& source,
+                                         const std::string& prompt) const {
   if (!source.slice) {
     throw std::invalid_argument("segment_volume: VolumeSource::slice not set");
   }
   if (source.depth < 0) {
     throw std::invalid_argument("segment_volume: negative VolumeSource depth");
   }
+  obs::Span volume_span("pipeline.volume", source.depth);
   VolumeResult res;
   const std::int64_t depth = source.depth;
   res.slices.resize(static_cast<std::size_t>(depth));
@@ -306,6 +397,7 @@ VolumeResult ZenesisPipeline::segment_volume(const VolumeSource& source,
     // The raw slice lives only for this task; what persists is the
     // SliceResult (AI-ready image + mask), so a streamed stack is never
     // held in memory whole in its raw form.
+    obs::Span span("pipeline.slice", z);
     res.slices[static_cast<std::size_t>(z)] = segment(source.slice(z), prompt);
   });
   res.raw_boxes.reserve(res.slices.size());
@@ -313,17 +405,20 @@ VolumeResult ZenesisPipeline::segment_volume(const VolumeSource& source,
   res.refined_boxes = res.raw_boxes;
   res.replaced.assign(res.raw_boxes.size(), false);
   if (cfg_.enable_heuristic_refine) {
+    obs::Span refine_span("heuristic.refine");
     const volume3d::RefineOutcome refined =
         volume3d::refine_box_sequence(res.raw_boxes, cfg_.heuristic);
     res.refined_boxes = refined.boxes;
     res.replaced = refined.replaced;
     res.replaced_count = refined.replaced_count;
+    refine_span.set_arg(static_cast<std::uint64_t>(refined.replaced_count));
     // Re-segment the corrected slices from their replacement box. With
     // the feature cache on, each slice's encoder output is a hit here.
     for_each_slice(static_cast<std::int64_t>(res.slices.size()),
                    [&](std::int64_t zi) {
       const auto i = static_cast<std::size_t>(zi);
       if (!res.replaced[i] || res.refined_boxes[i].empty()) return;
+      obs::Span span("pipeline.rectify_slice", zi);
       SliceResult fixed = segment_with_box(res.slices[i].ai_ready,
                                            res.refined_boxes[i],
                                            BoxPromptOptions{prompt, {}});
@@ -348,6 +443,7 @@ std::vector<SliceResult> ZenesisPipeline::segment_images(
 SliceResult ZenesisPipeline::further_segment(const SliceResult& parent,
                                              const image::Box& roi,
                                              const std::string& prompt) const {
+  obs::Span span("pipeline.further_segment");
   const image::Box clipped =
       roi.clipped(parent.ai_ready.width(), parent.ai_ready.height());
   SliceResult child;
@@ -380,6 +476,7 @@ SliceResult ZenesisPipeline::further_segment(const SliceResult& parent,
 
 ZenesisPipeline::MultiObjectResult ZenesisPipeline::segment_multi(
     const image::AnyImage& raw, const std::vector<std::string>& prompts) const {
+  obs::Span span("pipeline.multi", prompts.size());
   const image::ImageF32 ready = make_ready(raw);
   MultiObjectResult res;
   res.labels = image::Image<std::int32_t>(ready.width(), ready.height(), 1);

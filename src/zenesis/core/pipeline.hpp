@@ -14,6 +14,7 @@
 #include "zenesis/image/geometry.hpp"
 #include "zenesis/image/image.hpp"
 #include "zenesis/image/normalize.hpp"
+#include "zenesis/io/tiff_error.hpp"
 #include "zenesis/models/auto_mask.hpp"
 #include "zenesis/models/feature_cache.hpp"
 #include "zenesis/models/grounding.hpp"
@@ -89,6 +90,39 @@ struct VolumeSource {
   std::function<image::AnyImage(std::int64_t)> slice;
 };
 
+/// One Mode-B request shape for all three volume inputs — the
+/// BoxPromptOptions pattern applied to segment_volume: instead of three
+/// overloads whose parameter type decides ingestion, a VolumeRequest
+/// names the source explicitly. Exactly one of `volume`, `source`,
+/// `tiff_path` must be engaged (validate() reports every violation;
+/// segment_volume throws std::invalid_argument listing them all).
+///
+/// The factories cover the common spellings; build the struct by hand to
+/// combine knobs. `in_memory` takes the volume by value — move it in, or
+/// wrap an lvalue you want to keep with `streamed` + a slice lambda to
+/// avoid the copy (what the deprecated forwarders do internally).
+struct VolumeRequest {
+  std::string prompt;
+  std::optional<image::VolumeU16> volume;  ///< materialized stack (owned)
+  std::optional<VolumeSource> source;      ///< on-demand slice feed
+  std::optional<std::string> tiff_path;    ///< streamed straight from disk
+  /// Parse/decode ceilings for the `tiff_path` source (ignored otherwise).
+  io::TiffReadLimits tiff_limits{};
+
+  static VolumeRequest in_memory(image::VolumeU16 vol, std::string text);
+  /// Borrows `vol` (no copy): the caller keeps ownership and must keep it
+  /// alive through the segment_volume call. Implemented as a `streamed`
+  /// feed over the stack's slices.
+  static VolumeRequest view(const image::VolumeU16& vol, std::string text);
+  static VolumeRequest streamed(VolumeSource src, std::string text);
+  static VolumeRequest from_file(std::string path, std::string text,
+                                 io::TiffReadLimits limits = {});
+
+  /// One message per problem (source count, null slice fn, negative
+  /// depth); empty = valid.
+  std::vector<std::string> validate() const;
+};
+
 /// Volume (Mode B) output: per-slice results plus the box sequences
 /// before/after heuristic refinement.
 struct VolumeResult {
@@ -145,22 +179,23 @@ class ZenesisPipeline {
                                const image::Box& box,
                                const BoxPromptOptions& opts = {}) const;
 
-  /// Deprecated forwarder for the old prompt-string overload.
-  [[deprecated("use segment_with_box(ready, box, BoxPromptOptions{...})")]]
-  SliceResult segment_with_box(const image::ImageF32& ready,
-                               const image::Box& box,
-                               const std::string& prompt) const;
+  /// Mode B: batch volume with temporal refinement, over whichever source
+  /// the request engages (materialized stack, on-demand slice feed, or a
+  /// TIFF file streamed through io::TiffVolumeReader). Slices are
+  /// segmented in parallel across `config().volume_threads` workers and
+  /// gathered in slice order, so the result is byte-identical to the
+  /// serial path regardless of thread count — and identical across the
+  /// three source kinds for the same pixel data.
+  VolumeResult segment_volume(const VolumeRequest& request) const;
 
-  /// Mode B: batch volume with temporal refinement. Slices are segmented
-  /// in parallel across `config().volume_threads` workers and gathered in
-  /// slice order, so the result is byte-identical to the serial path
-  /// regardless of thread count.
+  /// Deprecated forwarder: wraps the volume in a VolumeRequest (by
+  /// reference — no copy of the stack).
+  [[deprecated("use segment_volume(VolumeRequest) / VolumeRequest::in_memory")]]
   VolumeResult segment_volume(const image::VolumeU16& volume,
                               const std::string& prompt) const;
 
-  /// Mode B over an on-demand slice feed (streaming ingestion): identical
-  /// scheduling and byte-identical results to the materialized overload,
-  /// but raw slices are fetched lazily and dropped after segmentation.
+  /// Deprecated forwarder for the slice-feed overload.
+  [[deprecated("use segment_volume(VolumeRequest) / VolumeRequest::streamed")]]
   VolumeResult segment_volume(const VolumeSource& source,
                               const std::string& prompt) const;
 
@@ -188,6 +223,11 @@ class ZenesisPipeline {
                                   const std::vector<std::string>& prompts) const;
 
  private:
+  /// Shared Mode-B body: all segment_volume spellings land here with a
+  /// validated slice feed.
+  VolumeResult run_volume(const VolumeSource& source,
+                          const std::string& prompt) const;
+
   /// Runs SAM over the top-k grounded boxes and unions the masks.
   SliceResult assemble(image::ImageF32 ready,
                        models::GroundingResult grounding) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "zenesis/io/tiff_stream.hpp"
+#include "zenesis/obs/trace.hpp"
 
 namespace zenesis::core {
 
@@ -24,25 +25,25 @@ ZenesisPipeline::MultiObjectResult Session::mode_a_segment_multi(
   return pipeline_.segment_multi(raw, prompts);
 }
 
+VolumeResult Session::mode_b_segment_volume(const VolumeRequest& request) const {
+  return pipeline_.segment_volume(request);
+}
+
 VolumeResult Session::mode_b_segment_volume(const image::VolumeU16& volume,
                                             const std::string& prompt) const {
-  return pipeline_.segment_volume(volume, prompt);
+  return pipeline_.segment_volume(VolumeRequest::view(volume, prompt));
 }
 
 VolumeResult Session::mode_b_segment_volume(const VolumeSource& source,
                                             const std::string& prompt) const {
-  return pipeline_.segment_volume(source, prompt);
+  return pipeline_.segment_volume(VolumeRequest::streamed(source, prompt));
 }
 
 VolumeResult Session::mode_b_segment_volume_file(
     const std::string& tiff_path, const std::string& prompt,
     const io::TiffReadLimits& limits) const {
-  const io::TiffVolumeReader reader(tiff_path, limits);
-  reader.require_uniform_geometry();
-  VolumeSource source;
-  source.depth = reader.pages();
-  source.slice = [&reader](std::int64_t z) { return reader.read_page(z); };
-  return pipeline_.segment_volume(source, prompt);
+  return pipeline_.segment_volume(
+      VolumeRequest::from_file(tiff_path, prompt, limits));
 }
 
 std::vector<SliceResult> Session::mode_b_segment_images(
@@ -69,6 +70,18 @@ void Session::publish_runtime_stats() {
   dashboard_.set_stat("feature_cache_misses", static_cast<double>(s.misses));
   dashboard_.set_stat("feature_cache_evictions", static_cast<double>(s.evictions));
   dashboard_.set_stat("feature_cache_hit_rate", s.hit_rate());
+  if (obs::enabled()) {
+    // Per-stage timings over the collector's retained window (the last
+    // ~4096 spans per thread), keyed trace_<stage>_* — Mode C's answer to
+    // "where does the time go".
+    for (const auto& [stage, st] : obs::TraceCollector::global().aggregate()) {
+      dashboard_.set_stat("trace_" + stage + "_count",
+                          static_cast<double>(st.count));
+      dashboard_.set_stat("trace_" + stage + "_mean_us", st.mean_us());
+      dashboard_.set_stat("trace_" + stage + "_max_us",
+                          static_cast<double>(st.max_us));
+    }
+  }
   // Prune sources whose scoped registration died (e.g. a SegmentService
   // destroyed before this session) so they are never invoked again.
   stats_sources_.erase(

@@ -82,18 +82,23 @@ class Session {
       const image::AnyImage& raw, const std::vector<std::string>& prompts) const;
 
   // --- Mode B: batch processing ---
-  /// Parallel across slices (see PipelineConfig::volume_threads); results
-  /// are identical to the serial path for every thread count.
+  /// The one Mode-B entry point: the request names its source — an owned
+  /// stack, an on-demand slice feed, or a TIFF path streamed with bounded
+  /// memory (classic or BigTIFF, striped or tiled, uncompressed or
+  /// PackBits; malformed files throw io::TiffError). Slices run in
+  /// parallel (see PipelineConfig::volume_threads) with results identical
+  /// to the serial path for every thread count and source kind.
+  VolumeResult mode_b_segment_volume(const VolumeRequest& request) const;
+  /// Deprecated forwarder (materialized stack; wraps by reference).
+  [[deprecated("use mode_b_segment_volume(VolumeRequest) / VolumeRequest::in_memory")]]
   VolumeResult mode_b_segment_volume(const image::VolumeU16& volume,
                                      const std::string& prompt) const;
-  /// Streaming Mode B: slices are pulled on demand from `source`
-  /// (thread-safe producer), never materializing the raw stack.
+  /// Deprecated forwarder (on-demand slice feed).
+  [[deprecated("use mode_b_segment_volume(VolumeRequest) / VolumeRequest::streamed")]]
   VolumeResult mode_b_segment_volume(const VolumeSource& source,
                                      const std::string& prompt) const;
-  /// Streaming Mode B straight from a TIFF on disk (classic or BigTIFF,
-  /// striped or tiled, uncompressed or PackBits). The stack is parsed
-  /// once and decoded slice-by-slice with bounded memory under `limits`;
-  /// malformed files throw io::TiffError instead of crashing the session.
+  /// Deprecated forwarder (TIFF file).
+  [[deprecated("use mode_b_segment_volume(VolumeRequest) / VolumeRequest::from_file")]]
   VolumeResult mode_b_segment_volume_file(
       const std::string& tiff_path, const std::string& prompt,
       const io::TiffReadLimits& limits = {}) const;
@@ -118,12 +123,14 @@ class Session {
   void clear_stats_sources();
 
   /// Refreshes the dashboard's runtime-stats section: the pipeline's
-  /// feature-cache counters (hits, misses, evictions, hit rate) plus every
-  /// registered stats source. Since PR 2 this happens automatically on
-  /// each `mode_c_evaluate` call, so Mode C always reports current
-  /// counters next to the quality metrics; the explicit method remains as
-  /// a compatible alias for callers that render the dashboard without
-  /// evaluating anything.
+  /// feature-cache counters (hits, misses, evictions, hit rate), every
+  /// registered stats source, and — when tracing is on (ZENESIS_TRACE=1
+  /// or obs::set_enabled) — per-stage span timings from the global
+  /// TraceCollector as `trace_<stage>_{count,mean_us,max_us}`, so Mode C
+  /// shows where pipeline time goes next to the quality metrics. Since
+  /// PR 2 this happens automatically on each `mode_c_evaluate` call; the
+  /// explicit method remains for callers that render the dashboard
+  /// without evaluating anything.
   void publish_runtime_stats();
 
   // --- Mode C: evaluation ---

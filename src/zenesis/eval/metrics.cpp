@@ -6,6 +6,7 @@
 
 #include "zenesis/cv/distance.hpp"
 #include "zenesis/cv/morphology.hpp"
+#include "zenesis/obs/trace.hpp"
 
 namespace zenesis::eval {
 
@@ -27,6 +28,7 @@ Confusion confusion_counts(const image::Mask& pred, const image::Mask& gt) {
 }
 
 Metrics compute_metrics(const image::Mask& pred, const image::Mask& gt) {
+  obs::Span span("eval.metrics");
   Metrics m;
   m.confusion = confusion_counts(pred, gt);
   const auto& c = m.confusion;

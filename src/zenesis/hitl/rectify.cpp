@@ -5,6 +5,7 @@
 
 #include "zenesis/cv/distance.hpp"
 #include "zenesis/image/roi.hpp"
+#include "zenesis/obs/trace.hpp"
 
 namespace zenesis::hitl {
 
@@ -132,6 +133,7 @@ RectifyResult rectify_segmentation(const models::SamModel& sam,
                                    const RandomBoxConfig& cfg,
                                    SimulatedAnnotator& annotator,
                                    parallel::Rng& rng) {
+  obs::Span span("hitl.rectify");
   RectifyResult res;
   res.before_iou = image::mask_iou(automated_mask, reference);
 

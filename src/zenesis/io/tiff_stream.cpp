@@ -7,6 +7,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "zenesis/obs/trace.hpp"
+
 namespace zenesis::io {
 
 // ---------------------------------------------------------------------------
@@ -720,6 +722,7 @@ void TiffVolumeReader::require_uniform_geometry() const {
 }
 
 image::AnyImage TiffVolumeReader::read_page(std::int64_t page) const {
+  obs::Span span("tiff.read_page", static_cast<std::uint64_t>(page));
   return detail::decode_tiff_page(*source_, page_info(page), limits_, page);
 }
 

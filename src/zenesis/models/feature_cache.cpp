@@ -1,5 +1,7 @@
 #include "zenesis/models/feature_cache.hpp"
 
+#include "zenesis/obs/trace.hpp"
+
 namespace zenesis::models {
 namespace {
 
@@ -48,6 +50,9 @@ FeatureCache::FeatureCache(const FeatureCacheConfig& cfg) : cfg_(cfg) {}
 std::shared_ptr<const SamEncoded> FeatureCache::encode(
     const image::ImageF32& img, const VisionBackbone& backbone) {
   const auto compute = [&] {
+    // The expensive path: feature maps + backbone encode. Span arg 0/1
+    // distinguishes a cache-bypassing encode (cache off) from a miss.
+    obs::Span span("sam.encode", cfg_.enabled ? 1u : 0u);
     auto fresh = std::make_shared<SamEncoded>();
     fresh->maps = compute_features(img);
     fresh->enc = backbone.encode(fresh->maps);

@@ -1,0 +1,316 @@
+#include "zenesis/obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+namespace zenesis::obs {
+
+namespace detail {
+
+std::atomic<int> g_state{-1};
+thread_local std::uint64_t t_trace_id = 0;
+
+bool init_enabled_from_env() noexcept {
+  const char* env = std::getenv("ZENESIS_TRACE");
+  const bool on = env != nullptr && (std::strcmp(env, "1") == 0 ||
+                                     std::strcmp(env, "on") == 0 ||
+                                     std::strcmp(env, "true") == 0);
+  int expected = -1;
+  g_state.compare_exchange_strong(expected, on ? 1 : 0,
+                                  std::memory_order_relaxed);
+  return g_state.load(std::memory_order_relaxed) != 0;
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+#if defined(ZENESIS_OBS_DISABLED)
+  (void)on;
+#else
+  detail::g_state.store(on ? 1 : 0, std::memory_order_relaxed);
+#endif
+}
+
+std::uint64_t new_trace_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t current_trace_id() noexcept { return detail::t_trace_id; }
+
+TraceScope::TraceScope(std::uint64_t id) noexcept
+    : saved_(detail::t_trace_id) {
+  detail::t_trace_id = id;
+}
+
+TraceScope::~TraceScope() { detail::t_trace_id = saved_; }
+
+std::int64_t now_ns() noexcept {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+#if !defined(ZENESIS_OBS_DISABLED)
+
+namespace {
+
+/// Retained spans per thread. ~56 bytes per slot; the window is what the
+/// dashboard and Chrome export see, old spans fall off the back.
+constexpr std::size_t kRingCapacity = 4096;
+
+/// One ring slot. Every field is an atomic written with relaxed order and
+/// published by the trailing release store of `seq` (a per-slot seqlock):
+/// the owner stores seq = 2h+1 (odd: writing), the payload, then
+/// seq = 2h+2 (even: generation h committed). A reader that sees any
+/// other seq value around its payload read discards the slot. All-atomic
+/// fields keep concurrent snapshotting well-defined (and TSAN-clean)
+/// without any lock on the recording path.
+struct Slot {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::uint64_t> trace_id{0};
+  std::atomic<std::int64_t> start_ns{0};
+  std::atomic<std::int64_t> end_ns{0};
+  std::atomic<std::uint64_t> arg{0};
+  std::atomic<std::uint32_t> depth{0};
+};
+
+/// Single-writer ring: only the owning thread pushes; any thread reads.
+struct ThreadBuffer {
+  explicit ThreadBuffer(std::uint64_t id) : tid(id), slots(kRingCapacity) {}
+
+  const std::uint64_t tid;
+  std::vector<Slot> slots;
+  std::atomic<std::uint64_t> head{0};     ///< total pushes (owner-written)
+  std::atomic<std::uint64_t> drained{0};  ///< clear() watermark
+
+  void push(const char* name, std::uint64_t trace_id, std::int64_t start_ns,
+            std::int64_t end_ns, std::uint64_t arg, std::uint32_t depth) {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    Slot& s = slots[static_cast<std::size_t>(h % kRingCapacity)];
+    s.seq.store(2 * h + 1, std::memory_order_release);
+    s.name.store(name, std::memory_order_relaxed);
+    s.trace_id.store(trace_id, std::memory_order_relaxed);
+    s.start_ns.store(start_ns, std::memory_order_relaxed);
+    s.end_ns.store(end_ns, std::memory_order_relaxed);
+    s.arg.store(arg, std::memory_order_relaxed);
+    s.depth.store(depth, std::memory_order_relaxed);
+    s.seq.store(2 * h + 2, std::memory_order_release);
+    head.store(h + 1, std::memory_order_release);
+  }
+
+  /// Reads logical event `i` (i < head). False when the slot was already
+  /// recycled for a newer generation.
+  bool read(std::uint64_t i, SpanEvent& out) const {
+    const Slot& s = slots[static_cast<std::size_t>(i % kRingCapacity)];
+    const std::uint64_t want = 2 * i + 2;
+    if (s.seq.load(std::memory_order_acquire) != want) return false;
+    out.name = s.name.load(std::memory_order_relaxed);
+    out.trace_id = s.trace_id.load(std::memory_order_relaxed);
+    out.start_ns = s.start_ns.load(std::memory_order_relaxed);
+    out.end_ns = s.end_ns.load(std::memory_order_relaxed);
+    out.arg = s.arg.load(std::memory_order_relaxed);
+    out.depth = s.depth.load(std::memory_order_relaxed);
+    out.tid = tid;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return s.seq.load(std::memory_order_relaxed) == want;
+  }
+};
+
+/// Registry of every thread's buffer. Buffers live for the process
+/// lifetime (a worker's spans must outlive the worker), so the registry
+/// only grows — bounded by the number of distinct threads ever tracing.
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::atomic<std::uint64_t> next_tid{1};
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // immortal: recorders may outlive exit
+  return *r;
+}
+
+thread_local ThreadBuffer* t_buffer = nullptr;
+thread_local std::uint32_t t_depth = 0;
+
+ThreadBuffer& local_buffer() {
+  if (t_buffer == nullptr) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.buffers.push_back(std::make_unique<ThreadBuffer>(
+        r.next_tid.fetch_add(1, std::memory_order_relaxed)));
+    t_buffer = r.buffers.back().get();
+  }
+  return *t_buffer;
+}
+
+}  // namespace
+
+void Span::begin() noexcept {
+  start_ = now_ns();
+  depth_ = t_depth++;
+}
+
+void Span::end() noexcept {
+  --t_depth;
+  local_buffer().push(name_, current_trace_id(), start_, now_ns(), arg_,
+                      depth_);
+}
+
+void record_span(const char* name, std::uint64_t trace_id,
+                 std::int64_t start_ns, std::int64_t end_ns,
+                 std::uint64_t arg) noexcept {
+  if (!enabled()) return;
+  local_buffer().push(name, trace_id, start_ns, std::max(start_ns, end_ns),
+                      arg, t_depth);
+}
+
+#endif  // !ZENESIS_OBS_DISABLED
+
+TraceCollector& TraceCollector::global() {
+  static TraceCollector collector;
+  return collector;
+}
+
+std::vector<SpanEvent> TraceCollector::snapshot() const {
+  std::vector<SpanEvent> out;
+#if !defined(ZENESIS_OBS_DISABLED)
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& buf : r.buffers) {
+    const std::uint64_t head = buf->head.load(std::memory_order_acquire);
+    const std::uint64_t drained = buf->drained.load(std::memory_order_relaxed);
+    const std::uint64_t window =
+        std::min<std::uint64_t>(head - std::min(head, drained), kRingCapacity);
+    for (std::uint64_t i = head - window; i < head; ++i) {
+      SpanEvent ev;
+      if (buf->read(i, ev)) out.push_back(ev);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const SpanEvent& a, const SpanEvent& b) {
+    return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                    : a.end_ns > b.end_ns;
+  });
+#endif
+  return out;
+}
+
+void TraceCollector::clear() {
+#if !defined(ZENESIS_OBS_DISABLED)
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& buf : r.buffers) {
+    buf->drained.store(buf->head.load(std::memory_order_acquire),
+                       std::memory_order_relaxed);
+  }
+#endif
+}
+
+std::size_t TraceCollector::threads_seen() const {
+#if defined(ZENESIS_OBS_DISABLED)
+  return 0;
+#else
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.buffers.size();
+#endif
+}
+
+std::uint64_t TraceCollector::overwritten() const {
+#if defined(ZENESIS_OBS_DISABLED)
+  return 0;
+#else
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::uint64_t lost = 0;
+  for (const auto& buf : r.buffers) {
+    const std::uint64_t head = buf->head.load(std::memory_order_acquire);
+    const std::uint64_t drained = buf->drained.load(std::memory_order_relaxed);
+    const std::uint64_t retained = head - std::min(head, drained);
+    if (retained > kRingCapacity) lost += retained - kRingCapacity;
+  }
+  return lost;
+#endif
+}
+
+std::map<std::string, StageStats> TraceCollector::aggregate() const {
+  std::map<std::string, StageStats> stages;
+  for (const SpanEvent& ev : snapshot()) {
+    if (ev.name == nullptr) continue;
+    StageStats& st = stages[ev.name];
+    const double us =
+        static_cast<double>(ev.end_ns - ev.start_ns) / 1000.0;
+    if (st.count == 0 || us < st.min_us) st.min_us = us;
+    if (st.count == 0 || us > st.max_us) st.max_us = us;
+    st.count += 1;
+    st.total_us += us;
+  }
+  return stages;
+}
+
+namespace {
+
+/// Span names are compile-time literals under our control, but escape
+/// defensively so the export is valid JSON no matter what.
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::string TraceCollector::chrome_trace_json() const {
+  const std::vector<SpanEvent> events = snapshot();
+  std::string out;
+  out.reserve(events.size() * 160 + 64);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[256];
+  for (const SpanEvent& ev : events) {
+    if (ev.name == nullptr) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"";
+    append_json_escaped(out, ev.name);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"cat\":\"zenesis\",\"ph\":\"X\",\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"pid\":1,\"tid\":%llu,\"args\":{"
+                  "\"trace_id\":%llu,\"arg\":%llu,\"depth\":%u}}",
+                  static_cast<double>(ev.start_ns) / 1000.0,
+                  static_cast<double>(ev.end_ns - ev.start_ns) / 1000.0,
+                  static_cast<unsigned long long>(ev.tid),
+                  static_cast<unsigned long long>(ev.trace_id),
+                  static_cast<unsigned long long>(ev.arg), ev.depth);
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void TraceCollector::write_chrome_trace(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  f << chrome_trace_json();
+}
+
+}  // namespace zenesis::obs

@@ -1,0 +1,220 @@
+#pragma once
+// zenesis::obs — end-to-end tracing and per-stage metrics.
+//
+// The serving stack is deeply asynchronous (admission queue, dispatcher,
+// fan-out workers, streaming slice decodes); whole-request histograms in
+// ServiceStats cannot say *where* a request's time went. This subsystem
+// gives every pipeline stage an RAII `Span`, stitches the spans of one
+// request across threads with a propagated trace id, and exports the
+// result as Chrome trace-event JSON (chrome://tracing, Perfetto) or as
+// aggregated per-stage statistics for the Mode-C dashboard.
+//
+// Hot-path contract:
+//   * Disabled (the default): constructing a Span is one relaxed atomic
+//     load and a branch. No allocation, no thread registration, no clock
+//     read. The suite's determinism/byte-identity guarantees are
+//     unaffected either way — tracing observes, never steers.
+//   * Enabled (ZENESIS_TRACE=1 in the environment, or set_enabled(true)):
+//     each Span end writes one slot of a fixed-capacity thread-local ring
+//     buffer. Slots are seqlock-published atomics, so the central
+//     TraceCollector snapshots concurrently without any mutex on the
+//     recording path; a torn slot is skipped, never misread. The only
+//     locks are cold: one registry mutex taken once per thread (first
+//     span) and by snapshot readers.
+//   * Compiled out (-DZENESIS_OBS=OFF → ZENESIS_OBS_DISABLED): Span and
+//     record_span become empty inlines; the instrumentation disappears
+//     entirely. Trace-id plumbing (TraceScope/new_trace_id) stays real so
+//     serve request ids keep working.
+//
+// Span names must be string literals (or otherwise immortal): the ring
+// stores the pointer, not a copy.
+//
+// Windowing: the collector retains the last kRingCapacity spans per
+// thread. snapshot()/aggregate() cover that retained window since the
+// last clear(); overwritten() counts what the window dropped. Dashboards
+// therefore show recent-stage timings, not since-boot totals — exactly
+// what a live serving dashboard wants.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace zenesis::obs {
+
+// --- runtime toggle ------------------------------------------------------
+
+namespace detail {
+/// -1 = uninitialized (consult ZENESIS_TRACE on first query), 0 = off,
+/// 1 = on.
+extern std::atomic<int> g_state;
+bool init_enabled_from_env() noexcept;
+}  // namespace detail
+
+/// Whether spans record. Initialized from the ZENESIS_TRACE environment
+/// variable ("1"/"on"/"true" enable) on first call; set_enabled overrides.
+inline bool enabled() noexcept {
+#if defined(ZENESIS_OBS_DISABLED)
+  return false;
+#else
+  const int s = detail::g_state.load(std::memory_order_relaxed);
+  if (s >= 0) return s != 0;
+  return detail::init_enabled_from_env();
+#endif
+}
+
+/// Runtime override of the ZENESIS_TRACE default (tests, tools).
+void set_enabled(bool on) noexcept;
+
+// --- trace-id propagation ------------------------------------------------
+
+/// Allocates a fresh nonzero trace id (e.g. one per serve request).
+std::uint64_t new_trace_id() noexcept;
+
+/// The calling thread's current trace id; 0 = no active trace context.
+/// Spans stamp this id, which is how one request's spans stitch together
+/// across the submit thread, the dispatcher and fan-out workers.
+///
+/// Out of line on purpose: the id lives in an extern thread_local, and
+/// cross-TU inline TLS stores trip a GCC UBSan false positive ("store to
+/// null pointer"); keeping every access inside trace.cpp sidesteps it.
+/// These run once per task/request, not per span, so the call is cheap.
+std::uint64_t current_trace_id() noexcept;
+
+/// RAII trace context: sets the thread-local trace id, restores the
+/// previous one on destruction. ThreadPool::submit captures the
+/// submitter's id and reinstates it around task execution, so nested
+/// parallel work inherits the request context automatically.
+class TraceScope {
+ public:
+  explicit TraceScope(std::uint64_t id) noexcept;
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  std::uint64_t saved_;
+};
+
+// --- recording -----------------------------------------------------------
+
+/// Nanoseconds on the collector's steady clock (epoch = first use).
+std::int64_t now_ns() noexcept;
+
+/// One completed span as read out of the ring buffers.
+struct SpanEvent {
+  const char* name = nullptr;  ///< immortal string (see header comment)
+  std::uint64_t trace_id = 0;  ///< 0 = recorded outside any trace context
+  std::uint64_t tid = 0;       ///< small per-thread id (1, 2, ...)
+  std::int64_t start_ns = 0;   ///< begin, collector clock
+  std::int64_t end_ns = 0;     ///< end; always >= start_ns
+  std::uint64_t arg = 0;       ///< stage payload (slice index, batch size…)
+  std::uint32_t depth = 0;     ///< nesting depth on its thread at begin
+};
+
+#if defined(ZENESIS_OBS_DISABLED)
+
+class Span {
+ public:
+  explicit Span(const char*, std::uint64_t = 0) noexcept {}
+  void set_arg(std::uint64_t) noexcept {}
+};
+
+inline void record_span(const char*, std::uint64_t, std::int64_t,
+                        std::int64_t, std::uint64_t = 0) noexcept {}
+
+#else
+
+/// RAII stage scope: times construction → destruction and records one
+/// SpanEvent into the calling thread's ring buffer. Whether the span
+/// records is decided once, at construction, so toggling tracing
+/// mid-span cannot unbalance the per-thread depth counter.
+class Span {
+ public:
+  explicit Span(const char* name, std::uint64_t arg = 0) noexcept
+      : name_(name), arg_(arg), armed_(obs::enabled()) {
+    if (armed_) begin();
+  }
+  ~Span() {
+    if (armed_) end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Updates the payload before the span closes (e.g. hit/miss learned
+  /// mid-stage).
+  void set_arg(std::uint64_t arg) noexcept { arg_ = arg; }
+
+ private:
+  void begin() noexcept;
+  void end() noexcept;
+
+  const char* name_;
+  std::int64_t start_ = 0;
+  std::uint64_t arg_;
+  std::uint32_t depth_ = 0;
+  bool armed_;
+};
+
+/// Records a span with explicit timestamps on the calling thread — for
+/// stages whose begin happened on another thread (e.g. serve queue wait:
+/// enqueued on the submit thread, measured at dispatch). No-op while
+/// tracing is disabled.
+void record_span(const char* name, std::uint64_t trace_id,
+                 std::int64_t start_ns, std::int64_t end_ns,
+                 std::uint64_t arg = 0) noexcept;
+
+#endif  // ZENESIS_OBS_DISABLED
+
+// --- collection / export -------------------------------------------------
+
+/// Aggregated timings of one stage (span name) over the retained window.
+struct StageStats {
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+  double min_us = 0.0;
+  double max_us = 0.0;
+
+  double mean_us() const noexcept {
+    return count == 0 ? 0.0 : total_us / static_cast<double>(count);
+  }
+};
+
+/// Central sink: owns every thread's ring buffer. All methods are
+/// thread-safe; snapshot/aggregate/export never block recorders.
+class TraceCollector {
+ public:
+  /// The process-wide collector every Span records into.
+  static TraceCollector& global();
+
+  /// All retained events since the last clear(), across threads, sorted
+  /// by start time. Slots being overwritten mid-read are skipped.
+  std::vector<SpanEvent> snapshot() const;
+
+  /// Forgets retained events (recording threads are unaffected).
+  void clear();
+
+  /// Per-stage aggregation of snapshot().
+  std::map<std::string, StageStats> aggregate() const;
+
+  /// Chrome trace-event JSON ("X" complete events; ts/dur in µs; args
+  /// carry trace_id/arg/depth). Loadable in chrome://tracing / Perfetto.
+  std::string chrome_trace_json() const;
+  void write_chrome_trace(const std::string& path) const;
+
+  /// Threads that ever recorded a span (each owns one ring buffer).
+  std::size_t threads_seen() const;
+  /// Events pushed out of the retained window since the last clear().
+  std::uint64_t overwritten() const;
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+ private:
+  // Exactly one collector exists (global()); its state lives in trace.cpp
+  // so recording threads can reach it without holding a handle.
+  TraceCollector() = default;
+};
+
+}  // namespace zenesis::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "zenesis/obs/trace.hpp"
+
 namespace zenesis::parallel {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -27,7 +29,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
-    queue_.push(std::move(task));
+    queue_.push(Task{std::move(task), obs::current_trace_id()});
   }
   cv_task_.notify_one();
 }
@@ -43,7 +45,7 @@ void ThreadPool::wait_idle() {
 }
 
 bool ThreadPool::try_run_one() {
-  std::function<void()> task;
+  Task task;
   {
     std::lock_guard lock(mutex_);
     if (queue_.empty()) return false;
@@ -51,7 +53,9 @@ bool ThreadPool::try_run_one() {
     queue_.pop();
     ++in_flight_;
   }
-  run_task(std::move(task));
+  // "pool.steal": the task ran on a helping (blocked-waiter) thread, not
+  // a pool worker — the span name makes work-stealing visible in traces.
+  run_task(std::move(task), "pool.steal");
   return true;
 }
 
@@ -60,10 +64,14 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
-void ThreadPool::run_task(std::function<void()> task) {
+void ThreadPool::run_task(Task task, const char* span_name) {
   std::exception_ptr error;
   try {
-    task();
+    // Reinstate the submitter's trace id for the task's duration so spans
+    // recorded inside it carry the originating request's id.
+    obs::TraceScope trace(task.trace_id);
+    obs::Span span(span_name);
+    task.fn();
   } catch (...) {
     error = std::current_exception();
   }
@@ -77,7 +85,7 @@ void ThreadPool::run_task(std::function<void()> task) {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(mutex_);
       cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -86,7 +94,7 @@ void ThreadPool::worker_loop() {
       queue_.pop();
       ++in_flight_;
     }
-    run_task(std::move(task));
+    run_task(std::move(task), "pool.run");
   }
 }
 

@@ -20,6 +20,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -43,7 +44,10 @@ class ThreadPool {
   /// Number of worker threads.
   std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Enqueues a task for asynchronous execution.
+  /// Enqueues a task for asynchronous execution. The submitter's obs
+  /// trace id travels with the task and is reinstated around its run, so
+  /// spans emitted inside pool tasks stitch to the request that spawned
+  /// them even though they execute on a different thread.
   void submit(std::function<void()> task);
 
   /// Blocks until the queue is empty and all running tasks have finished.
@@ -62,11 +66,17 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  /// Queued unit: the callable plus the obs trace id captured at submit.
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t trace_id = 0;
+  };
+
   void worker_loop();
-  void run_task(std::function<void()> task);
+  void run_task(Task task, const char* span_name);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Task> queue_;
   std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;

@@ -10,6 +10,7 @@
 #include "zenesis/core/session.hpp"
 #include "zenesis/io/tiff_stream.hpp"
 #include "zenesis/models/feature_cache.hpp"
+#include "zenesis/obs/trace.hpp"
 #include "zenesis/parallel/parallel_for.hpp"
 
 namespace zenesis::serve {
@@ -20,11 +21,26 @@ double us_between(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double, std::micro>(to - from).count();
 }
 
+core::ErrorCode error_code_for(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kQueueFull: return core::ErrorCode::kQueueFull;
+    case RejectReason::kDeadlineExpired:
+      return core::ErrorCode::kDeadlineExpired;
+    case RejectReason::kShuttingDown: return core::ErrorCode::kShuttingDown;
+    case RejectReason::kCancelled: return core::ErrorCode::kCancelled;
+    case RejectReason::kNone: break;
+  }
+  return core::ErrorCode::kNone;
+}
+
 Response rejected_response(RejectReason reason, RequestKind kind) {
   Response r;
   r.status = Response::Status::kRejected;
   r.reject = reason;
   r.kind = kind;
+  r.error.code = error_code_for(reason);
+  r.error.stage = "serve.admission";
+  r.error.message = core::to_string(r.error.code);
   return r;
 }
 
@@ -133,6 +149,12 @@ void SegmentService::fan_out(std::size_t n,
 }
 
 std::future<Response> SegmentService::submit(Request req) {
+  // One trace id per request, allocated on the submitting thread: every
+  // span this request produces — here, in the dispatcher, on fan-out
+  // workers — carries it, and the Response echoes it back to the caller.
+  const std::uint64_t trace_id = obs::new_trace_id();
+  obs::TraceScope trace(trace_id);
+  obs::Span submit_span("serve.submit");
   std::promise<Response> promise;
   std::future<Response> future = promise.get_future();
   const Clock::time_point now = Clock::now();
@@ -158,21 +180,27 @@ std::future<Response> SegmentService::submit(Request req) {
         }
       }
     }
+    const auto reject_now = [&](RejectReason reason) {
+      Response r = rejected_response(reason, req.kind);
+      r.trace_id = trace_id;
+      promise.set_value(std::move(r));
+    };
     std::lock_guard<std::mutex> sl(stats_mutex_);
     stats_.submitted += 1;
     if (stopping_) {
       stats_.rejected_shutting_down += 1;
-      promise.set_value(rejected_response(RejectReason::kShuttingDown, req.kind));
+      reject_now(RejectReason::kShuttingDown);
     } else if (req.deadline && *req.deadline <= now) {
       stats_.expired += 1;
-      promise.set_value(
-          rejected_response(RejectReason::kDeadlineExpired, req.kind));
+      reject_now(RejectReason::kDeadlineExpired);
     } else if (queue_.size() >= cfg_.queue_capacity) {
       stats_.rejected_queue_full += 1;
-      promise.set_value(rejected_response(RejectReason::kQueueFull, req.kind));
+      reject_now(RejectReason::kQueueFull);
     } else {
       stats_.admitted += 1;
-      queue_.push_back(Pending{std::move(req), std::move(promise), next_seq_++, now});
+      queue_.push_back(Pending{std::move(req), std::move(promise), next_seq_++,
+                               now, false, trace_id,
+                               obs::enabled() ? obs::now_ns() : 0});
       stats_.queue_depth_high_water =
           std::max<std::uint64_t>(stats_.queue_depth_high_water, queue_.size());
       notify = true;
@@ -305,6 +333,15 @@ void SegmentService::run_batch(std::vector<Pending> batch) {
     }
   }
   if (live.empty()) return;  // all cancelled: no batch was dispatched
+  if (obs::enabled()) {
+    // Each request's queue wait, stitched to its trace id: begun on the
+    // submit thread (obs_enqueued_ns), closed here at dispatch.
+    const std::int64_t now_ns = obs::now_ns();
+    for (const auto& p : live) {
+      obs::record_span("serve.queue", p.trace_id, p.obs_enqueued_ns, now_ns);
+    }
+  }
+  obs::Span batch_span("serve.batch", live.size());
   {
     // Batch stats cover only the live subset — cancelled requests never
     // ran, so counting them would skew the serve_* histograms.
@@ -325,21 +362,20 @@ void SegmentService::run_batch(std::vector<Pending> batch) {
     } else {
       run_single(live.front());  // non-slice kinds dispatch as singletons
     }
-  } catch (const std::exception& e) {
-    fail_unfinished(live, e.what());
   } catch (...) {
-    fail_unfinished(live, "unknown dispatcher error");
+    fail_unfinished(live,
+                    core::error_from_current_exception("serve.dispatch"));
   }
 }
 
 void SegmentService::fail_unfinished(std::vector<Pending>& batch,
-                                     const std::string& what) {
+                                     const core::Error& error) {
   for (auto& p : batch) {
     if (p.done) continue;
     Response r;
     r.kind = p.req.kind;
     r.status = Response::Status::kError;
-    r.error = "internal serve error: " + what;
+    r.error = error;
     finish(p, std::move(r), 0.0);
   }
 }
@@ -356,32 +392,34 @@ void SegmentService::run_slice_batch(std::vector<Pending>& batch) {
   // fan-out into the dispatcher thread.
   const Clock::time_point t_encode = Clock::now();
   std::vector<image::ImageF32> ready(n);
-  std::vector<std::optional<std::string>> prep_error(n);
-  fan_out(n, [&](std::size_t i) {
-    try {
-      ready[i] = pipeline_.make_ready(batch[i].req.image);
-    } catch (const std::exception& e) {
-      prep_error[i] = e.what();
-    } catch (...) {
-      prep_error[i] = "unknown error during make_ready";
+  std::vector<std::optional<core::Error>> prep_error(n);
+  {
+    obs::Span encode_span("serve.encode", n);
+    fan_out(n, [&](std::size_t i) {
+      obs::TraceScope trace(batch[i].trace_id);
+      try {
+        ready[i] = pipeline_.make_ready(batch[i].req.image);
+      } catch (...) {
+        prep_error[i] = core::error_from_current_exception("serve.readiness");
+      }
+    });
+    std::unordered_map<std::uint64_t, std::size_t> seen;
+    std::vector<std::size_t> unique_idx;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (prep_error[i]) continue;
+      if (seen.emplace(models::hash_image(ready[i]), i).second) {
+        unique_idx.push_back(i);
+      }
     }
-  });
-  std::unordered_map<std::uint64_t, std::size_t> seen;
-  std::vector<std::size_t> unique_idx;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (prep_error[i]) continue;
-    if (seen.emplace(models::hash_image(ready[i]), i).second) {
-      unique_idx.push_back(i);
-    }
+    fan_out(unique_idx.size(), [&](std::size_t j) {
+      try {
+        pipeline_.encode_cached(ready[unique_idx[j]]);
+      } catch (...) {
+        // Warm-up is best-effort: stage 2's segment_ready re-runs the
+        // encode and reports the error on the owning request.
+      }
+    });
   }
-  fan_out(unique_idx.size(), [&](std::size_t j) {
-    try {
-      pipeline_.encode_cached(ready[unique_idx[j]]);
-    } catch (...) {
-      // Warm-up is best-effort: stage 2's segment_ready re-runs the
-      // encode and reports the error on the owning request.
-    }
-  });
   {
     std::lock_guard<std::mutex> sl(stats_mutex_);
     stats_.encode_us.record(us_between(t_encode, Clock::now()));
@@ -389,6 +427,8 @@ void SegmentService::run_slice_batch(std::vector<Pending>& batch) {
 
   // Stage 2 — per-request decode, cache-hot.
   fan_out(n, [&](std::size_t i) {
+    obs::TraceScope trace(batch[i].trace_id);
+    obs::Span decode_span("serve.decode", i);
     const Clock::time_point t0 = Clock::now();
     Response r;
     r.kind = RequestKind::kSlice;
@@ -398,12 +438,9 @@ void SegmentService::run_slice_batch(std::vector<Pending>& batch) {
     } else {
       try {
         r.slice = pipeline_.segment_ready(ready[i], prompt);
-      } catch (const std::exception& e) {
-        r.status = Response::Status::kError;
-        r.error = e.what();
       } catch (...) {
         r.status = Response::Status::kError;
-        r.error = "unknown error during segment_ready";
+        r.error = core::error_from_current_exception("serve.decode");
       }
     }
     finish(batch[i], std::move(r), us_between(t0, Clock::now()));
@@ -411,6 +448,9 @@ void SegmentService::run_slice_batch(std::vector<Pending>& batch) {
 }
 
 void SegmentService::run_single(Pending& pending) {
+  obs::TraceScope trace(pending.trace_id);
+  obs::Span decode_span("serve.decode",
+                        static_cast<std::uint64_t>(pending.req.kind));
   const Clock::time_point t0 = Clock::now();
   Response r;
   r.kind = pending.req.kind;
@@ -432,32 +472,27 @@ void SegmentService::run_single(Pending& pending) {
         break;
       case RequestKind::kVolume:
         if (!pending.req.volume_path.empty()) {
-          // Streamed ingestion: parse once, decode slices on demand from
-          // the pipeline's workers. TiffError (malformed upload, limits)
-          // lands in the catch below as a kError response.
-          const io::TiffVolumeReader reader(pending.req.volume_path);
-          reader.require_uniform_geometry();
-          core::VolumeSource source;
-          source.depth = reader.pages();
-          source.slice = [&reader](std::int64_t z) {
-            return reader.read_page(z);
-          };
-          r.volume = pipeline_.segment_volume(source, pending.req.prompt);
+          // Streamed ingestion: the pipeline parses once and decodes
+          // slices on demand from its workers. TiffError (malformed
+          // upload, limits) lands in the catch below as a kError response
+          // with its kind mapped to an ErrorCode.
+          r.volume = pipeline_.segment_volume(core::VolumeRequest::from_file(
+              pending.req.volume_path, pending.req.prompt));
         } else {
-          r.volume =
-              pipeline_.segment_volume(pending.req.volume, pending.req.prompt);
+          // Borrow the queued stack — `pending` outlives the call, and
+          // copying gigabytes into the request would defeat the point of
+          // admission holding it only once.
+          r.volume = pipeline_.segment_volume(core::VolumeRequest::view(
+              pending.req.volume, pending.req.prompt));
         }
         break;
       case RequestKind::kSlice:
         r.slice = pipeline_.segment(pending.req.image, pending.req.prompt);
         break;
     }
-  } catch (const std::exception& e) {
-    r.status = Response::Status::kError;
-    r.error = e.what();
   } catch (...) {
     r.status = Response::Status::kError;
-    r.error = "unknown pipeline error";
+    r.error = core::error_from_current_exception("serve.decode");
   }
   if (encode_us > 0.0) {
     std::lock_guard<std::mutex> sl(stats_mutex_);
@@ -469,6 +504,7 @@ void SegmentService::run_single(Pending& pending) {
 void SegmentService::finish(Pending& pending, Response&& response,
                             double decode_us) {
   const Clock::time_point done = Clock::now();
+  response.trace_id = pending.trace_id;
   response.decode_us = decode_us;
   response.total_us = us_between(pending.enqueued, done);
   response.queue_us = response.total_us - decode_us;
@@ -488,6 +524,10 @@ void SegmentService::finish(Pending& pending, Response&& response,
 
 void SegmentService::finish_rejected(Pending& pending, RejectReason reason) {
   Response r = rejected_response(reason, pending.req.kind);
+  // Rejected after admission: the error surfaced from the queue, not the
+  // admission check.
+  r.error.stage = "serve.queue";
+  r.trace_id = pending.trace_id;
   r.total_us = us_between(pending.enqueued, Clock::now());
   r.queue_us = r.total_us;
   {

@@ -55,6 +55,7 @@
 #include <thread>
 #include <vector>
 
+#include "zenesis/core/error.hpp"
 #include "zenesis/core/pipeline.hpp"
 #include "zenesis/core/session.hpp"
 #include "zenesis/eval/dashboard.hpp"
@@ -164,8 +165,16 @@ struct Response {
   };
   Status status = Status::kOk;
   RejectReason reject = RejectReason::kNone;
-  std::string error;
+  /// Structured failure description (kError and kRejected): code to
+  /// branch on, the stage that detected it, the human-readable message.
+  /// `error.ok()` on successful responses.
+  core::Error error;
   RequestKind kind = RequestKind::kSlice;
+  /// The request's obs trace id, allocated at submit. Spans recorded for
+  /// this request (queue wait, encode, decode — across the submitter,
+  /// dispatcher and fan-out threads) all carry this id, so a slow
+  /// response can be looked up in the Chrome trace export directly.
+  std::uint64_t trace_id = 0;
 
   // Exactly one engaged on kOk, matching `kind` (slice for both kSlice
   // and kBox).
@@ -268,6 +277,8 @@ class SegmentService {
     std::uint64_t seq = 0;
     Clock::time_point enqueued{};
     bool done = false;  ///< promise fulfilled (guards the run_batch backstop)
+    std::uint64_t trace_id = 0;      ///< obs id allocated at submit
+    std::int64_t obs_enqueued_ns = 0;  ///< obs clock at admission (0 = off)
   };
 
   void dispatcher_loop();
@@ -283,7 +294,7 @@ class SegmentService {
   void finish_rejected(Pending& pending, RejectReason reason);
   /// Backstop: completes every not-yet-finished request with kError so no
   /// exception can leave a promise unfulfilled or escape the dispatcher.
-  void fail_unfinished(std::vector<Pending>& batch, const std::string& what);
+  void fail_unfinished(std::vector<Pending>& batch, const core::Error& error);
   parallel::ThreadPool& fanout_pool() const;
 
   ServiceConfig cfg_;

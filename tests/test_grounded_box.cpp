@@ -120,8 +120,8 @@ TEST(VolumeRefine, ReplacedSlicesStayTextGuided) {
   cfg.seed = 707;
   const auto vol = zf::generate_volume(cfg);
   const zc::ZenesisPipeline pipe;
-  const zc::VolumeResult res = pipe.segment_volume(
-      vol.volume, zf::default_prompt(zf::SampleType::kCrystalline));
+  const zc::VolumeResult res = pipe.segment_volume(zc::VolumeRequest::view(
+      vol.volume, zf::default_prompt(zf::SampleType::kCrystalline)));
   for (std::size_t i = 0; i < res.slices.size(); ++i) {
     const double iou =
         zi::mask_iou(res.slices[i].mask, vol.ground_truth[i]);

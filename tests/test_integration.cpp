@@ -31,7 +31,7 @@ ze::Dashboard run_comparison(zf::SampleType type, std::int64_t slices) {
   const std::string name = zf::sample_type_name(type);
   const char* prompt = zf::default_prompt(type);
 
-  const zc::VolumeResult zen = session.mode_b_segment_volume(vol.volume, prompt);
+  const zc::VolumeResult zen = session.mode_b_segment_volume(zc::VolumeRequest::view(vol.volume, prompt));
   for (std::int64_t z = 0; z < slices; ++z) {
     const zi::ImageF32 ready =
         session.pipeline().make_ready(zi::AnyImage(vol.volume.slice(z)));
@@ -121,8 +121,8 @@ TEST(Integration, HeuristicRefineProtectsVolumeConsistency) {
   const zc::ZenesisPipeline pipe_with(with), pipe_without(without);
   const char* prompt = zf::default_prompt(cfg.type);
   const double c_with =
-      zenesis::volume3d::slice_consistency(pipe_with.segment_volume(vol.volume, prompt).masks());
+      zenesis::volume3d::slice_consistency(pipe_with.segment_volume(zc::VolumeRequest::view(vol.volume, prompt)).masks());
   const double c_without = zenesis::volume3d::slice_consistency(
-      pipe_without.segment_volume(vol.volume, prompt).masks());
+      pipe_without.segment_volume(zc::VolumeRequest::view(vol.volume, prompt)).masks());
   EXPECT_GE(c_with, c_without - 0.05);
 }

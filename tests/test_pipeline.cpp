@@ -83,8 +83,8 @@ TEST(Pipeline, MaxBoxesCapRespected) {
 TEST(Pipeline, VolumeModeProducesPerSliceResults) {
   const auto vol = zf::generate_volume(test_config(zf::SampleType::kCrystalline));
   zc::ZenesisPipeline pipe;
-  const zc::VolumeResult r = pipe.segment_volume(
-      vol.volume, zf::default_prompt(zf::SampleType::kCrystalline));
+  const zc::VolumeResult r = pipe.segment_volume(zc::VolumeRequest::view(
+      vol.volume, zf::default_prompt(zf::SampleType::kCrystalline)));
   EXPECT_EQ(r.slices.size(), 5u);
   EXPECT_EQ(r.raw_boxes.size(), 5u);
   EXPECT_EQ(r.refined_boxes.size(), 5u);
@@ -96,8 +96,8 @@ TEST(Pipeline, HeuristicRefineCanBeDisabled) {
   cfg.enable_heuristic_refine = false;
   zc::ZenesisPipeline pipe(cfg);
   const auto vol = zf::generate_volume(test_config(zf::SampleType::kCrystalline));
-  const zc::VolumeResult r = pipe.segment_volume(
-      vol.volume, zf::default_prompt(zf::SampleType::kCrystalline));
+  const zc::VolumeResult r = pipe.segment_volume(zc::VolumeRequest::view(
+      vol.volume, zf::default_prompt(zf::SampleType::kCrystalline)));
   EXPECT_EQ(r.replaced_count, 0);
   EXPECT_EQ(r.raw_boxes, r.refined_boxes);
 }
@@ -221,7 +221,9 @@ TEST(BoxPromptOptions, SamScoreRankingIgnoresPrompt) {
   }
 }
 
-TEST(BoxPromptOptions, PromptedOptionsMatchDeprecatedStringOverload) {
+TEST(BoxPromptOptions, PromptedOptionsUseTextGuidedRanking) {
+  // The prompt-string overload removed in PR 5 routed here; the options
+  // path must keep the text's concept direction for mask selection.
   const auto s = zf::generate_slice(test_config(zf::SampleType::kCrystalline), 0);
   zc::ZenesisPipeline pipe;
   const zi::ImageF32 ready = pipe.make_ready(zi::AnyImage(s.raw));
@@ -229,12 +231,49 @@ TEST(BoxPromptOptions, PromptedOptionsMatchDeprecatedStringOverload) {
   const std::string prompt = zf::default_prompt(zf::SampleType::kCrystalline);
   const zc::SliceResult via_opts =
       pipe.segment_with_box(ready, box, zc::BoxPromptOptions{prompt, {}});
+  EXPECT_TRUE(via_opts.grounding.has_direction);
+  EXPECT_EQ(via_opts.box_masks.size(), 1u);
+}
+
+TEST(VolumeRequest, ValidateRejectsZeroOrMultipleSources) {
+  zc::VolumeRequest none;
+  EXPECT_FALSE(none.validate().empty());
+  EXPECT_THROW((void)zc::ZenesisPipeline{}.segment_volume(none),
+               std::invalid_argument);
+
+  zc::VolumeRequest both;
+  both.volume = zi::VolumeU16(4, 4, 2);
+  both.tiff_path = "whatever.tif";
+  EXPECT_FALSE(both.validate().empty());
+  EXPECT_THROW((void)zc::ZenesisPipeline{}.segment_volume(both),
+               std::invalid_argument);
+}
+
+TEST(VolumeRequest, SourceSpellingsAndDeprecatedForwardersAgree) {
+  const auto vol = zf::generate_volume(test_config(zf::SampleType::kCrystalline));
+  const std::string prompt = zf::default_prompt(zf::SampleType::kCrystalline);
+  zc::ZenesisPipeline pipe;
+  const zc::VolumeResult borrowed =
+      pipe.segment_volume(zc::VolumeRequest::view(vol.volume, prompt));
+  const zc::VolumeResult owned =
+      pipe.segment_volume(zc::VolumeRequest::in_memory(vol.volume, prompt));
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const zc::SliceResult via_string = pipe.segment_with_box(ready, box, prompt);
+  const zc::VolumeResult via_old = pipe.segment_volume(vol.volume, prompt);
 #pragma GCC diagnostic pop
-  EXPECT_TRUE(via_opts.grounding.has_direction);
-  for (std::size_t i = 0; i < via_opts.mask.pixels().size(); ++i) {
-    ASSERT_EQ(via_opts.mask.pixels()[i], via_string.mask.pixels()[i]);
+  ASSERT_EQ(borrowed.slices.size(), owned.slices.size());
+  ASSERT_EQ(borrowed.slices.size(), via_old.slices.size());
+  for (std::size_t z = 0; z < borrowed.slices.size(); ++z) {
+    const auto want = borrowed.slices[z].mask.pixels();
+    const auto got_owned = owned.slices[z].mask.pixels();
+    const auto got_old = via_old.slices[z].mask.pixels();
+    ASSERT_EQ(want.size(), got_owned.size());
+    ASSERT_EQ(want.size(), got_old.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(want[i], got_owned[i]);
+      ASSERT_EQ(want[i], got_old[i]);
+    }
   }
+  EXPECT_EQ(borrowed.refined_boxes, owned.refined_boxes);
+  EXPECT_EQ(borrowed.refined_boxes, via_old.refined_boxes);
 }

@@ -121,7 +121,8 @@ TEST(Serve, BoxMultiAndVolumeMatchBlockingPipeline) {
       zc::BoxPromptOptions{kPrompt, {}});
   const auto want_multi =
       reference.segment_multi(zi::AnyImage(s.raw), {kPrompt, "dark holder"});
-  const zc::VolumeResult want_vol = reference.segment_volume(vol.volume, kPrompt);
+  const zc::VolumeResult want_vol =
+      reference.segment_volume(zc::VolumeRequest::view(vol.volume, kPrompt));
 
   const zs::Response r_box = f_box.get();
   ASSERT_TRUE(r_box.ok());
@@ -331,7 +332,9 @@ TEST(Serve, MalformedSliceRequestFailsWithoutKillingTheBatch) {
 
   const zs::Response rb = bad.get();
   EXPECT_EQ(rb.status, zs::Response::Status::kError);
-  EXPECT_FALSE(rb.error.empty());
+  EXPECT_FALSE(rb.error.ok());
+  EXPECT_FALSE(rb.error.message.empty());
+  EXPECT_EQ(rb.error.stage, "serve.readiness");
   const zs::Response rg = good.get();
   EXPECT_TRUE(rg.ok()) << rg.error;
 

@@ -52,8 +52,8 @@ TEST(Session, ModeBBatchImages) {
 TEST(Session, ModeBVolume) {
   zc::Session session;
   const auto vol = zf::generate_volume(test_config(zf::SampleType::kCrystalline));
-  const auto r = session.mode_b_segment_volume(
-      vol.volume, zf::default_prompt(zf::SampleType::kCrystalline));
+  const auto r = session.mode_b_segment_volume(zc::VolumeRequest::view(
+      vol.volume, zf::default_prompt(zf::SampleType::kCrystalline)));
   EXPECT_EQ(r.slices.size(), 4u);
 }
 

@@ -219,11 +219,11 @@ TEST(TiffStream, StreamedSegmentVolumeMatchesInMemoryPath) {
   // In-memory reference path.
   const zi::VolumeU16 mat = zio::read_volume_tiff_u16(f.path);
   const zc::VolumeResult want =
-      session.pipeline().segment_volume(mat, kPrompt);
+      session.pipeline().segment_volume(zc::VolumeRequest::view(mat, kPrompt));
 
   // Streaming path (file -> on-demand slices -> pipeline).
-  const zc::VolumeResult got =
-      session.mode_b_segment_volume_file(f.path, kPrompt);
+  const zc::VolumeResult got = session.mode_b_segment_volume(
+      zc::VolumeRequest::from_file(f.path, kPrompt));
 
   ASSERT_EQ(got.slices.size(), want.slices.size());
   for (std::size_t z = 0; z < want.slices.size(); ++z) {
@@ -233,17 +233,19 @@ TEST(TiffStream, StreamedSegmentVolumeMatchesInMemoryPath) {
   EXPECT_EQ(got.replaced_count, want.replaced_count);
 }
 
-// The generic VolumeSource overload validates its inputs.
+// A streamed VolumeRequest validates its slice feed.
 TEST(TiffStream, VolumeSourceValidatesSliceCallback) {
   const zc::ZenesisPipeline pipeline;
   zc::VolumeSource bad;  // null slice fn
   bad.depth = 3;
-  EXPECT_THROW((void)pipeline.segment_volume(bad, kPrompt),
+  EXPECT_THROW((void)pipeline.segment_volume(
+                   zc::VolumeRequest::streamed(bad, kPrompt)),
                std::invalid_argument);
   zc::VolumeSource neg;
   neg.depth = -1;
   neg.slice = [](std::int64_t) { return zi::AnyImage(zi::ImageU16(2, 2)); };
-  EXPECT_THROW((void)pipeline.segment_volume(neg, kPrompt),
+  EXPECT_THROW((void)pipeline.segment_volume(
+                   zc::VolumeRequest::streamed(neg, kPrompt)),
                std::invalid_argument);
 }
 
@@ -258,7 +260,7 @@ TEST(TiffStream, ServeVolumeFileMatchesBlockingPath) {
 
   const zc::ZenesisPipeline reference;
   const zc::VolumeResult want = reference.segment_volume(
-      zio::read_volume_tiff_u16(f.path), kPrompt);
+      zc::VolumeRequest::in_memory(zio::read_volume_tiff_u16(f.path), kPrompt));
 
   zs::SegmentService service;
   const zs::Response r =
@@ -280,5 +282,9 @@ TEST(TiffStream, ServeVolumeFileSurfacesTiffErrorAsResponse) {
                                            kPrompt))
           .get();
   EXPECT_EQ(r.status, zs::Response::Status::kError);
-  EXPECT_NE(r.error.find("tiff:"), std::string::npos) << r.error;
+  // A missing file is an I/O failure classified by the error taxonomy —
+  // callers branch on the code, the message keeps the TiffError detail.
+  EXPECT_EQ(r.error.code, zc::ErrorCode::kIo);
+  EXPECT_EQ(r.error.stage, "serve.decode");
+  EXPECT_NE(r.error.message.find("tiff:"), std::string::npos) << r.error;
 }

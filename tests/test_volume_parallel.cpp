@@ -90,10 +90,10 @@ TEST_P(VolumeParallelSweep, MatchesSerialBaseline) {
   const fibsem::SyntheticVolume vol = small_volume();
 
   const core::ZenesisPipeline serial(config_with(1, false));
-  const core::VolumeResult base = serial.segment_volume(vol.volume, kPrompt);
+  const core::VolumeResult base = serial.segment_volume(core::VolumeRequest::view(vol.volume, kPrompt));
 
   const core::ZenesisPipeline pipe(config_with(threads, cache));
-  const core::VolumeResult got = pipe.segment_volume(vol.volume, kPrompt);
+  const core::VolumeResult got = pipe.segment_volume(core::VolumeRequest::view(vol.volume, kPrompt));
 
   expect_volume_results_equal(base, got);
 }
@@ -110,21 +110,21 @@ TEST(VolumeParallel, GlobalPoolDefaultMatchesSerialBaseline) {
   const fibsem::SyntheticVolume vol = small_volume();
   const core::ZenesisPipeline serial(config_with(1, false));
   const core::ZenesisPipeline pooled(config_with(0, true));
-  expect_volume_results_equal(serial.segment_volume(vol.volume, kPrompt),
-                              pooled.segment_volume(vol.volume, kPrompt));
+  expect_volume_results_equal(serial.segment_volume(core::VolumeRequest::view(vol.volume, kPrompt)),
+                              pooled.segment_volume(core::VolumeRequest::view(vol.volume, kPrompt)));
 }
 
 TEST(VolumeParallel, RepeatedRunHitsCache) {
   const fibsem::SyntheticVolume vol = small_volume();
   const core::ZenesisPipeline pipe(config_with(4, true));
-  const core::VolumeResult first = pipe.segment_volume(vol.volume, kPrompt);
+  const core::VolumeResult first = pipe.segment_volume(core::VolumeRequest::view(vol.volume, kPrompt));
   const models::FeatureCacheStats after_first = pipe.cache_stats();
   // DINO and SAM share a backbone config by default, so each slice costs
   // exactly one encoder run on a cold cache.
   EXPECT_EQ(after_first.misses, static_cast<std::uint64_t>(vol.depth()));
   EXPECT_GE(after_first.hits, static_cast<std::uint64_t>(vol.depth()));
 
-  const core::VolumeResult second = pipe.segment_volume(vol.volume, kPrompt);
+  const core::VolumeResult second = pipe.segment_volume(core::VolumeRequest::view(vol.volume, kPrompt));
   const models::FeatureCacheStats after_second = pipe.cache_stats();
   EXPECT_EQ(after_second.misses, after_first.misses)
       << "second pass over the same volume must be all hits";
@@ -134,7 +134,7 @@ TEST(VolumeParallel, RepeatedRunHitsCache) {
 TEST(VolumeParallel, CacheOffRecordsNoTraffic) {
   const fibsem::SyntheticVolume vol = small_volume();
   const core::ZenesisPipeline pipe(config_with(2, false));
-  (void)pipe.segment_volume(vol.volume, kPrompt);
+  (void)pipe.segment_volume(core::VolumeRequest::view(vol.volume, kPrompt));
   const models::FeatureCacheStats s = pipe.cache_stats();
   EXPECT_EQ(s.hits, 0u);
   EXPECT_EQ(s.misses, 0u);
@@ -161,7 +161,7 @@ TEST(VolumeParallel, SessionSurfacesCacheCountersInDashboard) {
   const fibsem::SyntheticVolume vol = small_volume();
   core::PipelineConfig cfg = config_with(2, true);
   core::Session session(cfg);
-  (void)session.mode_b_segment_volume(vol.volume, kPrompt);
+  (void)session.mode_b_segment_volume(core::VolumeRequest::view(vol.volume, kPrompt));
   session.publish_runtime_stats();
   const auto& stats = session.dashboard().stats();
   ASSERT_TRUE(stats.count("feature_cache_hits"));

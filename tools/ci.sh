@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
-# CI entry point: build + test the repo four times — a default
+# CI entry point: build + test the repo five times — a default
 # RelWithDebInfo build running the full tier-1 suite, a ThreadSanitizer
 # build race-checking the concurrency surface (thread pool, parallel
 # Mode-B pipelines, feature cache, segmentation service, streaming TIFF
 # reader), an AddressSanitizer(+UBSan) build memory-checking the same
-# surface plus the TIFF fuzz corpus, and a standalone UBSan build
-# replaying the fuzz corpus with recovery disabled (any UB aborts).
+# surface plus the TIFF fuzz corpus, a standalone UBSan build replaying
+# the fuzz corpus with recovery disabled (any UB aborts), and a rerun of
+# the default suite with ZENESIS_TRACE=1 so every test also exercises
+# the observability recording path (seqlock rings, trace-id stitching).
 #
 # Usage:
-#   tools/ci.sh                # default + TSAN + ASAN + UBSAN
+#   tools/ci.sh                # default + TSAN + ASAN + UBSAN + traced
 #   CI_TSAN_ALL=1 tools/ci.sh  # run the ENTIRE suite under TSAN (slow)
 #   CI_ASAN_ALL=1 tools/ci.sh  # run the ENTIRE suite under ASAN (slow)
 #   CI_JOBS=8 tools/ci.sh      # override build/test parallelism
@@ -22,14 +24,14 @@ JOBS="${CI_JOBS:-$(nproc)}"
 # when adding parallel features. CI_TSAN_ALL=1 / CI_ASAN_ALL=1 widen to
 # the full suite. test_tiff matches test_tiff, test_tiff_fuzz and
 # test_tiff_stream, so the mutation fuzzer runs under every sanitizer.
-SAN_FILTER="${CI_SAN_FILTER:-test_parallel|test_volume_parallel|test_batch_images|test_serve|test_pipeline|test_session|test_integration|test_tiff}"
+SAN_FILTER="${CI_SAN_FILTER:-test_parallel|test_volume_parallel|test_batch_images|test_serve|test_obs|test_pipeline|test_session|test_integration|test_tiff}"
 
-echo "=== [1/4] default build + full tier-1 suite ==="
+echo "=== [1/5] default build + full tier-1 suite ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [2/4] ThreadSanitizer build + concurrency suite ==="
+echo "=== [2/5] ThreadSanitizer build + concurrency suite ==="
 cmake -B build-tsan -S . -DZENESIS_SANITIZE=thread \
       -DZENESIS_BUILD_BENCH=OFF -DZENESIS_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j "$JOBS"
@@ -39,7 +41,7 @@ else
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R "$SAN_FILTER"
 fi
 
-echo "=== [3/4] AddressSanitizer build + concurrency suite ==="
+echo "=== [3/5] AddressSanitizer build + concurrency suite ==="
 cmake -B build-asan -S . -DZENESIS_SANITIZE=address \
       -DZENESIS_BUILD_BENCH=OFF -DZENESIS_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-asan -j "$JOBS"
@@ -49,10 +51,13 @@ else
   ctest --test-dir build-asan --output-on-failure -j "$JOBS" -R "$SAN_FILTER"
 fi
 
-echo "=== [4/4] UndefinedBehaviorSanitizer build + TIFF fuzz corpus ==="
+echo "=== [4/5] UndefinedBehaviorSanitizer build + TIFF fuzz corpus ==="
 cmake -B build-ubsan -S . -DZENESIS_SANITIZE=undefined \
       -DZENESIS_BUILD_BENCH=OFF -DZENESIS_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-ubsan -j "$JOBS"
 ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" -R "test_tiff"
+
+echo "=== [5/5] tracing-enabled rerun of the default suite (ZENESIS_TRACE=1) ==="
+ZENESIS_TRACE=1 ctest --test-dir build --output-on-failure -j "$JOBS"
 
 echo "CI OK"
