@@ -11,10 +11,13 @@
 #include <chrono>
 #include <cstdio>
 #include <future>
+#include <memory>
+#include <random>
 #include <thread>
 #include <vector>
 
 #include "exp_common.hpp"
+#include "zenesis/cache/sharded_lru.hpp"
 #include "zenesis/core/pipeline.hpp"
 #include "zenesis/fibsem/synth.hpp"
 #include "zenesis/io/report.hpp"
@@ -163,6 +166,10 @@ core::PipelineConfig volume_config(std::size_t threads, bool cache) {
   core::PipelineConfig cfg;
   cfg.volume_threads = threads;
   cfg.feature_cache.enabled = cache;
+  // Keep the mask cache out of the throughput baselines: with it on,
+  // every rep after the first would be a near-free memoized replay and
+  // the serial/parallel/feature-cached comparison would lose meaning.
+  cfg.mask_cache.enabled = false;
   return cfg;
 }
 
@@ -188,6 +195,78 @@ BENCHMARK(BM_VolumeSegment)
     ->Args({0, 0})   // global pool (one worker per hardware thread)
     ->Args({1, 1})
     ->Args({4, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// --- Cache-contention microbenchmark ---------------------------------
+
+using ContentionCache = cache::ShardedLruCache<std::uint64_t>;
+constexpr std::uint64_t kContentionKeySpace = 512;
+constexpr int kContentionOpsPerThread = 4000;
+
+cache::Key128 contention_key(std::uint64_t n) {
+  return cache::Key128{n, n * 0x9e3779b97f4a7c15ull + 1};
+}
+
+std::unique_ptr<ContentionCache> make_contention_cache(std::size_t shards) {
+  cache::ShardedCacheConfig cfg;
+  cfg.shards = shards;
+  cfg.capacity = 2 * kContentionKeySpace;  // gets mostly hit
+  cfg.byte_budget = std::size_t{1} << 20;
+  auto cache = std::make_unique<ContentionCache>(cfg);
+  for (std::uint64_t n = 0; n < kContentionKeySpace; ++n) {
+    (void)cache->put(contention_key(n), std::make_shared<const std::uint64_t>(n),
+                     64);
+  }
+  return cache;
+}
+
+/// One mixed pass: every thread does kContentionOpsPerThread ops, 7/8
+/// gets and 1/8 puts. Every op mutates shard state (gets touch LRU
+/// recency), so a single-shard cache serializes completely — this is the
+/// single-global-mutex baseline the sharded design is measured against.
+void contention_pass(ContentionCache& cache, std::size_t threads) {
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&cache, t] {
+      std::mt19937_64 rng(0xbe9c4 + t);
+      for (int i = 0; i < kContentionOpsPerThread; ++i) {
+        const std::uint64_t n = rng() % kContentionKeySpace;
+        if (rng() % 8 == 0) {
+          (void)cache.put(contention_key(n),
+                          std::make_shared<const std::uint64_t>(n), 64);
+        } else {
+          benchmark::DoNotOptimize(cache.get(contention_key(n)));
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+/// Lock-contention scaling. Arg 0: shard count (1 = the single-mutex
+/// baseline); arg 1: threads. Items processed = cache operations.
+void BM_CacheContention(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const auto cache = make_contention_cache(shards);
+  for (auto _ : state) {
+    contention_pass(*cache, threads);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(threads) *
+                          kContentionOpsPerThread);
+}
+BENCHMARK(BM_CacheContention)
+    ->Args({1, 1})
+    ->Args({1, 4})
+    ->Args({1, 16})
+    ->Args({1, 64})
+    ->Args({64, 1})
+    ->Args({64, 4})
+    ->Args({64, 16})
+    ->Args({64, 64})
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 void BM_ParallelForScaling(benchmark::State& state) {
@@ -399,6 +478,13 @@ void write_volume_record() {
   const double t_cached = time_volume_pass(cached, vol.volume, kReps);
   const models::FeatureCacheStats cache_stats = cached.cache_stats();
 
+  // Full memoization: default config (mask cache on), warm second pass.
+  core::PipelineConfig mask_cfg;
+  mask_cfg.volume_threads = hw;
+  const core::ZenesisPipeline memoized(mask_cfg);
+  (void)time_volume_pass(memoized, vol.volume, 1);  // cold pass fills caches
+  const double t_mask_warm = time_volume_pass(memoized, vol.volume, kReps);
+
   const double slices = static_cast<double>(vol.depth());
   io::JsonObject rec;
   rec.set("bench", "volume_mode_b");
@@ -414,6 +500,8 @@ void write_volume_record() {
   rec.set("cache_hits", static_cast<std::int64_t>(cache_stats.hits));
   rec.set("cache_misses", static_cast<std::int64_t>(cache_stats.misses));
   rec.set("cache_hit_rate", cache_stats.hit_rate());
+  rec.set("mask_warm_slices_per_sec", slices / t_mask_warm);
+  rec.set("mask_warm_speedup", t_serial / t_mask_warm);
 
   bench::ExperimentConfig out_cfg;
   const std::string out = bench::ensure_out_dir(out_cfg);
@@ -589,6 +677,58 @@ void write_obs_record() {
   std::printf("obs perf record written to %s\n", path.c_str());
 }
 
+/// Standalone single-mutex vs sharded cache-contention measurement,
+/// persisted as out/BENCH_cache.json so the lock-striping win has a
+/// tracked trajectory. For each thread count, both topologies run the
+/// identical mixed get/put workload (best of kReps); the headline
+/// `speedup_16t` is sharded ops/sec over single-shard ops/sec at 16
+/// threads. Runs regardless of --benchmark_filter.
+void write_cache_record() {
+  constexpr int kReps = 3;
+  constexpr std::size_t kShardedShards = 64;
+  const std::size_t thread_counts[] = {1, 4, 16, 64};
+
+  const auto ops_per_sec = [&](std::size_t shards, std::size_t threads) {
+    const auto cache = make_contention_cache(shards);
+    double best = 1e30;
+    for (int r = 0; r < kReps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      contention_pass(*cache, threads);
+      const std::chrono::duration<double> dt =
+          std::chrono::steady_clock::now() - t0;
+      best = std::min(best, dt.count());
+    }
+    return static_cast<double>(threads) * kContentionOpsPerThread / best;
+  };
+
+  io::JsonObject rec;
+  rec.set("bench", "cache_contention");
+  rec.set("key_space", static_cast<std::int64_t>(kContentionKeySpace));
+  rec.set("ops_per_thread", static_cast<std::int64_t>(kContentionOpsPerThread));
+  rec.set("sharded_shards", static_cast<std::int64_t>(kShardedShards));
+  rec.set("hardware_threads",
+          static_cast<std::int64_t>(
+              std::max(1u, std::thread::hardware_concurrency())));
+  double speedup_16t = 0.0;
+  for (const std::size_t threads : thread_counts) {
+    const double single = ops_per_sec(1, threads);
+    const double sharded = ops_per_sec(kShardedShards, threads);
+    const std::string suffix = std::to_string(threads) + "t";
+    rec.set("single_mutex_ops_per_sec_" + suffix, single);
+    rec.set("sharded_ops_per_sec_" + suffix, sharded);
+    rec.set("speedup_" + suffix, sharded / single);
+    if (threads == 16) speedup_16t = sharded / single;
+  }
+  rec.set("speedup_16t", speedup_16t);
+
+  bench::ExperimentConfig out_cfg;
+  const std::string out = bench::ensure_out_dir(out_cfg);
+  const std::string path = out + "/BENCH_cache.json";
+  rec.write(path);
+  std::printf("\n%s\n", rec.to_string(2).c_str());
+  std::printf("cache perf record written to %s\n", path.c_str());
+}
+
 /// Standalone TIFF decode/stream measurement over the format variants,
 /// persisted as out/BENCH_tiff.json. Runs regardless of
 /// --benchmark_filter.
@@ -651,5 +791,6 @@ int main(int argc, char** argv) {
   write_serve_record();
   write_tiff_record();
   write_obs_record();
+  write_cache_record();
   return 0;
 }

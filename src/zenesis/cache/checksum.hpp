@@ -1,0 +1,16 @@
+#pragma once
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for the disk
+// tier's record integrity checks. Table-driven, byte-at-a-time: record
+// payloads are megabyte-scale embeddings written once and read on warm
+// restarts, so simplicity beats a sliced-by-8 variant here.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace zenesis::cache {
+
+/// CRC-32 of `n` bytes, continuing from `seed` (0 for a fresh checksum).
+std::uint32_t crc32(const void* data, std::size_t n,
+                    std::uint32_t seed = 0) noexcept;
+
+}  // namespace zenesis::cache

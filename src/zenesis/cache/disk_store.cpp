@@ -1,0 +1,299 @@
+#include "zenesis/cache/disk_store.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#include "zenesis/cache/checksum.hpp"
+
+namespace zenesis::cache {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kMagic[4] = {'Z', 'F', 'C', '1'};
+
+void put_bytes(std::byte* dst, const void* src, std::size_t n) noexcept {
+  std::memcpy(dst, src, n);
+}
+
+template <typename T>
+T get_value(const std::byte* src) noexcept {
+  T v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool parse_hex16(const std::string& s, std::size_t pos, std::uint64_t* out) {
+  if (pos + 16 > s.size()) return false;
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const char c = s[pos + i];
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = v;
+  return true;
+}
+
+/// "<16 hex>-<16 hex>.zfe" → key; false for anything else.
+bool parse_record_name(const std::string& name, Key128* key) {
+  if (name.size() != 16 + 1 + 16 + std::strlen(DiskStore::kExtension)) {
+    return false;
+  }
+  if (name[16] != '-') return false;
+  if (name.substr(33) != DiskStore::kExtension) return false;
+  return parse_hex16(name, 0, &key->lo) && parse_hex16(name, 17, &key->hi);
+}
+
+bool is_temp_name(const std::string& name) {
+  return name.find(".zfe.tmp-") != std::string::npos;
+}
+
+/// Reads a whole file; false on open/read failure.
+bool read_file(const std::string& path, std::vector<std::byte>& out) noexcept {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  bool ok = std::fseek(f, 0, SEEK_END) == 0;
+  long size = ok ? std::ftell(f) : -1;
+  ok = ok && size >= 0 && std::fseek(f, 0, SEEK_SET) == 0;
+  if (ok) {
+    out.resize(static_cast<std::size_t>(size));
+    ok = out.empty() ||
+         std::fread(out.data(), 1, out.size(), f) == out.size();
+  }
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+DiskStore::DiskStore(const DiskStoreConfig& cfg) : dir_(cfg.dir) {
+  if (dir_.empty()) {
+    throw std::invalid_argument("DiskStore: empty directory path");
+  }
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_, ec)) {
+    throw std::invalid_argument("DiskStore: cannot create cache directory '" +
+                                dir_ + "'");
+  }
+  if (cfg.sweep_temps_on_open) sweep_temps();
+}
+
+std::string DiskStore::path_for(const Key128& key) const {
+  return (fs::path(dir_) / (hex16(key.lo) + "-" + hex16(key.hi) + kExtension))
+      .string();
+}
+
+DiskStore::ReadResult DiskStore::read_record(const std::string& path,
+                                             const Key128& key,
+                                             std::vector<std::byte>& payload,
+                                             std::string* problem,
+                                             std::uint32_t* version) noexcept {
+  const auto fail = [&](ReadResult r, const char* why) {
+    if (problem != nullptr) *problem = why;
+    return r;
+  };
+  std::vector<std::byte> file;
+  {
+    std::error_code ec;
+    if (!fs::exists(path, ec)) return fail(ReadResult::kMissing, "no record");
+  }
+  if (!read_file(path, file)) {
+    return fail(ReadResult::kCorrupt, "unreadable file");
+  }
+  if (file.size() < kHeaderBytes) {
+    return fail(ReadResult::kCorrupt, "truncated header");
+  }
+  if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+    return fail(ReadResult::kCorrupt, "bad magic");
+  }
+  const auto ver = get_value<std::uint32_t>(file.data() + 4);
+  if (version != nullptr) *version = ver;
+  if (ver != kFormatVersion) {
+    return fail(ReadResult::kVersionMismatch, "format version mismatch");
+  }
+  const Key128 embedded{get_value<std::uint64_t>(file.data() + 8),
+                        get_value<std::uint64_t>(file.data() + 16)};
+  if (!(embedded == key)) {
+    return fail(ReadResult::kCorrupt, "embedded key mismatch");
+  }
+  const auto payload_size = get_value<std::uint64_t>(file.data() + 24);
+  if (payload_size != file.size() - kHeaderBytes) {
+    return fail(ReadResult::kCorrupt, "payload size mismatch");
+  }
+  const auto stored_crc = get_value<std::uint32_t>(file.data() + 32);
+  const std::uint32_t actual_crc =
+      crc32(file.data() + kHeaderBytes, static_cast<std::size_t>(payload_size));
+  if (stored_crc != actual_crc) {
+    return fail(ReadResult::kCorrupt, "payload CRC mismatch");
+  }
+  payload.assign(file.begin() + static_cast<std::ptrdiff_t>(kHeaderBytes),
+                 file.end());
+  return ReadResult::kOk;
+}
+
+std::optional<std::vector<std::byte>> DiskStore::get(const Key128& key) {
+  const std::string path = path_for(key);
+  std::vector<std::byte> payload;
+  const ReadResult r = read_record(path, key, payload, nullptr, nullptr);
+  std::error_code ec;
+  switch (r) {
+    case ReadResult::kOk: {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.hits;
+      stats_.bytes_read += payload.size();
+      return payload;
+    }
+    case ReadResult::kMissing: {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    case ReadResult::kVersionMismatch:
+      // Ignore-and-rewrite: drop the stale record so the caller's next
+      // put installs the current format.
+      fs::remove(path, ec);
+      {
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.version_mismatches;
+      }
+      return std::nullopt;
+    case ReadResult::kCorrupt:
+      fs::remove(path, ec);
+      {
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.corrupt_drops;
+      }
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+bool DiskStore::put(const Key128& key, const std::vector<std::byte>& payload) {
+  const std::string path = path_for(key);
+  const std::string temp =
+      path + ".tmp-" + std::to_string(static_cast<long>(::getpid())) + "-" +
+      std::to_string(temp_seq_.fetch_add(1, std::memory_order_relaxed));
+
+  std::byte header[kHeaderBytes] = {};
+  put_bytes(header, kMagic, sizeof(kMagic));
+  const std::uint32_t version = kFormatVersion;
+  put_bytes(header + 4, &version, sizeof(version));
+  put_bytes(header + 8, &key.lo, sizeof(key.lo));
+  put_bytes(header + 16, &key.hi, sizeof(key.hi));
+  const std::uint64_t payload_size = payload.size();
+  put_bytes(header + 24, &payload_size, sizeof(payload_size));
+  const std::uint32_t crc = crc32(payload.data(), payload.size());
+  put_bytes(header + 32, &crc, sizeof(crc));
+
+  const auto fail = [&] {
+    std::error_code ec;
+    fs::remove(temp, ec);
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.write_errors;
+    return false;
+  };
+
+  std::FILE* f = std::fopen(temp.c_str(), "wb");
+  if (f == nullptr) return fail();
+  bool ok = std::fwrite(header, 1, kHeaderBytes, f) == kHeaderBytes;
+  ok = ok && (payload.empty() ||
+              std::fwrite(payload.data(), 1, payload.size(), f) ==
+                  payload.size());
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) return fail();
+
+  std::error_code ec;
+  fs::rename(temp, path, ec);  // atomic replace of any existing record
+  if (ec) return fail();
+
+  std::lock_guard lock(stats_mutex_);
+  ++stats_.writes;
+  stats_.bytes_written += kHeaderBytes + payload.size();
+  return true;
+}
+
+std::vector<DiskStore::RecordInfo> DiskStore::scan() const {
+  std::vector<RecordInfo> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (is_temp_name(name)) continue;
+    if (name.size() < std::strlen(kExtension) ||
+        name.substr(name.size() - std::strlen(kExtension)) != kExtension) {
+      continue;
+    }
+    RecordInfo info;
+    info.path = entry.path().string();
+    info.file_bytes = entry.file_size(ec);
+    if (!parse_record_name(name, &info.key)) {
+      info.problem = "malformed record filename";
+      out.push_back(std::move(info));
+      continue;
+    }
+    std::vector<std::byte> payload;
+    const ReadResult r =
+        read_record(info.path, info.key, payload, &info.problem, &info.version);
+    info.valid = r == ReadResult::kOk;
+    if (info.valid) {
+      info.payload_bytes = payload.size();
+      info.problem.clear();
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::size_t DiskStore::purge() {
+  std::size_t removed = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    const bool record =
+        name.size() >= std::strlen(kExtension) &&
+        name.substr(name.size() - std::strlen(kExtension)) == kExtension;
+    if (!record && !is_temp_name(name)) continue;
+    std::error_code rm;
+    if (fs::remove(entry.path(), rm)) ++removed;
+  }
+  return removed;
+}
+
+std::size_t DiskStore::sweep_temps() {
+  std::size_t removed = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    if (!is_temp_name(entry.path().filename().string())) continue;
+    std::error_code rm;
+    if (fs::remove(entry.path(), rm)) ++removed;
+  }
+  return removed;
+}
+
+DiskStoreStats DiskStore::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace zenesis::cache

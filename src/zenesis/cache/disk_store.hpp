@@ -1,0 +1,138 @@
+#pragma once
+// Persistent on-disk cache tier: one CRC-checked record file per key.
+//
+// The store exists so warm restarts and repeated volumes skip the
+// dominant backbone-encode cost entirely: a fresh process pointed at the
+// same directory serves every previously encoded (image, backbone-config)
+// pair from disk instead of recomputing it. Records are opaque byte
+// payloads — the feature cache serializes SamEncoded through
+// serialize.hpp; the store itself knows nothing about tensors.
+//
+// Record format (host-endian; a store is a local cache, not an archive):
+//
+//   offset  size  field
+//        0     4  magic "ZFC1"
+//        4     4  format version (kFormatVersion)
+//        8     8  key.lo   — must match the filename's key
+//       16     8  key.hi
+//       24     8  payload size in bytes
+//       32     4  CRC-32 of the payload
+//       36     4  reserved (zero)
+//       40     —  payload
+//
+// Durability/atomicity: writes go to a unique temp file in the same
+// directory and are renamed into place, so a reader concurrently opening
+// the record sees either the complete old record or the complete new one,
+// never a torn mix (POSIX rename atomicity). A crash mid-write leaves
+// only a *.tmp-* file, which open() sweeps and readers never match.
+//
+// Failure policy: every malformed record — truncated, bit-flipped
+// (CRC/magic/size mismatch), wrong embedded key — is a clean miss, never
+// a crash or a wrong payload; the offending file is deleted so the next
+// put rewrites it. A version mismatch is counted separately and likewise
+// ignored-and-rewritten. I/O errors on put are swallowed into a counter:
+// a full disk degrades the cache, not the pipeline.
+//
+// Thread safety: all methods are safe to call concurrently; per-record
+// atomicity comes from the rename protocol, counters from a mutex.
+// Multiple processes may share a directory (rename stays atomic); the
+// temp sweep only runs at open, so it cannot race in-flight writers of
+// this process.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "zenesis/cache/hash.hpp"
+
+namespace zenesis::cache {
+
+struct DiskStoreConfig {
+  /// Record directory; created (recursively) when missing.
+  std::string dir;
+  /// Stale *.tmp-* files from crashed writers are removed at open.
+  bool sweep_temps_on_open = true;
+};
+
+struct DiskStoreStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;  ///< no record on disk
+  std::uint64_t writes = 0;
+  std::uint64_t write_errors = 0;
+  std::uint64_t corrupt_drops = 0;      ///< CRC/size/magic/key failures
+  std::uint64_t version_mismatches = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+class DiskStore {
+ public:
+  static constexpr std::uint32_t kFormatVersion = 1;
+  static constexpr std::size_t kHeaderBytes = 40;
+  /// Record filename extension (".zfe" = Zenesis feature embedding).
+  static constexpr const char* kExtension = ".zfe";
+
+  /// Opens (creating if needed) the record directory. Throws
+  /// std::invalid_argument when the directory cannot be created — a cache
+  /// pointed at an unusable path should fail loudly at construction.
+  explicit DiskStore(const DiskStoreConfig& cfg);
+
+  /// The record payload for `key`, or nullopt (missing record = miss;
+  /// malformed record = corrupt drop + miss; stale version = version
+  /// mismatch + miss — both leave the slot free for a rewrite).
+  std::optional<std::vector<std::byte>> get(const Key128& key);
+
+  /// Writes (or atomically replaces) the record for `key`. Returns false
+  /// on I/O failure; the store never throws from the write path.
+  bool put(const Key128& key, const std::vector<std::byte>& payload);
+
+  /// Scan result for one on-disk record file (inspection tooling).
+  struct RecordInfo {
+    Key128 key;            ///< parsed from the filename
+    std::string path;
+    std::uint64_t file_bytes = 0;
+    std::uint64_t payload_bytes = 0;  ///< 0 when invalid
+    std::uint32_t version = 0;        ///< 0 when unreadable
+    bool valid = false;
+    std::string problem;   ///< empty when valid
+  };
+
+  /// Validates every record in the directory (magic, version, size, key,
+  /// CRC) without touching the hit/miss counters.
+  std::vector<RecordInfo> scan() const;
+
+  /// Deletes every record and temp file; returns how many files went.
+  std::size_t purge();
+
+  /// Removes stale temp files (also run at open); returns the count.
+  std::size_t sweep_temps();
+
+  /// Record path for `key` (tests corrupt records through this).
+  std::string path_for(const Key128& key) const;
+
+  DiskStoreStats stats() const;
+  const std::string& directory() const noexcept { return dir_; }
+
+  DiskStore(const DiskStore&) = delete;
+  DiskStore& operator=(const DiskStore&) = delete;
+
+ private:
+  enum class ReadResult { kOk, kMissing, kCorrupt, kVersionMismatch };
+  /// Reads and fully validates one record file. On kOk, `payload` holds
+  /// the record body. Never throws.
+  static ReadResult read_record(const std::string& path, const Key128& key,
+                                std::vector<std::byte>& payload,
+                                std::string* problem,
+                                std::uint32_t* version) noexcept;
+
+  std::string dir_;
+  std::atomic<std::uint64_t> temp_seq_{0};
+  mutable std::mutex stats_mutex_;
+  DiskStoreStats stats_;
+};
+
+}  // namespace zenesis::cache

@@ -1,0 +1,181 @@
+#include "zenesis/cache/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace zenesis::cache {
+namespace {
+
+// Sanity caps: a legitimate encoding is a few-megapixel slice and a few
+// thousand patch tokens. Anything past these bounds is damage, and
+// rejecting it before allocation keeps a bit-flipped length field from
+// requesting terabytes.
+constexpr std::int64_t kMaxDim = std::int64_t{1} << 20;
+constexpr std::int64_t kMaxElements = std::int64_t{1} << 28;
+constexpr std::size_t kMaxRank = 8;
+constexpr int kMaxChannels = 64;
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::byte>& out) : out_(out) {}
+
+  template <typename T>
+  void value(T v) {
+    const auto pos = out_.size();
+    out_.resize(pos + sizeof(v));
+    std::memcpy(out_.data() + pos, &v, sizeof(v));
+  }
+
+  void floats(const float* data, std::size_t n) {
+    const auto pos = out_.size();
+    out_.resize(pos + n * sizeof(float));
+    if (n != 0) std::memcpy(out_.data() + pos, data, n * sizeof(float));
+  }
+
+ private:
+  std::vector<std::byte>& out_;
+};
+
+class Reader {
+ public:
+  Reader(const std::byte* data, std::size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  bool value(T* out) {
+    if (size_ - pos_ < sizeof(T)) return false;
+    std::memcpy(out, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool floats(float* out, std::size_t n) {
+    if (n > (size_ - pos_) / sizeof(float)) return false;
+    if (n != 0) std::memcpy(out, data_ + pos_, n * sizeof(float));
+    pos_ += n * sizeof(float);
+    return true;
+  }
+
+  bool exhausted() const noexcept { return pos_ == size_; }
+
+ private:
+  const std::byte* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+void write_image(Writer& w, const image::ImageF32& img) {
+  w.value<std::int64_t>(img.width());
+  w.value<std::int64_t>(img.height());
+  w.value<std::int32_t>(img.channels());
+  w.floats(img.pixels().data(), img.pixels().size());
+}
+
+bool read_image(Reader& r, image::ImageF32* out) {
+  std::int64_t width = 0;
+  std::int64_t height = 0;
+  std::int32_t channels = 0;
+  if (!r.value(&width) || !r.value(&height) || !r.value(&channels)) {
+    return false;
+  }
+  if (width < 0 || width > kMaxDim || height < 0 || height > kMaxDim ||
+      channels < 1 || channels > kMaxChannels) {
+    return false;
+  }
+  if (width * height > kMaxElements / channels) return false;
+  image::ImageF32 img(width, height, channels);
+  if (!r.floats(img.pixels().data(), img.pixels().size())) return false;
+  *out = std::move(img);
+  return true;
+}
+
+void write_tensor(Writer& w, const tensor::Tensor& t) {
+  w.value<std::uint32_t>(static_cast<std::uint32_t>(t.rank()));
+  for (std::size_t i = 0; i < t.rank(); ++i) {
+    w.value<std::int64_t>(t.dim(i));
+  }
+  w.floats(t.data(), static_cast<std::size_t>(t.numel()));
+}
+
+bool read_tensor(Reader& r, tensor::Tensor* out) {
+  std::uint32_t rank = 0;
+  if (!r.value(&rank) || rank > kMaxRank) return false;
+  tensor::Shape shape(rank);
+  std::int64_t numel = 1;
+  for (auto& dim : shape) {
+    if (!r.value(&dim) || dim < 0 || dim > kMaxDim) return false;
+    if (dim != 0 && numel > kMaxElements / dim) return false;
+    numel *= dim;
+  }
+  tensor::Tensor t(shape);
+  if (!r.floats(t.data(), static_cast<std::size_t>(t.numel()))) return false;
+  *out = std::move(t);
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::byte> serialize_encoded(const models::SamEncoded& enc) {
+  std::vector<std::byte> out;
+  out.reserve(encoded_bytes(enc));
+  Writer w(out);
+  w.value<std::int64_t>(enc.maps.width);
+  w.value<std::int64_t>(enc.maps.height);
+  for (const auto& channel : enc.maps.channels) write_image(w, channel);
+  write_tensor(w, enc.enc.tokens);
+  write_tensor(w, enc.enc.raw_features);
+  write_tensor(w, enc.enc.mean_feature);
+  w.value<std::int64_t>(enc.enc.grid_h);
+  w.value<std::int64_t>(enc.enc.grid_w);
+  w.value<std::int32_t>(enc.enc.patch_size);
+  return out;
+}
+
+std::optional<models::SamEncoded> deserialize_encoded(const std::byte* data,
+                                                      std::size_t size) {
+  if (data == nullptr && size != 0) return std::nullopt;
+  Reader r(data, size);
+  models::SamEncoded enc;
+  if (!r.value(&enc.maps.width) || !r.value(&enc.maps.height)) {
+    return std::nullopt;
+  }
+  if (enc.maps.width < 0 || enc.maps.width > kMaxDim || enc.maps.height < 0 ||
+      enc.maps.height > kMaxDim) {
+    return std::nullopt;
+  }
+  for (auto& channel : enc.maps.channels) {
+    if (!read_image(r, &channel)) return std::nullopt;
+  }
+  if (!read_tensor(r, &enc.enc.tokens) ||
+      !read_tensor(r, &enc.enc.raw_features) ||
+      !read_tensor(r, &enc.enc.mean_feature)) {
+    return std::nullopt;
+  }
+  std::int32_t patch_size = 0;
+  if (!r.value(&enc.enc.grid_h) || !r.value(&enc.enc.grid_w) ||
+      !r.value(&patch_size)) {
+    return std::nullopt;
+  }
+  if (enc.enc.grid_h < 0 || enc.enc.grid_h > kMaxDim || enc.enc.grid_w < 0 ||
+      enc.enc.grid_w > kMaxDim || patch_size < 0 || patch_size > kMaxDim) {
+    return std::nullopt;
+  }
+  enc.enc.patch_size = static_cast<int>(patch_size);
+  if (!r.exhausted()) return std::nullopt;  // trailing garbage = damage
+  return enc;
+}
+
+std::size_t encoded_bytes(const models::SamEncoded& enc) noexcept {
+  std::size_t bytes = sizeof(models::SamEncoded);
+  for (const auto& channel : enc.maps.channels) {
+    bytes += channel.pixels().size() * sizeof(float);
+  }
+  bytes += static_cast<std::size_t>(enc.enc.tokens.numel()) * sizeof(float);
+  bytes +=
+      static_cast<std::size_t>(enc.enc.raw_features.numel()) * sizeof(float);
+  bytes +=
+      static_cast<std::size_t>(enc.enc.mean_feature.numel()) * sizeof(float);
+  return bytes;
+}
+
+}  // namespace zenesis::cache

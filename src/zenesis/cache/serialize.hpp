@@ -1,0 +1,40 @@
+#pragma once
+// Byte codec for models::SamEncoded — the value the disk tier persists.
+//
+// serialize_encoded is exact: floats are copied bit-for-bit, so a
+// round-trip reproduces the encoding byte-identically and cached decodes
+// stay deterministic. deserialize_encoded is a hardened parser: every
+// read is bounds-checked against the remaining buffer, every dimension is
+// sanity-capped before any allocation, and trailing garbage fails the
+// parse — arbitrary (truncated, bit-flipped, adversarial) bytes yield
+// nullopt, never a crash, over-allocation, or UB. The disk tier's CRC
+// normally rejects damage first; this parser is the second, independent
+// line of defense (and the first for the fuzz tests that bypass CRC).
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "zenesis/models/sam.hpp"
+
+namespace zenesis::cache {
+
+/// Flattens `enc` into a self-describing byte payload.
+std::vector<std::byte> serialize_encoded(const models::SamEncoded& enc);
+
+/// Parses a payload produced by serialize_encoded. Returns nullopt for
+/// any malformed input; never throws on bad bytes.
+std::optional<models::SamEncoded> deserialize_encoded(
+    const std::byte* data, std::size_t size);
+
+inline std::optional<models::SamEncoded> deserialize_encoded(
+    const std::vector<std::byte>& payload) {
+  return deserialize_encoded(payload.data(), payload.size());
+}
+
+/// Resident size of an encoding: actual pixel and tensor float bytes plus
+/// struct overhead. This is what the in-memory tier charges against its
+/// byte budget, so the budget bounds real memory, not an entry count.
+std::size_t encoded_bytes(const models::SamEncoded& enc) noexcept;
+
+}  // namespace zenesis::cache

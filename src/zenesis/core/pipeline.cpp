@@ -46,7 +46,55 @@ std::vector<std::string> PipelineConfig::validate() const {
   flag(heuristic.size_factor <= 0.0, "heuristic.size_factor must be positive");
   flag(feature_cache.enabled && feature_cache.capacity == 0,
        "feature_cache.capacity must be >= 1 when the cache is enabled");
+  flag(feature_cache.enabled && feature_cache.capacity != 0 &&
+           feature_cache.shards == 0,
+       "feature_cache.shards must be >= 1 when the cache is enabled");
+  flag(feature_cache.enabled && feature_cache.capacity != 0 &&
+           feature_cache.byte_budget == 0,
+       "feature_cache.byte_budget must be >= 1 when the cache is enabled");
+  flag(mask_cache.enabled && mask_cache.capacity == 0,
+       "mask_cache.capacity must be >= 1 when the cache is enabled");
+  flag(mask_cache.enabled && mask_cache.capacity != 0 && mask_cache.shards == 0,
+       "mask_cache.shards must be >= 1 when the cache is enabled");
+  flag(mask_cache.enabled && mask_cache.capacity != 0 &&
+           mask_cache.byte_budget == 0,
+       "mask_cache.byte_budget must be >= 1 when the cache is enabled");
   return issues;
+}
+
+std::uint64_t decode_config_fingerprint(const PipelineConfig& cfg) {
+  std::uint64_t h = cache::kFnvOffset;
+  h = cache::fnv1a_value(h, cache::hash_backbone_config(cfg.grounding.backbone));
+  h = cache::fnv1a_value(h, cfg.grounding.box_threshold);
+  h = cache::fnv1a_value(h, cfg.grounding.text_threshold);
+  h = cache::fnv1a_value(h, cfg.grounding.min_patches);
+  h = cache::fnv1a_value(h, cfg.grounding.pad_fraction);
+  h = cache::fnv1a_value(h, cache::hash_backbone_config(cfg.sam.backbone));
+  h = cache::fnv1a_value(h, cfg.sam.grow_tolerance);
+  h = cache::fnv1a_value(h, cfg.sam.grow_tolerance_cap);
+  h = cache::fnv1a_value(h, cfg.sam.min_contrast_cut);
+  h = cache::fnv1a_value(h, cfg.sam.stability_delta);
+  h = cache::fnv1a_value(h, cfg.sam.morph_radius);
+  h = cache::fnv1a_value(h, cfg.sam.min_component_area);
+  h = cache::fnv1a_value(h, cfg.sam.coarse_veto_weight);
+  h = cache::fnv1a_value(h, cfg.heuristic.window);
+  h = cache::fnv1a_value(h, cfg.heuristic.size_factor);
+  h = cache::fnv1a_value(h, cfg.heuristic.replace_missing);
+  h = cache::fnv1a_value(h, cfg.max_boxes);
+  h = cache::fnv1a_value(h, cfg.enable_heuristic_refine);
+  return h;
+}
+
+std::size_t slice_result_bytes(const SliceResult& res) noexcept {
+  std::size_t bytes = sizeof(SliceResult);
+  bytes += res.ai_ready.pixels().size() * sizeof(float);
+  bytes += res.mask.pixels().size();
+  bytes += res.grounding.relevance.pixels().size() * sizeof(float);
+  bytes += res.grounding.boxes.size() * sizeof(image::ScoredBox);
+  for (const auto& bm : res.box_masks) {
+    bytes += sizeof(bm) + bm.mask.pixels().size();
+  }
+  return bytes;
 }
 
 namespace {
@@ -62,6 +110,41 @@ PipelineConfig checked(const PipelineConfig& cfg) {
   return cfg;
 }
 
+/// Mask-cache key for a text-grounded slice request. The image hash is
+/// one half; the other folds a call-shape tag, the decode fingerprint,
+/// and the prompt, so the two request kinds can never alias.
+cache::Key128 slice_request_key(const image::ImageF32& ready,
+                                const std::string& prompt,
+                                std::uint64_t fingerprint) {
+  std::uint64_t h = cache::kFnvOffset;
+  h = cache::fnv1a_value(h, std::uint32_t{1});  // call-shape tag
+  h = cache::fnv1a_value(h, fingerprint);
+  h = cache::fnv1a_value(h, prompt.size());
+  h = cache::fnv1a_bytes(h, prompt.data(), prompt.size());
+  return {models::hash_image(ready), h};
+}
+
+/// Mask-cache key for an explicit-box request (tag 2 + box + options).
+cache::Key128 box_request_key(const image::ImageF32& ready,
+                              const image::Box& box,
+                              const BoxPromptOptions& opts,
+                              std::uint64_t fingerprint) {
+  std::uint64_t h = cache::kFnvOffset;
+  h = cache::fnv1a_value(h, std::uint32_t{2});  // call-shape tag
+  h = cache::fnv1a_value(h, fingerprint);
+  h = cache::fnv1a_value(h, box.x);
+  h = cache::fnv1a_value(h, box.y);
+  h = cache::fnv1a_value(h, box.w);
+  h = cache::fnv1a_value(h, box.h);
+  h = cache::fnv1a_value(h, static_cast<int>(opts.ranking));
+  h = cache::fnv1a_value(h, opts.prompt.has_value());
+  if (opts.prompt) {
+    h = cache::fnv1a_value(h, opts.prompt->size());
+    h = cache::fnv1a_bytes(h, opts.prompt->data(), opts.prompt->size());
+  }
+  return {models::hash_image(ready), h};
+}
+
 }  // namespace
 
 ZenesisPipeline::ZenesisPipeline(const PipelineConfig& cfg)
@@ -69,6 +152,9 @@ ZenesisPipeline::ZenesisPipeline(const PipelineConfig& cfg)
       dino_(cfg.grounding),
       sam_(cfg.sam),
       cache_(std::make_unique<models::FeatureCache>(cfg.feature_cache)),
+      mask_cache_(std::make_unique<cache::ShardedLruCache<SliceResult>>(
+          cfg.mask_cache)),
+      decode_fingerprint_(decode_config_fingerprint(cfg_)),
       pool_(cfg.volume_threads > 1
                 ? std::make_unique<parallel::ThreadPool>(cfg.volume_threads)
                 : nullptr) {}
@@ -106,12 +192,28 @@ SliceResult ZenesisPipeline::segment(const image::AnyImage& raw,
 
 SliceResult ZenesisPipeline::segment_ready(const image::ImageF32& ready,
                                            const std::string& prompt) const {
+  const bool memoize =
+      cfg_.mask_cache.enabled && cfg_.mask_cache.capacity != 0;
+  cache::Key128 key;
+  if (memoize) {
+    key = slice_request_key(ready, prompt, decode_fingerprint_);
+    obs::Span span("cache.mask_lookup", 0);
+    if (const auto hit = mask_cache_->get(key)) {
+      span.set_arg(1);
+      return *hit;
+    }
+  }
   const auto enc = cache_->encode(ready, dino_.backbone());
   models::GroundingResult g = [&] {
     obs::Span span("dino.detect");
     return dino_.detect(enc->maps, enc->enc, prompt);
   }();
-  return assemble(ready, std::move(g));
+  SliceResult res = assemble(ready, std::move(g));
+  if (memoize) {
+    mask_cache_->put(key, std::make_shared<const SliceResult>(res),
+                     slice_result_bytes(res));
+  }
+  return res;
 }
 
 SliceResult ZenesisPipeline::segment_with_box(const image::ImageF32& ready,
@@ -123,12 +225,30 @@ SliceResult ZenesisPipeline::segment_with_box(const image::ImageF32& ready,
   // forcing SAM ranking reproduces that path bit-exactly).
   const bool text_ranked = opts.prompt.has_value() &&
                            opts.ranking != BoxPromptOptions::Ranking::kSamScore;
-  if (text_ranked) {
-    return assemble(ready, dino_.ground_box(box, *opts.prompt));
+  const bool memoize =
+      cfg_.mask_cache.enabled && cfg_.mask_cache.capacity != 0;
+  cache::Key128 key;
+  if (memoize) {
+    key = box_request_key(ready, box, opts, decode_fingerprint_);
+    obs::Span span("cache.mask_lookup", 0);
+    if (const auto hit = mask_cache_->get(key)) {
+      span.set_arg(1);
+      return *hit;
+    }
   }
-  models::GroundingResult g;
-  g.boxes.push_back({box, 1.0});
-  return assemble(ready, std::move(g));
+  SliceResult res = [&] {
+    if (text_ranked) {
+      return assemble(ready, dino_.ground_box(box, *opts.prompt));
+    }
+    models::GroundingResult g;
+    g.boxes.push_back({box, 1.0});
+    return assemble(ready, std::move(g));
+  }();
+  if (memoize) {
+    mask_cache_->put(key, std::make_shared<const SliceResult>(res),
+                     slice_result_bytes(res));
+  }
+  return res;
 }
 
 namespace {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "zenesis/cache/sharded_lru.hpp"
 #include "zenesis/image/geometry.hpp"
 #include "zenesis/image/image.hpp"
 #include "zenesis/image/normalize.hpp"
@@ -39,8 +40,15 @@ struct PipelineConfig {
   /// thread); 1 = serial; N > 1 = a dedicated pool of N workers owned by
   /// the pipeline. Results are byte-identical for every setting.
   std::size_t volume_threads = 0;
-  /// Backbone feature/encoder memoization (off switch + LRU sizing).
+  /// Backbone feature/encoder memoization (off switch + LRU sizing +
+  /// optional persistent tier via `disk_path`).
   models::FeatureCacheConfig feature_cache;
+  /// Mask-result memoization in front of the decode stage: a repeated
+  /// (image, prompt, options) request under an unchanged decode
+  /// configuration reuses the finished SliceResult instead of re-running
+  /// grounding + SAM. Keys fold in decode_config_fingerprint(), so any
+  /// knob change is a clean miss.
+  cache::ShardedCacheConfig mask_cache;
 
   /// Sanity-checks every knob and returns one human-readable message per
   /// violation (empty = valid). `ZenesisPipeline`'s constructor calls this
@@ -49,6 +57,14 @@ struct PipelineConfig {
   /// silently misbehaving mid-run.
   std::vector<std::string> validate() const;
 };
+
+/// Content hash of every PipelineConfig knob that can change what the
+/// decode stage produces for a given image: grounding + SAM configs
+/// (backbones included), heuristic window, max_boxes, and the refine
+/// switch. The mask-result cache folds this into every key, so ANY
+/// decode-relevant knob change invalidates cached masks while
+/// decode-irrelevant state (thread counts, cache sizing) does not.
+std::uint64_t decode_config_fingerprint(const PipelineConfig& cfg);
 
 /// Options for explicit-box segmentation (`segment_with_box`). Replaces
 /// the old prompt-string overload: one struct names both knobs instead of
@@ -78,6 +94,10 @@ struct SliceResult {
   image::Box primary_box;                         ///< top detection
   double confidence = 0.0;                        ///< top detection score
 };
+
+/// Resident size of a SliceResult (pixel buffers + masks + boxes) — what
+/// the mask-result cache charges against its byte budget.
+std::size_t slice_result_bytes(const SliceResult& res) noexcept;
 
 /// On-demand slice feed for streaming Mode B: `slice(z)` produces slice z
 /// as raw instrument data and must be safe to call concurrently (the
@@ -151,6 +171,11 @@ class ZenesisPipeline {
   /// Feature-cache hit/miss/eviction counters (all zero when the cache is
   /// disabled — a disabled cache never records traffic).
   models::FeatureCacheStats cache_stats() const { return cache_->stats(); }
+
+  /// Mask-result cache counters (same disabled-means-silent contract).
+  cache::LruCacheStats mask_cache_stats() const {
+    return mask_cache_->stats();
+  }
 
   /// Cached (or freshly computed, when caching is off) encoder output for
   /// `ready` under the SAM backbone. Interactive flows that prompt the
@@ -246,6 +271,10 @@ class ZenesisPipeline {
   /// Internally synchronized; safe to use from const methods and from
   /// concurrent slice tasks.
   std::unique_ptr<models::FeatureCache> cache_;
+  /// Finished SliceResults keyed by (image hash, request hash); the
+  /// request hash folds in decode_fingerprint_. Internally synchronized.
+  std::unique_ptr<cache::ShardedLruCache<SliceResult>> mask_cache_;
+  std::uint64_t decode_fingerprint_ = 0;
   std::unique_ptr<parallel::ThreadPool> pool_;  ///< only when volume_threads > 1
 };
 

@@ -70,6 +70,24 @@ void Session::publish_runtime_stats() {
   dashboard_.set_stat("feature_cache_misses", static_cast<double>(s.misses));
   dashboard_.set_stat("feature_cache_evictions", static_cast<double>(s.evictions));
   dashboard_.set_stat("feature_cache_hit_rate", s.hit_rate());
+  dashboard_.set_stat("feature_cache_resident_bytes",
+                      static_cast<double>(s.resident_bytes));
+  dashboard_.set_stat("feature_cache_evicted_bytes",
+                      static_cast<double>(s.evicted_bytes));
+  dashboard_.set_stat("feature_cache_disk_hits",
+                      static_cast<double>(s.disk_hits));
+  dashboard_.set_stat("feature_cache_disk_writes",
+                      static_cast<double>(s.disk_writes));
+  dashboard_.set_stat("feature_cache_disk_errors",
+                      static_cast<double>(s.disk_errors));
+  const cache::LruCacheStats m = pipeline_.mask_cache_stats();
+  dashboard_.set_stat("mask_cache_hits", static_cast<double>(m.hits));
+  dashboard_.set_stat("mask_cache_misses", static_cast<double>(m.misses));
+  dashboard_.set_stat("mask_cache_evictions",
+                      static_cast<double>(m.evictions));
+  dashboard_.set_stat("mask_cache_hit_rate", m.hit_rate());
+  dashboard_.set_stat("mask_cache_resident_bytes",
+                      static_cast<double>(m.resident_bytes));
   if (obs::enabled()) {
     // Per-stage timings over the collector's retained window (the last
     // ~4096 spans per thread), keyed trace_<stage>_* — Mode C's answer to

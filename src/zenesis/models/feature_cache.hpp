@@ -1,101 +1,18 @@
 #pragma once
-// Backbone feature cache — the surrogate of SAM's "embed once, prompt
-// many" usage pattern, generalized across the whole model stack.
-//
-// Grounding-DINO + SAM pipelines are dominated by redundant image-encoder
-// work: the Zenesis pipeline encodes every slice once for the grounding
-// stage and once for the mask stage, the temporal heuristic re-segments
-// corrected slices, hierarchical "Further Segment" re-runs the encoders on
-// sub-ROIs, and multi-prompt Mode A encodes the same image once per
-// prompt. All of those recomputations are memoized here.
-//
-// Keying: entries are keyed by (content hash of the AI-ready image,
-// content hash of the backbone configuration). Because backbone weights
-// are derived procedurally from their config, two backbones with equal
-// configs produce bit-identical encodings — so the default pipeline, whose
-// DINO and SAM backbones share a config, shares one entry per slice
-// between both stages. Feature maps use a fixed smoothing sigma, which is
-// folded into the image hash domain.
-//
-// Invalidation: the cache is LRU-bounded (`capacity` entries); there is no
-// time-based invalidation because encodings are pure functions of the key.
-// `clear()` drops all entries and keeps the counters.
-//
-// Determinism: a hit returns the exact object a miss would have computed,
-// so results are byte-identical with the cache on, off, or shared across
-// any number of threads. All methods are thread-safe; concurrent misses
-// of the same key may compute the (identical) value twice, and the last
-// insert wins.
+// Compatibility shim: the feature cache moved to zenesis::cache (see
+// zenesis/cache/feature_cache.hpp for the sharded, byte-budgeted,
+// disk-tiered implementation). Existing call sites keep the old
+// models::FeatureCache spelling through these aliases; new code should
+// include the cache header directly.
 
-#include <cstdint>
-#include <list>
-#include <memory>
-#include <mutex>
-#include <unordered_map>
-
-#include "zenesis/models/sam.hpp"
+#include "zenesis/cache/feature_cache.hpp"
 
 namespace zenesis::models {
 
-struct FeatureCacheConfig {
-  /// Off switch: when false, every lookup computes a fresh encoding and
-  /// the map and counters are never touched.
-  bool enabled = true;
-  /// Maximum resident entries; least-recently-used entries are evicted.
-  std::size_t capacity = 64;
-};
-
-struct FeatureCacheStats {
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t evictions = 0;
-
-  double hit_rate() const noexcept {
-    const std::uint64_t total = hits + misses;
-    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
-  }
-};
-
-/// Content hash (FNV-1a) of an image's pixels and geometry.
-std::uint64_t hash_image(const image::ImageF32& img);
-
-/// Content hash of every field that determines a backbone's weights.
-std::uint64_t hash_backbone_config(const BackboneConfig& cfg);
-
-class FeatureCache {
- public:
-  explicit FeatureCache(const FeatureCacheConfig& cfg = {});
-
-  /// Feature maps + encoder tokens for `img` under `backbone`'s
-  /// configuration; computed and inserted on miss, shared on hit.
-  std::shared_ptr<const SamEncoded> encode(const image::ImageF32& img,
-                                           const VisionBackbone& backbone);
-
-  FeatureCacheStats stats() const;
-  void clear();
-  const FeatureCacheConfig& config() const noexcept { return cfg_; }
-
- private:
-  struct Key {
-    std::uint64_t image_hash = 0;
-    std::uint64_t config_hash = 0;
-    bool operator==(const Key&) const = default;
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const noexcept {
-      return static_cast<std::size_t>(k.image_hash ^ (k.config_hash * 0x9e3779b97f4a7c15ull));
-    }
-  };
-  struct Entry {
-    std::shared_ptr<const SamEncoded> value;
-    std::list<Key>::iterator lru_pos;
-  };
-
-  FeatureCacheConfig cfg_;
-  mutable std::mutex mutex_;
-  std::unordered_map<Key, Entry, KeyHash> map_;
-  std::list<Key> lru_;  ///< front = most recently used
-  FeatureCacheStats stats_;
-};
+using FeatureCacheConfig = cache::FeatureCacheConfig;
+using FeatureCacheStats = cache::FeatureCacheStats;
+using FeatureCache = cache::FeatureCache;
+using cache::hash_backbone_config;
+using cache::hash_image;
 
 }  // namespace zenesis::models

@@ -578,6 +578,14 @@ void SegmentService::publish_stats(eval::Dashboard& dashboard) const {
   set_hist("serve_encode_us", s.encode_us);
   set_hist("serve_decode_us", s.decode_us);
   set_hist("serve_total_us", s.total_us);
+  // Cache effectiveness as seen from the serving layer: how much of the
+  // batch work the two cache tiers absorbed.
+  const models::FeatureCacheStats fc = pipeline_.cache_stats();
+  dashboard.set_stat("serve_feature_cache_hit_rate", fc.hit_rate());
+  set_u64("serve_feature_cache_disk_hits", fc.disk_hits);
+  const cache::LruCacheStats mc = pipeline_.mask_cache_stats();
+  dashboard.set_stat("serve_mask_cache_hit_rate", mc.hit_rate());
+  set_u64("serve_mask_cache_hits", mc.hits);
 }
 
 void SegmentService::attach_to(core::Session& session) {

@@ -23,8 +23,11 @@ JOBS="${CI_JOBS:-$(nproc)}"
 # Tests exercising the concurrency and hardened-ingestion paths; extend
 # when adding parallel features. CI_TSAN_ALL=1 / CI_ASAN_ALL=1 widen to
 # the full suite. test_tiff matches test_tiff, test_tiff_fuzz and
-# test_tiff_stream, so the mutation fuzzer runs under every sanitizer.
-SAN_FILTER="${CI_SAN_FILTER:-test_parallel|test_volume_parallel|test_batch_images|test_serve|test_obs|test_pipeline|test_session|test_integration|test_tiff}"
+# test_tiff_stream, so the mutation fuzzer runs under every sanitizer;
+# test_cache matches test_cache, test_cache_disk and test_cache_stress,
+# so the sharded-LRU contention stress and disk-tier corruption suite
+# run under every sanitizer too.
+SAN_FILTER="${CI_SAN_FILTER:-test_parallel|test_volume_parallel|test_batch_images|test_serve|test_obs|test_pipeline|test_session|test_integration|test_tiff|test_cache}"
 
 echo "=== [1/5] default build + full tier-1 suite ==="
 cmake -B build -S . >/dev/null
@@ -51,11 +54,11 @@ else
   ctest --test-dir build-asan --output-on-failure -j "$JOBS" -R "$SAN_FILTER"
 fi
 
-echo "=== [4/5] UndefinedBehaviorSanitizer build + TIFF fuzz corpus ==="
+echo "=== [4/5] UndefinedBehaviorSanitizer build + fuzz/corruption corpora ==="
 cmake -B build-ubsan -S . -DZENESIS_SANITIZE=undefined \
       -DZENESIS_BUILD_BENCH=OFF -DZENESIS_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-ubsan -j "$JOBS"
-ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" -R "test_tiff"
+ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" -R "test_tiff|test_cache"
 
 echo "=== [5/5] tracing-enabled rerun of the default suite (ZENESIS_TRACE=1) ==="
 ZENESIS_TRACE=1 ctest --test-dir build --output-on-failure -j "$JOBS"

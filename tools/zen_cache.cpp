@@ -1,0 +1,120 @@
+// zen_cache — inspect and maintain a Zenesis on-disk embedding store.
+//
+// The persistent feature-cache tier (ZENESIS cache hierarchy L2) keeps
+// one CRC-checked .zfe record per (image, backbone-config) key. This tool
+// answers the operational questions: what is in a cache directory, is it
+// healthy, how big is it, and how do I empty it — without touching the
+// hit/miss counters of any running pipeline.
+//
+//   zen_cache stats  <dir>   totals: records, bytes, valid/invalid split
+//   zen_cache list   <dir>   one line per record (key, bytes, status)
+//   zen_cache verify <dir>   full validation; exit 1 if any record is bad
+//   zen_cache sweep  <dir>   remove orphaned temp files from crashed writers
+//   zen_cache purge  <dir>   delete every record and temp file
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "zenesis/cache/disk_store.hpp"
+
+namespace {
+
+using zenesis::cache::DiskStore;
+using zenesis::cache::DiskStoreConfig;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: zen_cache <stats|list|verify|sweep|purge> <dir>\n");
+  return 2;
+}
+
+DiskStore open_store(const std::string& dir, bool sweep) {
+  DiskStoreConfig cfg;
+  cfg.dir = dir;
+  cfg.sweep_temps_on_open = sweep;
+  return DiskStore(cfg);
+}
+
+struct ScanTotals {
+  std::size_t records = 0;
+  std::size_t valid = 0;
+  std::uint64_t file_bytes = 0;
+  std::uint64_t payload_bytes = 0;
+};
+
+ScanTotals totals_of(const std::vector<DiskStore::RecordInfo>& records) {
+  ScanTotals t;
+  for (const auto& r : records) {
+    ++t.records;
+    t.file_bytes += r.file_bytes;
+    if (r.valid) {
+      ++t.valid;
+      t.payload_bytes += r.payload_bytes;
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) return usage();
+  const std::string cmd = argv[1];
+  const std::string dir = argv[2];
+
+  try {
+    if (cmd == "stats") {
+      const DiskStore store = open_store(dir, /*sweep=*/false);
+      const ScanTotals t = totals_of(store.scan());
+      std::printf("directory      %s\n", store.directory().c_str());
+      std::printf("records        %zu\n", t.records);
+      std::printf("valid          %zu\n", t.valid);
+      std::printf("invalid        %zu\n", t.records - t.valid);
+      std::printf("file bytes     %" PRIu64 "\n", t.file_bytes);
+      std::printf("payload bytes  %" PRIu64 "\n", t.payload_bytes);
+      return 0;
+    }
+    if (cmd == "list" || cmd == "verify") {
+      const DiskStore store = open_store(dir, /*sweep=*/false);
+      const auto records = store.scan();
+      std::size_t bad = 0;
+      for (const auto& r : records) {
+        if (r.valid) {
+          if (cmd == "list") {
+            std::printf("%016" PRIx64 "-%016" PRIx64 "  %10" PRIu64
+                        " B  v%u  ok\n",
+                        r.key.lo, r.key.hi, r.payload_bytes, r.version);
+          }
+        } else {
+          ++bad;
+          std::printf("%016" PRIx64 "-%016" PRIx64 "  %10" PRIu64
+                      " B  v%u  BAD: %s\n",
+                      r.key.lo, r.key.hi, r.file_bytes, r.version,
+                      r.problem.c_str());
+        }
+      }
+      if (cmd == "verify") {
+        std::printf("%zu records, %zu bad\n", records.size(), bad);
+        return bad == 0 ? 0 : 1;
+      }
+      return 0;
+    }
+    if (cmd == "sweep") {
+      DiskStore store = open_store(dir, /*sweep=*/false);
+      std::printf("removed %zu temp file(s)\n", store.sweep_temps());
+      return 0;
+    }
+    if (cmd == "purge") {
+      DiskStore store = open_store(dir, /*sweep=*/false);
+      std::printf("removed %zu file(s)\n", store.purge());
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "zen_cache: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
