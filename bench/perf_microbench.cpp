@@ -11,8 +11,10 @@
 #include <chrono>
 #include <cstdio>
 #include <future>
+#include <map>
 #include <memory>
 #include <random>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -28,6 +30,7 @@
 #include "zenesis/parallel/parallel_for.hpp"
 #include "zenesis/serve/service.hpp"
 #include "zenesis/tensor/init.hpp"
+#include "zenesis/tensor/kernels.hpp"
 #include "zenesis/tensor/ops.hpp"
 
 namespace {
@@ -65,6 +68,76 @@ void BM_Attention(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Attention)->Arg(256)->Arg(1024);
+
+/// RAII guard: forces a kernel backend for one benchmark, restores the
+/// previous selection on scope exit.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(const std::string& name)
+      : prev_(tensor::backend_name()) {
+    tensor::set_backend(name);
+  }
+  ~ScopedBackend() { tensor::set_backend(prev_); }
+
+ private:
+  std::string prev_;
+};
+
+/// GEMM throughput per kernel backend. Registered dynamically (one
+/// instance per available backend) in main; items processed = FLOPs so
+/// the reported rate reads directly as FLOP/s.
+void BM_Gemm(benchmark::State& state, const std::string& backend,
+             const std::string& op) {
+  const ScopedBackend scoped(backend);
+  const auto n = state.range(0);
+  const tensor::Tensor a = tensor::xavier_uniform(n, n, 1, 1);
+  const tensor::Tensor b = tensor::xavier_uniform(n, n, 1, 2);
+  const tensor::Tensor bias = tensor::zeros(n);
+  for (auto _ : state) {
+    if (op == "matmul") {
+      benchmark::DoNotOptimize(tensor::matmul(a, b));
+    } else if (op == "matmul_nt") {
+      benchmark::DoNotOptimize(tensor::matmul_nt(a, b));
+    } else {
+      benchmark::DoNotOptimize(tensor::linear(a, b, bias));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+
+/// Attention per kernel backend (scores GEMM + softmax + value GEMM).
+void BM_AttentionBackend(benchmark::State& state, const std::string& backend) {
+  const ScopedBackend scoped(backend);
+  const auto l = state.range(0);
+  const tensor::Tensor q = tensor::xavier_uniform(l, 64, 2, 1);
+  const tensor::Tensor k = tensor::xavier_uniform(l, 64, 2, 2);
+  const tensor::Tensor v = tensor::xavier_uniform(l, 64, 2, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::attention(q, k, v));
+  }
+}
+
+/// One BM_Gemm + BM_AttentionBackend family per available backend; the
+/// backend is part of the benchmark name so --benchmark_filter=avx2
+/// works.
+void register_kernel_benchmarks() {
+  for (const auto& backend : tensor::available_backends()) {
+    for (const char* op : {"matmul", "matmul_nt", "linear"}) {
+      benchmark::RegisterBenchmark(
+          ("BM_Gemm/" + backend + "/" + op).c_str(),
+          [backend, op = std::string(op)](benchmark::State& s) {
+            BM_Gemm(s, backend, op);
+          })
+          ->Arg(256)
+          ->Arg(512);
+    }
+    benchmark::RegisterBenchmark(
+        ("BM_Attention/" + backend).c_str(),
+        [backend](benchmark::State& s) { BM_AttentionBackend(s, backend); })
+        ->Arg(256)
+        ->Arg(1024);
+  }
+}
 
 void BM_Softmax(benchmark::State& state) {
   tensor::Tensor a = tensor::xavier_uniform(1024, 1024, 3, 1);
@@ -562,9 +635,11 @@ void write_serve_record() {
   rec.set("serve_speedup", t_serial / t_serve);
   rec.set("mean_batch_size", stats.batch_size.mean());
   rec.set("queue_us_p95", stats.queue_us.percentile(95.0));
+  rec.set("decode_us_mean", stats.decode_us.mean());
   rec.set("decode_us_p95", stats.decode_us.percentile(95.0));
   rec.set("total_us_p95", stats.total_us.percentile(95.0));
   rec.set("cache_hit_rate", service.pipeline().cache_stats().hit_rate());
+  rec.set("kernel_backend", stats.kernel_backend);
 
   bench::ExperimentConfig out_cfg;
   const std::string out = bench::ensure_out_dir(out_cfg);
@@ -780,13 +855,100 @@ void write_tiff_record() {
   std::printf("tiff perf record written to %s\n", path.c_str());
 }
 
+/// Standalone per-backend GEMM measurement, persisted as
+/// out/BENCH_gemm.json: GFLOP/s for matmul / matmul_nt / linear at 256,
+/// 512 and 1024 under every available backend, plus the speedup of each
+/// fast backend over the scalar reference (the acceptance headline).
+/// Runs regardless of --benchmark_filter.
+void write_gemm_record() {
+  const std::vector<std::int64_t> sizes = {256, 512, 1024};
+  const std::vector<std::string> ops = {"matmul", "matmul_nt", "linear"};
+  constexpr int kReps = 2;
+
+  const auto gflops = [&](const std::string& op, std::int64_t n) {
+    const tensor::Tensor a = tensor::xavier_uniform(n, n, 1, 1);
+    const tensor::Tensor b = tensor::xavier_uniform(n, n, 1, 2);
+    const tensor::Tensor bias = tensor::zeros(n);
+    const auto run = [&] {
+      if (op == "matmul") {
+        benchmark::DoNotOptimize(tensor::matmul(a, b));
+      } else if (op == "matmul_nt") {
+        benchmark::DoNotOptimize(tensor::matmul_nt(a, b));
+      } else {
+        benchmark::DoNotOptimize(tensor::linear(a, b, bias));
+      }
+    };
+    run();  // warm-up
+    double best = 1e30;
+    for (int r = 0; r < kReps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      run();
+      const std::chrono::duration<double> dt =
+          std::chrono::steady_clock::now() - t0;
+      best = std::min(best, dt.count());
+    }
+    return 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+           static_cast<double>(n) / best / 1e9;
+  };
+
+  const std::string active = tensor::backend_name();
+  io::JsonObject rec;
+  rec.set("bench", "gemm_kernels");
+  rec.set("cpu_features", tensor::cpu_feature_string());
+  rec.set("hardware_threads",
+          static_cast<std::int64_t>(
+              std::max(1u, std::thread::hardware_concurrency())));
+  rec.set("default_backend", active);
+
+  std::map<std::string, double> results;  // "<backend>_<op>_<n>" → GFLOP/s
+  std::string backends_csv;
+  for (const auto& backend : tensor::available_backends()) {
+    if (!tensor::set_backend(backend)) continue;
+    if (!backends_csv.empty()) backends_csv += ",";
+    backends_csv += backend;
+    for (const auto& op : ops) {
+      for (const std::int64_t n : sizes) {
+        const std::string key =
+            backend + "_" + op + "_" + std::to_string(n);
+        const double g = gflops(op, n);
+        results[key] = g;
+        rec.set(key + "_gflops", g);
+      }
+    }
+  }
+  tensor::set_backend(active);
+  rec.set("backends", backends_csv);
+
+  // Acceptance headline: fast-backend speedup over the scalar reference.
+  for (const auto& backend : tensor::available_backends()) {
+    if (backend == "scalar") continue;
+    for (const auto& op : ops) {
+      for (const std::int64_t n : sizes) {
+        const std::string suffix = op + "_" + std::to_string(n);
+        rec.set(backend + "_vs_scalar_" + suffix,
+                results[backend + "_" + suffix] /
+                    results["scalar_" + suffix]);
+      }
+    }
+  }
+
+  bench::ExperimentConfig out_cfg;
+  const std::string out = bench::ensure_out_dir(out_cfg);
+  const std::string path = out + "/BENCH_gemm.json";
+  rec.write(path);
+  std::printf("\n%s\n", rec.to_string(2).c_str());
+  std::printf("gemm perf record written to %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  register_kernel_benchmarks();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  write_gemm_record();
   write_volume_record();
   write_serve_record();
   write_tiff_record();

@@ -11,6 +11,7 @@
 #include "zenesis/io/tiff_stream.hpp"
 #include "zenesis/obs/trace.hpp"
 #include "zenesis/parallel/parallel_for.hpp"
+#include "zenesis/tensor/kernels.hpp"
 
 namespace zenesis::core {
 
@@ -59,6 +60,13 @@ std::vector<std::string> PipelineConfig::validate() const {
   flag(mask_cache.enabled && mask_cache.capacity != 0 &&
            mask_cache.byte_budget == 0,
        "mask_cache.byte_budget must be >= 1 when the cache is enabled");
+  if (!tensor::backend_available(kernel_backend)) {
+    std::string msg = "kernel_backend '" + kernel_backend +
+                      "' is unknown or unavailable on this CPU (available:"
+                      " auto";
+    for (const auto& name : tensor::available_backends()) msg += " " + name;
+    issues.push_back(msg + ")");
+  }
   return issues;
 }
 
@@ -82,6 +90,14 @@ std::uint64_t decode_config_fingerprint(const PipelineConfig& cfg) {
   h = cache::fnv1a_value(h, cfg.heuristic.replace_missing);
   h = cache::fnv1a_value(h, cfg.max_boxes);
   h = cache::fnv1a_value(h, cfg.enable_heuristic_refine);
+  // Resolved kernel backend: "auto" means whatever the process-wide
+  // selection (ZENESIS_KERNEL or CPU detection) lands on, so the name
+  // actually producing the floats is hashed, not the knob's spelling.
+  const std::string resolved = cfg.kernel_backend == "auto"
+                                   ? std::string(tensor::backend_name())
+                                   : cfg.kernel_backend;
+  h = cache::fnv1a_value(h, resolved.size());
+  h = cache::fnv1a_bytes(h, resolved.data(), resolved.size());
   return h;
 }
 
@@ -106,6 +122,13 @@ PipelineConfig checked(const PipelineConfig& cfg) {
     msg << "invalid PipelineConfig:";
     for (const auto& issue : issues) msg << "\n  - " << issue;
     throw std::invalid_argument(msg.str());
+  }
+  // A concrete backend name is applied process-wide before any member
+  // model runs its first kernel. "auto" deliberately does NOT call
+  // set_backend — it defers to ZENESIS_KERNEL / CPU detection, so a
+  // default-configured pipeline never clobbers an explicit selection.
+  if (cfg.kernel_backend != "auto") {
+    tensor::set_backend(cfg.kernel_backend);  // validated above
   }
   return cfg;
 }

@@ -49,6 +49,14 @@ struct PipelineConfig {
   /// grounding + SAM. Keys fold in decode_config_fingerprint(), so any
   /// knob change is a clean miss.
   cache::ShardedCacheConfig mask_cache;
+  /// Tensor kernel backend for all model math: "auto" (default — honor
+  /// ZENESIS_KERNEL / the process-wide selection), "scalar", "blocked",
+  /// "avx2", or "neon". A concrete name is applied process-wide at
+  /// pipeline construction via tensor::set_backend(); validate() rejects
+  /// names unavailable on this CPU. The *resolved* name is folded into
+  /// decode_config_fingerprint(), so cached masks never alias across
+  /// backends (different backends agree only to rounding, not by byte).
+  std::string kernel_backend = "auto";
 
   /// Sanity-checks every knob and returns one human-readable message per
   /// violation (empty = valid). `ZenesisPipeline`'s constructor calls this

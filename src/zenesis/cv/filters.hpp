@@ -3,6 +3,7 @@
 // clamp-to-edge throughout (the FIB-SEM field of view has no wrap-around
 // semantics).
 
+#include "zenesis/image/geometry.hpp"
 #include "zenesis/image/image.hpp"
 
 namespace zenesis::cv {
@@ -24,6 +25,15 @@ image::ImageF32 median_filter(const image::ImageF32& img, int radius);
 /// and to boundary halos that corrupt a mean filter).
 image::ImageF32 median_filter_large(const image::ImageF32& img, int radius);
 
+/// median_filter_large restricted to `roi` (clipped to the image): output
+/// pixels inside the ROI are byte-identical to the full-image filter
+/// (windows still clamp to the *image* border, not the ROI), pixels
+/// outside are 0. Cost scales with the ROI area — the SAM surrogate's
+/// decoder only ever reads its context medians inside the prompt box, so
+/// it pays for the box, not the frame.
+image::ImageF32 median_filter_large(const image::ImageF32& img, int radius,
+                                    const image::Box& roi);
+
 /// median_filter_large over only the pixels NOT set in `exclude`. Windows
 /// whose valid count falls below a quarter of their size fall back to the
 /// unmasked median. Used for background re-estimation after a first
@@ -31,6 +41,18 @@ image::ImageF32 median_filter_large(const image::ImageF32& img, int radius);
 image::ImageF32 median_filter_large_masked(const image::ImageF32& img,
                                            int radius,
                                            const image::Mask& exclude);
+
+/// ROI form of median_filter_large_masked (same contract as the ROI
+/// median: byte-identical inside, 0 outside). `fallback`, when non-null,
+/// must be the unmasked median of (img, radius) covering the same ROI —
+/// callers that already hold it (the decoder's refit pass re-estimates
+/// against the context it just computed) skip a second full median pass.
+image::ImageF32 median_filter_large_masked(const image::ImageF32& img,
+                                           int radius,
+                                           const image::Mask& exclude,
+                                           const image::Box& roi,
+                                           const image::ImageF32* fallback =
+                                               nullptr);
 
 /// Sobel gradient magnitude (L2 of the 3x3 Sobel pair).
 image::ImageF32 sobel_magnitude(const image::ImageF32& img);

@@ -81,12 +81,7 @@ EncodedImage VisionBackbone::encode(const FeatureMaps& maps) const {
 
   // Mean-center so signed text preferences act relative to the image.
   tensor::Tensor centered = enc.raw_features;
-  const std::int64_t n = centered.dim(0);
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (int c = 0; c < kFeatureChannels; ++c) {
-      centered.at(i, c) -= enc.mean_feature.at(c);
-    }
-  }
+  tensor::subtract_row_inplace(centered, enc.mean_feature);
 
   enc.tokens = tensor::matmul_nt(centered, proj_);
   tensor::Tensor pos =

@@ -85,13 +85,10 @@ GroundingResult GroundingDetector::detect_with_concepts(
 
   // Per-patch relevance: strongest token response (GroundingDINO keeps
   // the max token logit per query box; patches play that role here).
-  const std::int64_t n_tok = scores.dim(0), n_patch = scores.dim(1);
-  std::vector<float> rel(static_cast<std::size_t>(n_patch), 0.0f);
-  for (std::int64_t j = 0; j < n_patch; ++j) {
-    float best = -1e30f;
-    for (std::int64_t i = 0; i < n_tok; ++i) best = std::max(best, scores.at(i, j));
-    rel[static_cast<std::size_t>(j)] = best;
-  }
+  // One columnwise-max reduction on the kernel backend.
+  const tensor::Tensor best = tensor::colwise_max(scores);
+  const std::int64_t n_patch = scores.dim(1);
+  std::vector<float> rel(best.data(), best.data() + n_patch);
   // Normalize by the 95th-percentile magnitude (not the max): a single
   // extreme patch must not compress the rest of the map below the box
   // threshold. Values are then clamped to [-1, 1], a soft saturation

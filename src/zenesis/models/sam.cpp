@@ -99,13 +99,16 @@ image::ImageF32 SamModel::decode_coarse(const SamEncoded& enc,
   const tensor::Tensor attended = tensor::attention(prompts, e.tokens, e.tokens);
   const tensor::Tensor q_obj = tensor::mean_rows(attended);
 
-  // Per-patch logits: similarity of each image token to the object query.
+  // Per-patch logits: similarity of each image token to the object query,
+  // computed as one tokens · q GEMV on the active kernel backend.
   const std::int64_t n = e.tokens.dim(0);
+  tensor::Tensor q_row({1, d});
+  std::copy(q_obj.data(), q_obj.data() + d, q_row.data());
+  const tensor::Tensor sims = tensor::matmul_nt(e.tokens, q_row);  // [n, 1]
   tensor::Tensor logits({1, e.grid_h, e.grid_w});
   float max_abs = 1e-6f;
   for (std::int64_t j = 0; j < n; ++j) {
-    float dot = 0.0f;
-    for (std::int64_t k = 0; k < d; ++k) dot += e.tokens.at(j, k) * q_obj.at(k);
+    const float dot = sims.at(j, 0);
     logits.at(0, j / e.grid_w, j % e.grid_w) = dot;
     max_abs = std::max(max_abs, std::abs(dot));
   }
@@ -196,9 +199,13 @@ std::vector<MaskPrediction> SamModel::predict_box_candidates(
         std::min(box.w, box.h) / sc.large_div, sc.large_min, sc.large_max));
     const int r_small = static_cast<int>(std::clamp<std::int64_t>(
         std::min(box.w, box.h) / 8, 8, 20));
-    context = cv::median_filter_large(smoothed, r_large);
+    // Context medians are only ever read inside the prompt box (the
+    // histogram/core/grow loops below are all box-bounded), so compute
+    // them over the box ROI — byte-identical there, and the decode cost
+    // scales with the box instead of the frame.
+    context = cv::median_filter_large(smoothed, r_large, box);
     context_small = r_small < r_large
-                        ? cv::median_filter_large(smoothed, r_small)
+                        ? cv::median_filter_large(smoothed, r_small, box)
                         : context;
     refit_context = true;
   }
@@ -327,7 +334,10 @@ std::vector<MaskPrediction> SamModel::predict_box_candidates(
     if (refit_context) {
       const int r_refit = static_cast<int>(std::clamp<std::int64_t>(
           std::min(box.w, box.h) / sc.large_div, sc.large_min, sc.large_max));
-      ctx = cv::median_filter_large_masked(smoothed, r_refit, mask);
+      // r_refit == r_large, so `context` IS the unmasked median the
+      // sparse-window fallback needs — passing it skips recomputing it.
+      ctx = cv::median_filter_large_masked(smoothed, r_refit, mask, box,
+                                           &context);
       mask = threshold_mask(1.0f);
     }
     image::Mask low = threshold_mask(1.0f - cfg_.stability_delta);

@@ -12,6 +12,7 @@
 #include "zenesis/models/feature_cache.hpp"
 #include "zenesis/obs/trace.hpp"
 #include "zenesis/parallel/parallel_for.hpp"
+#include "zenesis/tensor/kernels.hpp"
 
 namespace zenesis::serve {
 
@@ -544,7 +545,9 @@ void SegmentService::finish_rejected(Pending& pending, RejectReason reason) {
 
 ServiceStats SegmentService::stats() const {
   std::lock_guard<std::mutex> sl(stats_mutex_);
-  return stats_;
+  ServiceStats s = stats_;
+  s.kernel_backend = tensor::backend_name();
+  return s;
 }
 
 std::size_t SegmentService::queue_depth() const {
@@ -586,6 +589,9 @@ void SegmentService::publish_stats(eval::Dashboard& dashboard) const {
   const cache::LruCacheStats mc = pipeline_.mask_cache_stats();
   dashboard.set_stat("serve_mask_cache_hit_rate", mc.hit_rate());
   set_u64("serve_mask_cache_hits", mc.hits);
+  // The dashboard is numeric-only, so the resolved kernel backend is
+  // published as a one-hot key: serve_kernel_backend_<name> = 1.
+  dashboard.set_stat("serve_kernel_backend_" + s.kernel_backend, 1.0);
 }
 
 void SegmentService::attach_to(core::Session& session) {

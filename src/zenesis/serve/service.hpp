@@ -228,6 +228,11 @@ struct ServiceStats {
   Histogram decode_us;   ///< pipeline decode, per request
   Histogram total_us;    ///< admission → completion, per request
   Histogram batch_size;  ///< requests per dispatched batch
+
+  /// Resolved tensor kernel backend the service's math runs on
+  /// ("scalar", "blocked", "avx2", "neon"). Snapshot of
+  /// tensor::backend_name() at stats() time.
+  std::string kernel_backend;
 };
 
 class SegmentService {

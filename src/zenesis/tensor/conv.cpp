@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "zenesis/parallel/parallel_for.hpp"
+#include "zenesis/tensor/kernels.hpp"
 
 namespace zenesis::tensor {
 namespace {
@@ -31,25 +32,52 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   require(oh > 0 && ow > 0, "conv2d: kernel larger than padded input");
 
   Tensor out({cout, oh, ow});
+  const kernels::KernelBackend& backend = kernels::active();
   parallel::parallel_for(0, cout * oh, [&](std::int64_t idx) {
     const std::int64_t oc = idx / oh;
     const std::int64_t oy = idx % oh;
     const std::int64_t iy0 = oy * stride - pad;
-    for (std::int64_t ox = 0; ox < ow; ++ox) {
-      const std::int64_t ix0 = ox * stride - pad;
-      float acc = bias.at(oc);
+    float* out_row = out.data() + (oc * oh + oy) * ow;
+    std::fill(out_row, out_row + ow, bias.at(oc));
+    if (stride == 1) {
+      // Each (ic, ky, kx) tap touches a contiguous span of the output
+      // row: out[ox] += w * in[ox + kx - pad]. That is an axpy, so the
+      // whole inner loop runs on the backend's vector unit. Tap order
+      // (ic, ky, kx) matches the historical scalar accumulation order.
       for (std::int64_t ic = 0; ic < cin; ++ic) {
         for (std::int64_t ky = 0; ky < kh; ++ky) {
           const std::int64_t iy = iy0 + ky;
           if (iy < 0 || iy >= h) continue;
+          const float* in_row = input.data() + (ic * h + iy) * w;
+          const float* w_row =
+              weight.data() + ((oc * cin + ic) * kh + ky) * kw;
           for (std::int64_t kx = 0; kx < kw; ++kx) {
-            const std::int64_t ix = ix0 + kx;
-            if (ix < 0 || ix >= w) continue;
-            acc += input.at(ic, iy, ix) * weight.at(oc, ic, ky, kx);
+            const std::int64_t shift = kx - pad;  // ix = ox + shift
+            const std::int64_t lo = std::max<std::int64_t>(0, -shift);
+            const std::int64_t hi = std::min<std::int64_t>(ow, w - shift);
+            if (lo >= hi) continue;
+            backend.axpy(out_row + lo, in_row + lo + shift, w_row[kx],
+                         hi - lo);
           }
         }
       }
-      out.at(oc, oy, ox) = acc;
+    } else {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        const std::int64_t ix0 = ox * stride - pad;
+        float acc = out_row[ox];
+        for (std::int64_t ic = 0; ic < cin; ++ic) {
+          for (std::int64_t ky = 0; ky < kh; ++ky) {
+            const std::int64_t iy = iy0 + ky;
+            if (iy < 0 || iy >= h) continue;
+            for (std::int64_t kx = 0; kx < kw; ++kx) {
+              const std::int64_t ix = ix0 + kx;
+              if (ix < 0 || ix >= w) continue;
+              acc += input.at(ic, iy, ix) * weight.at(oc, ic, ky, kx);
+            }
+          }
+        }
+        out_row[ox] = acc;
+      }
     }
   });
   return out;

@@ -1,0 +1,120 @@
+#pragma once
+// tensor::kernels — the pluggable compute backend behind ops.hpp.
+//
+// Every hot tensor kernel (GEMM, fused linear, softmax, layernorm,
+// elementwise) bottoms out in one KernelBackend: a table of raw-pointer
+// micro-kernels selected once at startup and swappable at runtime. Three
+// implementations ship:
+//
+//   scalar   — the reference: the original straightforward loops. Every
+//              other backend is tested against it (1e-4 relative).
+//   blocked  — portable C++: register-tiled, k-unrolled, cache-blocked
+//              loops the compiler can auto-vectorize. Always available.
+//   avx2     — x86 AVX2+FMA intrinsics: 8-wide FMA micro-kernels
+//              (2x4-register dot tiles for A·Bᵀ, broadcast-FMA row
+//              panels with a packed-B panel for A·B). Registered only
+//              when CPUID reports AVX2 and FMA.
+//   neon     — AArch64 stub behind the same interface (currently the
+//              blocked kernels under the "neon" name; real NEON
+//              micro-kernels can slot in without touching callers).
+//
+// Selection: the first kernel call resolves the backend from the
+// ZENESIS_KERNEL environment variable ("scalar" | "blocked" | "avx2" |
+// "neon" | "auto"); unset or "auto" picks the best available (avx2 >
+// neon > blocked). tensor::set_backend() overrides at any point.
+//
+// Determinism contract: WITHIN a backend every kernel uses a fixed
+// per-output reduction order that does not depend on thread count or on
+// where parallel row chunks split, so results are byte-stable across
+// ZenesisPipeline thread configurations (the test_volume_parallel
+// guarantee). ACROSS backends results agree only to rounding (different
+// but fixed accumulation orders); the mask-result cache fingerprint
+// folds the backend name in so cached masks never alias across
+// backends, and tests/test_kernels.cpp gates end-to-end mask IoU/Dice
+// per backend against the scalar reference.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zenesis::tensor {
+
+namespace kernels {
+
+/// Raw-pointer micro-kernel table. Matrices are dense row-major; GEMM
+/// entries compute a row range [m0, m1) of the output so ops.cpp can
+/// split work across the ThreadPool without the backend knowing about
+/// threading. Every entry overwrites its output range.
+struct KernelBackend {
+  const char* name;
+
+  /// Rows [m0, m1) of C[M,N] = A[M,K] · B[K,N].
+  void (*matmul_nn)(const float* a, const float* b, float* c, std::int64_t m0,
+                    std::int64_t m1, std::int64_t k, std::int64_t n);
+  /// Rows [m0, m1) of C[M,N] = A[M,K] · B[N,K]ᵀ, plus bias[N] when
+  /// `bias` is non-null (the fused linear layer).
+  void (*matmul_nt)(const float* a, const float* b, const float* bias,
+                    float* c, std::int64_t m0, std::int64_t m1, std::int64_t k,
+                    std::int64_t n);
+  /// Inner product of two length-n vectors.
+  float (*dot)(const float* a, const float* b, std::int64_t n);
+  /// y += alpha * x over n elements.
+  void (*axpy)(float* y, const float* x, float alpha, std::int64_t n);
+  /// a += b over n elements.
+  void (*add)(float* a, const float* b, std::int64_t n);
+  /// a *= s over n elements.
+  void (*scale)(float* a, float s, std::int64_t n);
+  /// In-place softmax of one row (max-subtracted, fixed reduction order).
+  void (*softmax_row)(float* r, std::int64_t n);
+  /// In-place layernorm of one row with gain/bias of size n.
+  void (*layernorm_row)(float* r, const float* gain, const float* bias,
+                        std::int64_t n, float eps);
+  /// In-place tanh-approximation GELU over n elements.
+  void (*gelu)(float* p, std::int64_t n);
+  /// In-place ReLU over n elements.
+  void (*relu)(float* p, std::int64_t n);
+  /// out[j] = max over i in [0, m) of a[i*n + j] (column-wise max).
+  void (*colwise_max)(const float* a, float* out, std::int64_t m,
+                      std::int64_t n);
+};
+
+/// The reference backend (always available).
+const KernelBackend& scalar_backend();
+/// Portable register-blocked backend (always available).
+const KernelBackend& blocked_backend();
+/// AVX2+FMA backend; nullptr when not compiled in or the CPU lacks
+/// AVX2/FMA.
+const KernelBackend* avx2_backend();
+/// NEON backend stub; nullptr off AArch64.
+const KernelBackend* neon_backend();
+
+/// The backend all ops currently dispatch to. First call resolves
+/// ZENESIS_KERNEL (invalid or unavailable values fall back to the best
+/// available backend with a one-line stderr note).
+const KernelBackend& active();
+
+}  // namespace kernels
+
+/// Selects the kernel backend by name: "scalar", "blocked", "avx2",
+/// "neon", or "auto" (best available). Returns false — and leaves the
+/// active backend unchanged — when the name is unknown or the backend is
+/// unavailable on this CPU. Process-global and thread-safe (kernels
+/// already running finish on the backend they started with).
+bool set_backend(std::string_view name);
+
+/// Name of the active backend ("scalar" | "blocked" | "avx2" | "neon").
+const char* backend_name();
+
+/// Backends usable on this machine, in preference order (best first).
+std::vector<std::string> available_backends();
+
+/// True when `name` names a backend that set_backend() would accept.
+bool backend_available(std::string_view name);
+
+/// Space-separated SIMD capabilities detected at runtime (e.g.
+/// "sse4.2 avx avx2 fma avx512f"), independent of which backends were
+/// compiled in. Empty when detection is unsupported on this platform.
+std::string cpu_feature_string();
+
+}  // namespace zenesis::tensor

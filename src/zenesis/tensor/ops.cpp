@@ -1,3 +1,9 @@
+// ops.cpp — shape checking, output allocation and ThreadPool tiling for
+// the public tensor ops. All arithmetic lives in the active
+// tensor::kernels::KernelBackend; every function here is a thin
+// forwarder that splits row/element ranges onto parallel_for and hands
+// raw pointers to the backend micro-kernels.
+
 #include "zenesis/tensor/ops.hpp"
 
 #include <algorithm>
@@ -5,6 +11,7 @@
 #include <stdexcept>
 
 #include "zenesis/parallel/parallel_for.hpp"
+#include "zenesis/tensor/kernels.hpp"
 
 namespace zenesis::tensor {
 namespace {
@@ -17,6 +24,28 @@ void require_rank2(const Tensor& t, const char* what) {
   require(t.rank() == 2, what);
 }
 
+// Rows per GEMM work chunk. A multiple of 8 so the chunk starts stay
+// aligned with every backend's register-tile row grouping (2- and 4-row
+// micro-kernels) — the tile decomposition, and therefore the bit
+// pattern of each output row, is then independent of how many workers
+// pull chunks.
+constexpr std::int64_t kGemmRowGrain = 32;
+
+// Elements per chunk for flat elementwise kernels (multiple of 8 keeps
+// SIMD lane alignment identical across thread counts).
+constexpr std::int64_t kFlatGrain = 1 << 15;
+
+const kernels::KernelBackend& be() { return kernels::active(); }
+
+/// Splits a flat range across the pool and applies `fn(ptr, len)` to
+/// each contiguous chunk.
+template <typename Fn>
+void for_flat_chunks(float* data, std::int64_t n, Fn&& fn) {
+  parallel::parallel_for_chunked(
+      0, n, kFlatGrain,
+      [&](std::int64_t lo, std::int64_t hi) { fn(data + lo, hi - lo); });
+}
+
 }  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -25,21 +54,11 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   require(a.dim(1) == b.dim(0), "matmul: inner dimensions differ");
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor c({m, n});
-  // Row-parallel, k-blocked i-k-j loop order: B rows stream through cache,
-  // C rows stay resident.
-  constexpr std::int64_t kBlock = 64;
-  parallel::parallel_for(0, m, [&](std::int64_t i) {
-    float* ci = c.row(i);
-    const float* ai = a.row(i);
-    for (std::int64_t k0 = 0; k0 < k; k0 += kBlock) {
-      const std::int64_t k1 = std::min(k, k0 + kBlock);
-      for (std::int64_t kk = k0; kk < k1; ++kk) {
-        const float av = ai[kk];
-        const float* bk = b.row(kk);
-        for (std::int64_t j = 0; j < n; ++j) ci[j] += av * bk[j];
-      }
-    }
-  });
+  const kernels::KernelBackend& backend = be();
+  parallel::parallel_for_chunked(
+      0, m, kGemmRowGrain, [&](std::int64_t m0, std::int64_t m1) {
+        backend.matmul_nn(a.data(), b.data(), c.data(), m0, m1, k, n);
+      });
   return c;
 }
 
@@ -49,29 +68,30 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   require(a.dim(1) == b.dim(1), "matmul_nt: feature dimensions differ");
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   Tensor c({m, n});
-  parallel::parallel_for(0, m, [&](std::int64_t i) {
-    const float* ai = a.row(i);
-    float* ci = c.row(i);
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* bj = b.row(j);
-      float acc = 0.0f;
-      for (std::int64_t kk = 0; kk < k; ++kk) acc += ai[kk] * bj[kk];
-      ci[j] = acc;
-    }
-  });
+  const kernels::KernelBackend& backend = be();
+  parallel::parallel_for_chunked(
+      0, m, kGemmRowGrain, [&](std::int64_t m0, std::int64_t m1) {
+        backend.matmul_nt(a.data(), b.data(), nullptr, c.data(), m0, m1, k, n);
+      });
   return c;
 }
 
 Tensor linear(const Tensor& x, const Tensor& weight, const Tensor& bias) {
+  require_rank2(x, "linear: x must be rank 2");
+  require_rank2(weight, "linear: weight must be rank 2");
+  require(x.dim(1) == weight.dim(1), "linear: feature dimensions differ");
   require(bias.rank() == 1 && bias.dim(0) == weight.dim(0),
           "linear: bias size must equal output features");
-  Tensor y = matmul_nt(x, weight);
-  const std::int64_t m = y.dim(0), n = y.dim(1);
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* yi = y.row(i);
-    const float* bi = bias.data();
-    for (std::int64_t j = 0; j < n; ++j) yi[j] += bi[j];
-  }
+  const std::int64_t m = x.dim(0), k = x.dim(1), n = weight.dim(0);
+  Tensor y({m, n});
+  const kernels::KernelBackend& backend = be();
+  // Bias add is fused into the GEMM epilogue and parallelized with it —
+  // the old serial tail loop over y is gone.
+  parallel::parallel_for_chunked(
+      0, m, kGemmRowGrain, [&](std::int64_t m0, std::int64_t m1) {
+        backend.matmul_nt(x.data(), weight.data(), bias.data(), y.data(), m0,
+                          m1, k, n);
+      });
   return y;
 }
 
@@ -79,39 +99,49 @@ Tensor transpose(const Tensor& a) {
   require_rank2(a, "transpose: rank 2 required");
   const std::int64_t m = a.dim(0), n = a.dim(1);
   Tensor t({n, m});
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t j = 0; j < n; ++j) t.at(j, i) = a.at(i, j);
-  }
+  // 32x32 tiles keep both the read rows and the written columns inside
+  // L1; row-tile chunks are distributed across the pool.
+  constexpr std::int64_t kTile = 32;
+  const float* src = a.data();
+  float* dst = t.data();
+  parallel::parallel_for_chunked(
+      0, m, kTile, [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t j0 = 0; j0 < n; j0 += kTile) {
+          const std::int64_t j1 = std::min(n, j0 + kTile);
+          for (std::int64_t i = i0; i < i1; ++i) {
+            for (std::int64_t j = j0; j < j1; ++j) {
+              dst[j * m + i] = src[i * n + j];
+            }
+          }
+        }
+      });
   return t;
 }
 
 void add_inplace(Tensor& a, const Tensor& b) {
   require(a.shape() == b.shape(), "add_inplace: shape mismatch");
-  float* pa = a.data();
+  const kernels::KernelBackend& backend = be();
   const float* pb = b.data();
-  const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) pa[i] += pb[i];
+  float* pa = a.data();
+  parallel::parallel_for_chunked(
+      0, a.numel(), kFlatGrain, [&](std::int64_t lo, std::int64_t hi) {
+        backend.add(pa + lo, pb + lo, hi - lo);
+      });
 }
 
 void scale_inplace(Tensor& a, float s) {
-  for (float& v : a.flat()) v *= s;
+  const kernels::KernelBackend& backend = be();
+  for_flat_chunks(a.data(), a.numel(),
+                  [&](float* p, std::int64_t n) { backend.scale(p, s, n); });
 }
 
 void softmax_rows(Tensor& a) {
   require_rank2(a, "softmax_rows: rank 2 required");
   const std::int64_t m = a.dim(0), n = a.dim(1);
-  parallel::parallel_for(0, m, [&](std::int64_t i) {
-    float* r = a.row(i);
-    float mx = r[0];
-    for (std::int64_t j = 1; j < n; ++j) mx = std::max(mx, r[j]);
-    float sum = 0.0f;
-    for (std::int64_t j = 0; j < n; ++j) {
-      r[j] = std::exp(r[j] - mx);
-      sum += r[j];
-    }
-    const float inv = 1.0f / sum;
-    for (std::int64_t j = 0; j < n; ++j) r[j] *= inv;
-  });
+  if (n == 0) return;
+  const kernels::KernelBackend& backend = be();
+  parallel::parallel_for(
+      0, m, [&](std::int64_t i) { backend.softmax_row(a.row(i), n); });
 }
 
 void layernorm_rows(Tensor& a, const Tensor& gain, const Tensor& bias,
@@ -122,36 +152,24 @@ void layernorm_rows(Tensor& a, const Tensor& gain, const Tensor& bias,
   require(bias.rank() == 1 && bias.dim(0) == a.dim(1),
           "layernorm_rows: bias size mismatch");
   const std::int64_t m = a.dim(0), n = a.dim(1);
+  const kernels::KernelBackend& backend = be();
+  const float* g = gain.data();
+  const float* b = bias.data();
   parallel::parallel_for(0, m, [&](std::int64_t i) {
-    float* r = a.row(i);
-    float mean = 0.0f;
-    for (std::int64_t j = 0; j < n; ++j) mean += r[j];
-    mean /= static_cast<float>(n);
-    float var = 0.0f;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float d = r[j] - mean;
-      var += d * d;
-    }
-    var /= static_cast<float>(n);
-    const float inv = 1.0f / std::sqrt(var + eps);
-    const float* g = gain.data();
-    const float* b = bias.data();
-    for (std::int64_t j = 0; j < n; ++j) {
-      r[j] = (r[j] - mean) * inv * g[j] + b[j];
-    }
+    backend.layernorm_row(a.row(i), g, b, n, eps);
   });
 }
 
 void gelu_inplace(Tensor& a) {
-  constexpr float kSqrt2OverPi = 0.7978845608f;
-  for (float& v : a.flat()) {
-    const float inner = kSqrt2OverPi * (v + 0.044715f * v * v * v);
-    v = 0.5f * v * (1.0f + std::tanh(inner));
-  }
+  const kernels::KernelBackend& backend = be();
+  for_flat_chunks(a.data(), a.numel(),
+                  [&](float* p, std::int64_t n) { backend.gelu(p, n); });
 }
 
 void relu_inplace(Tensor& a) {
-  for (float& v : a.flat()) v = std::max(0.0f, v);
+  const kernels::KernelBackend& backend = be();
+  for_flat_chunks(a.data(), a.numel(),
+                  [&](float* p, std::int64_t n) { backend.relu(p, n); });
 }
 
 Tensor attention(const Tensor& q, const Tensor& k, const Tensor& v) {
@@ -191,14 +209,13 @@ Tensor multihead_attention(const Tensor& q, const Tensor& k, const Tensor& v,
 void l2_normalize_rows(Tensor& a, float eps) {
   require_rank2(a, "l2_normalize_rows: rank 2 required");
   const std::int64_t m = a.dim(0), n = a.dim(1);
-  for (std::int64_t i = 0; i < m; ++i) {
+  const kernels::KernelBackend& backend = be();
+  parallel::parallel_for(0, m, [&](std::int64_t i) {
     float* r = a.row(i);
-    float ss = 0.0f;
-    for (std::int64_t j = 0; j < n; ++j) ss += r[j] * r[j];
-    if (ss <= eps) continue;
-    const float inv = 1.0f / std::sqrt(ss);
-    for (std::int64_t j = 0; j < n; ++j) r[j] *= inv;
-  }
+    const float ss = backend.dot(r, r, n);
+    if (ss <= eps) return;
+    backend.scale(r, 1.0f / std::sqrt(ss), n);
+  });
 }
 
 Tensor cosine_similarity(const Tensor& a, const Tensor& b) {
@@ -213,13 +230,33 @@ Tensor mean_rows(const Tensor& a) {
   const std::int64_t m = a.dim(0), n = a.dim(1);
   Tensor out({n});
   if (m == 0) return out;
+  const kernels::KernelBackend& backend = be();
+  // Rows fold in ascending order (fixed reduction order); each fold is a
+  // vectorized axpy.
   for (std::int64_t i = 0; i < m; ++i) {
-    const float* r = a.row(i);
-    for (std::int64_t j = 0; j < n; ++j) out.at(j) += r[j];
+    backend.axpy(out.data(), a.row(i), 1.0f, n);
   }
-  const float inv = 1.0f / static_cast<float>(m);
-  for (float& v : out.flat()) v *= inv;
+  backend.scale(out.data(), 1.0f / static_cast<float>(m), n);
   return out;
+}
+
+Tensor colwise_max(const Tensor& a) {
+  require_rank2(a, "colwise_max: rank 2 required");
+  require(a.dim(0) > 0, "colwise_max: at least one row required");
+  Tensor out({a.dim(1)});
+  be().colwise_max(a.data(), out.data(), a.dim(0), a.dim(1));
+  return out;
+}
+
+void subtract_row_inplace(Tensor& a, const Tensor& row) {
+  require_rank2(a, "subtract_row_inplace: rank 2 required");
+  require(row.rank() == 1 && row.dim(0) == a.dim(1),
+          "subtract_row_inplace: row size mismatch");
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  const kernels::KernelBackend& backend = be();
+  const float* r = row.data();
+  parallel::parallel_for(
+      0, m, [&](std::int64_t i) { backend.axpy(a.row(i), r, -1.0f, n); });
 }
 
 }  // namespace zenesis::tensor

@@ -1,10 +1,14 @@
 #pragma once
-// Core numeric kernels for the surrogate transformer models.
+// Core numeric ops for the surrogate transformer models.
 //
 // Everything here operates on rank-2 tensors interpreted as
-// [rows, features] unless stated otherwise. Heavy kernels (matmul,
-// attention) are cache-blocked and parallelized over rows via the shared
-// ThreadPool.
+// [rows, features] unless stated otherwise. These functions are thin
+// forwarders: shape checking, output allocation and ThreadPool tiling
+// happen here, while the arithmetic itself runs in the active
+// tensor::kernels::KernelBackend (scalar reference, blocked portable,
+// or AVX2 — see kernels.hpp for selection via ZENESIS_KERNEL /
+// set_backend()). Within one backend, results are byte-deterministic
+// across thread counts; across backends they agree to rounding only.
 
 #include "zenesis/tensor/tensor.hpp"
 
@@ -70,5 +74,11 @@ Tensor cosine_similarity(const Tensor& a, const Tensor& b);
 
 /// Mean over rows → [features].
 Tensor mean_rows(const Tensor& a);
+
+/// Columnwise maximum over rows → [features]. Requires at least one row.
+Tensor colwise_max(const Tensor& a);
+
+/// Subtracts a rank-1 row vector [features] from every row of a.
+void subtract_row_inplace(Tensor& a, const Tensor& row);
 
 }  // namespace zenesis::tensor

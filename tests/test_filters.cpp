@@ -141,6 +141,59 @@ TEST(MedianFilterLargeMasked, ExcludesForeground) {
   EXPECT_NEAR(masked.at(45, 32), plain.at(45, 32), 0.01f);
 }
 
+TEST(MedianFilterLarge, RoiMatchesFullImageInsideAndZeroOutside) {
+  const zi::ImageF32 img = noisy(64, 48, 0.5f, 0.2f, 17);
+  const zi::Box roi{9, 7, 23, 19};  // interior, window reaches past it
+  for (const int radius : {3, 12, 40 /* window exceeds the image */}) {
+    const zi::ImageF32 full = zc::median_filter_large(img, radius);
+    const zi::ImageF32 part = zc::median_filter_large(img, radius, roi);
+    for (std::int64_t y = 0; y < img.height(); ++y) {
+      for (std::int64_t x = 0; x < img.width(); ++x) {
+        if (roi.contains({x, y})) {
+          ASSERT_EQ(part.at(x, y), full.at(x, y))
+              << "r=" << radius << " (" << x << "," << y << ")";
+        } else {
+          ASSERT_EQ(part.at(x, y), 0.0f);
+        }
+      }
+    }
+  }
+  // An ROI hanging over the image edge is clipped, not an error.
+  const zi::ImageF32 over =
+      zc::median_filter_large(img, 5, {-4, -4, 200, 200});
+  const zi::ImageF32 full = zc::median_filter_large(img, 5);
+  for (std::int64_t y = 0; y < img.height(); ++y) {
+    for (std::int64_t x = 0; x < img.width(); ++x) {
+      ASSERT_EQ(over.at(x, y), full.at(x, y));
+    }
+  }
+}
+
+TEST(MedianFilterLargeMasked, RoiAndPrecomputedFallbackMatchFullImage) {
+  const zi::ImageF32 img = noisy(64, 48, 0.5f, 0.2f, 23);
+  zi::Mask exclude(64, 48);
+  for (std::int64_t y = 10; y < 30; ++y) {
+    for (std::int64_t x = 12; x < 40; ++x) exclude.at(x, y) = 1;
+  }
+  const zi::Box roi{8, 6, 40, 30};
+  for (const int radius : {4, 15}) {
+    const zi::ImageF32 full =
+        zc::median_filter_large_masked(img, radius, exclude);
+    const zi::ImageF32 part =
+        zc::median_filter_large_masked(img, radius, exclude, roi);
+    const zi::ImageF32 fb = zc::median_filter_large(img, radius, roi);
+    const zi::ImageF32 reused =
+        zc::median_filter_large_masked(img, radius, exclude, roi, &fb);
+    for (std::int64_t y = roi.y; y < roi.bottom(); ++y) {
+      for (std::int64_t x = roi.x; x < roi.right(); ++x) {
+        ASSERT_EQ(part.at(x, y), full.at(x, y))
+            << "r=" << radius << " (" << x << "," << y << ")";
+        ASSERT_EQ(reused.at(x, y), full.at(x, y));
+      }
+    }
+  }
+}
+
 TEST(MedianFilterLargeMasked, FullyExcludedWindowFallsBack) {
   zi::ImageF32 img = constant(32, 32, 0.6f);
   zi::Mask all(32, 32);

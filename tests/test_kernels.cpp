@@ -1,0 +1,349 @@
+// Kernel backend contract tests.
+//
+// Three layers of guarantees:
+//   1. Equivalence — every available backend reproduces the scalar
+//      reference within 1e-4 relative tolerance on every op, across
+//      shapes chosen to exercise register-tile remainders (odd, prime
+//      and sub-tile dimensions).
+//   2. Accuracy — the end-to-end pipeline mask produced under each fast
+//      backend matches the scalar-backend mask at IoU/Dice >= 0.99
+//      (tolerance-level float differences must not move segmentation
+//      decisions).
+//   3. Determinism — within one backend, volume results are
+//      byte-identical across thread counts (the test_volume_parallel
+//      contract, re-run per backend).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "zenesis/core/pipeline.hpp"
+#include "zenesis/eval/metrics.hpp"
+#include "zenesis/fibsem/synth.hpp"
+#include "zenesis/image/normalize.hpp"
+#include "zenesis/tensor/kernels.hpp"
+#include "zenesis/tensor/ops.hpp"
+
+namespace {
+
+using namespace zenesis;
+
+/// Deterministic pseudo-random fill with a sign-mixed range, so dot
+/// products see cancellation (the hard case for reduction reordering).
+tensor::Tensor filled(std::int64_t rows, std::int64_t cols,
+                      std::uint64_t seed) {
+  tensor::Tensor t({rows, cols});
+  std::uint64_t state = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+  for (auto& v : t.flat()) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    v = static_cast<float>(static_cast<double>(state >> 11) /
+                           static_cast<double>(1ULL << 53)) *
+            2.0f -
+        1.0f;
+  }
+  return t;
+}
+
+void expect_close(const tensor::Tensor& got, const tensor::Tensor& ref,
+                  const std::string& what, float rel_tol = 1e-4f) {
+  ASSERT_EQ(got.shape(), ref.shape()) << what;
+  const auto pg = got.flat();
+  const auto pr = ref.flat();
+  for (std::size_t i = 0; i < pg.size(); ++i) {
+    const float scale = std::max(1.0f, std::abs(pr[i]));
+    ASSERT_NEAR(pg[i], pr[i], rel_tol * scale)
+        << what << " element " << i << " (backend "
+        << tensor::backend_name() << ")";
+  }
+}
+
+/// Saves and restores the process-wide backend selection, so a failing
+/// test cannot leak a forced backend into later tests.
+class KernelBackendTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = tensor::backend_name(); }
+  void TearDown() override { tensor::set_backend(saved_); }
+
+  static std::vector<std::string> fast_backends() {
+    std::vector<std::string> out;
+    for (const auto& name : tensor::available_backends()) {
+      if (name != "scalar") out.push_back(name);
+    }
+    return out;
+  }
+
+  std::string saved_;
+};
+
+// M/K/N sweep: powers of two (pure tile paths), primes and odd sizes
+// (every remainder path: k-octet tails, 2-row/4-row edges, partial
+// column tiles), and degenerate single-row/column shapes.
+struct Shape {
+  std::int64_t m, k, n;
+};
+const std::vector<Shape> kShapes = {
+    {1, 1, 1},    {1, 7, 1},    {3, 5, 7},    {7, 3, 5},   {8, 8, 8},
+    {9, 16, 17},  {16, 31, 8},  {17, 8, 33},  {13, 13, 13}, {32, 64, 32},
+    {33, 63, 65}, {64, 128, 48}, {61, 67, 71}, {2, 256, 2},
+};
+
+TEST_F(KernelBackendTest, RegistryBasics) {
+  EXPECT_TRUE(tensor::backend_available("scalar"));
+  EXPECT_TRUE(tensor::backend_available("blocked"));
+  EXPECT_TRUE(tensor::backend_available("auto"));
+  EXPECT_FALSE(tensor::backend_available("mmx"));
+  EXPECT_FALSE(tensor::set_backend("definitely-not-a-backend"));
+  // A failed set must leave the active backend unchanged.
+  EXPECT_STREQ(tensor::backend_name(), saved_.c_str());
+
+  // available_backends() lists scalar and blocked unconditionally, in
+  // preference order, and every listed name is selectable.
+  const auto avail = tensor::available_backends();
+  ASSERT_GE(avail.size(), 2u);
+  EXPECT_EQ(avail.back(), "scalar");
+  for (const auto& name : avail) {
+    ASSERT_TRUE(tensor::set_backend(name)) << name;
+    EXPECT_EQ(tensor::backend_name(), name);
+  }
+  // "auto" resolves to the preferred (first-listed) backend.
+  ASSERT_TRUE(tensor::set_backend("auto"));
+  EXPECT_EQ(tensor::backend_name(), avail.front());
+}
+
+TEST_F(KernelBackendTest, CpuFeatureStringMatchesAvx2Availability) {
+  const std::string features = tensor::cpu_feature_string();
+  const bool has_avx2 = features.find("avx2") != std::string::npos &&
+                        features.find("fma") != std::string::npos;
+#if defined(__x86_64__) || defined(__i386__)
+  EXPECT_EQ(tensor::backend_available("avx2"), has_avx2);
+#else
+  EXPECT_FALSE(tensor::backend_available("avx2"));
+#endif
+}
+
+TEST_F(KernelBackendTest, GemmEquivalenceAcrossShapes) {
+  for (const auto& backend : fast_backends()) {
+    for (const auto& s : kShapes) {
+      const tensor::Tensor a = filled(s.m, s.k, 11 * s.m + s.n);
+      const tensor::Tensor b_nn = filled(s.k, s.n, 23 * s.k + s.m);
+      const tensor::Tensor b_nt = filled(s.n, s.k, 31 * s.n + s.k);
+      const tensor::Tensor bias = filled(1, s.n, 47 * s.n + 5);
+      tensor::Tensor bias1({s.n});
+      std::copy(bias.data(), bias.data() + s.n, bias1.data());
+
+      ASSERT_TRUE(tensor::set_backend("scalar"));
+      const tensor::Tensor nn_ref = tensor::matmul(a, b_nn);
+      const tensor::Tensor nt_ref = tensor::matmul_nt(a, b_nt);
+      const tensor::Tensor lin_ref = tensor::linear(a, b_nt, bias1);
+
+      ASSERT_TRUE(tensor::set_backend(backend));
+      const std::string tag = backend + " m=" + std::to_string(s.m) +
+                              " k=" + std::to_string(s.k) +
+                              " n=" + std::to_string(s.n);
+      expect_close(tensor::matmul(a, b_nn), nn_ref, "matmul " + tag);
+      expect_close(tensor::matmul_nt(a, b_nt), nt_ref, "matmul_nt " + tag);
+      expect_close(tensor::linear(a, b_nt, bias1), lin_ref, "linear " + tag);
+    }
+  }
+}
+
+TEST_F(KernelBackendTest, RowwiseAndElementwiseEquivalence) {
+  for (const auto& backend : fast_backends()) {
+    for (const std::int64_t n : {1, 2, 5, 8, 13, 64, 100, 257}) {
+      const tensor::Tensor base = filled(9, n, 1000 + n);
+      tensor::Tensor gain1({n}), bias1({n});
+      const tensor::Tensor g = filled(1, n, 7 + n), b = filled(1, n, 9 + n);
+      std::copy(g.data(), g.data() + n, gain1.data());
+      std::copy(b.data(), b.data() + n, bias1.data());
+
+      ASSERT_TRUE(tensor::set_backend("scalar"));
+      tensor::Tensor sm_ref = base, ln_ref = base, ge_ref = base;
+      tensor::Tensor l2_ref = base, sub_ref = base;
+      tensor::softmax_rows(sm_ref);
+      tensor::layernorm_rows(ln_ref, gain1, bias1);
+      tensor::gelu_inplace(ge_ref);
+      tensor::l2_normalize_rows(l2_ref);
+      tensor::subtract_row_inplace(sub_ref, bias1);
+      const tensor::Tensor cm_ref = tensor::colwise_max(base);
+      const tensor::Tensor mr_ref = tensor::mean_rows(base);
+      const tensor::Tensor tr_ref = tensor::transpose(base);
+
+      ASSERT_TRUE(tensor::set_backend(backend));
+      const std::string tag = backend + " n=" + std::to_string(n);
+      tensor::Tensor sm = base, ln = base, ge = base, l2 = base, sub = base;
+      tensor::softmax_rows(sm);
+      tensor::layernorm_rows(ln, gain1, bias1);
+      tensor::gelu_inplace(ge);
+      tensor::l2_normalize_rows(l2);
+      tensor::subtract_row_inplace(sub, bias1);
+      expect_close(sm, sm_ref, "softmax_rows " + tag);
+      expect_close(ln, ln_ref, "layernorm_rows " + tag);
+      expect_close(ge, ge_ref, "gelu " + tag);
+      expect_close(l2, l2_ref, "l2_normalize_rows " + tag);
+      expect_close(sub, sub_ref, "subtract_row " + tag);
+      expect_close(tensor::colwise_max(base), cm_ref, "colwise_max " + tag);
+      expect_close(tensor::mean_rows(base), mr_ref, "mean_rows " + tag);
+      // Transpose is pure data movement: exact equality expected.
+      expect_close(tensor::transpose(base), tr_ref, "transpose " + tag, 0.0f);
+    }
+  }
+}
+
+TEST_F(KernelBackendTest, AttentionEquivalence) {
+  for (const auto& backend : fast_backends()) {
+    const tensor::Tensor q = filled(13, 32, 3);
+    const tensor::Tensor k = filled(29, 32, 5);
+    const tensor::Tensor v = filled(29, 24, 7);
+
+    ASSERT_TRUE(tensor::set_backend("scalar"));
+    const tensor::Tensor ref = tensor::attention(q, k, v);
+    const tensor::Tensor mh_ref = tensor::multihead_attention(q, k, v, 4);
+
+    ASSERT_TRUE(tensor::set_backend(backend));
+    expect_close(tensor::attention(q, k, v), ref, "attention " + backend);
+    expect_close(tensor::multihead_attention(q, k, v, 4), mh_ref,
+                 "multihead_attention " + backend);
+  }
+}
+
+TEST_F(KernelBackendTest, WithinBackendByteDeterminismAcrossThreadCounts) {
+  // The determinism contract: per-output reduction order depends only on
+  // k, never on the row range a worker was handed — so any thread count
+  // reproduces the same bytes.
+  for (const auto& name : tensor::available_backends()) {
+    ASSERT_TRUE(tensor::set_backend(name));
+    const tensor::Tensor a = filled(67, 96, 1);
+    const tensor::Tensor b = filled(96, 71, 2);
+    const tensor::Tensor bt = filled(71, 96, 3);
+    const tensor::Tensor nn1 = tensor::matmul(a, b);
+    const tensor::Tensor nt1 = tensor::matmul_nt(a, bt);
+    // Re-running on the same pool exercises different chunk→worker
+    // assignments (dynamic pull); bytes must not move.
+    for (int rep = 0; rep < 3; ++rep) {
+      const tensor::Tensor nn2 = tensor::matmul(a, b);
+      const tensor::Tensor nt2 = tensor::matmul_nt(a, bt);
+      const auto f1 = nn1.flat(), f2 = nn2.flat();
+      const auto g1 = nt1.flat(), g2 = nt2.flat();
+      for (std::size_t i = 0; i < f1.size(); ++i) {
+        ASSERT_EQ(f1[i], f2[i]) << name << " matmul rep " << rep;
+      }
+      for (std::size_t i = 0; i < g1.size(); ++i) {
+        ASSERT_EQ(g1[i], g2[i]) << name << " matmul_nt rep " << rep;
+      }
+    }
+  }
+}
+
+TEST_F(KernelBackendTest, PipelineConfigValidatesBackendKnob) {
+  core::PipelineConfig cfg;
+  cfg.kernel_backend = "not-a-backend";
+  const auto issues = cfg.validate();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].find("kernel_backend"), std::string::npos);
+  EXPECT_THROW(core::ZenesisPipeline{cfg}, std::invalid_argument);
+
+  cfg.kernel_backend = "scalar";
+  EXPECT_TRUE(cfg.validate().empty());
+}
+
+TEST_F(KernelBackendTest, FingerprintSeparatesBackends) {
+  // Cached masks must never alias across backends: the resolved backend
+  // name is part of the decode fingerprint.
+  core::PipelineConfig scalar_cfg, blocked_cfg, auto_cfg;
+  scalar_cfg.kernel_backend = "scalar";
+  blocked_cfg.kernel_backend = "blocked";
+  EXPECT_NE(core::decode_config_fingerprint(scalar_cfg),
+            core::decode_config_fingerprint(blocked_cfg));
+  // "auto" hashes the resolved name, so it collides with the concrete
+  // spelling of whatever is currently active — by design.
+  ASSERT_TRUE(tensor::set_backend("blocked"));
+  auto_cfg.kernel_backend = "auto";
+  EXPECT_EQ(core::decode_config_fingerprint(auto_cfg),
+            core::decode_config_fingerprint(blocked_cfg));
+}
+
+TEST_F(KernelBackendTest, EndToEndMaskAccuracyAcrossBackends) {
+  // Scalar-backend pipeline output is the accuracy reference; every fast
+  // backend must land within IoU/Dice 0.99 of it on a full segment() run
+  // over both morphologies.
+  fibsem::SynthConfig synth;
+  synth.width = 96;
+  synth.height = 96;
+  synth.depth = 1;
+  synth.seed = 902;
+  synth.needle_count = 12;
+
+  for (const auto type :
+       {fibsem::SampleType::kCrystalline, fibsem::SampleType::kAmorphous}) {
+    synth.type = type;
+    const fibsem::SyntheticSlice slice = fibsem::generate_slice(synth, 0);
+    const std::string prompt = fibsem::default_prompt(type);
+
+    core::PipelineConfig cfg;
+    cfg.kernel_backend = "scalar";
+    const core::ZenesisPipeline ref_pipe(cfg);
+    const core::SliceResult ref =
+        ref_pipe.segment(image::AnyImage(slice.raw), prompt);
+    const eval::Metrics ref_gt =
+        eval::compute_metrics(ref.mask, slice.ground_truth);
+
+    for (const auto& backend : fast_backends()) {
+      cfg.kernel_backend = backend;
+      const core::ZenesisPipeline pipe(cfg);
+      const core::SliceResult got =
+          pipe.segment(image::AnyImage(slice.raw), prompt);
+      const eval::Metrics m = eval::compute_metrics(got.mask, ref.mask);
+      EXPECT_GE(m.iou, 0.99) << backend << " vs scalar, "
+                             << fibsem::sample_type_name(type);
+      EXPECT_GE(m.dice, 0.99) << backend << " vs scalar, "
+                              << fibsem::sample_type_name(type);
+      // And the fast backend must not lose ground-truth accuracy either.
+      const eval::Metrics gt = eval::compute_metrics(got.mask, slice.ground_truth);
+      EXPECT_GE(gt.iou, ref_gt.iou - 0.01)
+          << backend << " vs ground truth, " << fibsem::sample_type_name(type);
+    }
+  }
+}
+
+TEST_F(KernelBackendTest, VolumeDeterminismPerBackendAcrossThreadCounts) {
+  // test_volume_parallel's contract, re-run under each backend: Mode-B
+  // results are byte-identical for volume_threads 1 and 4.
+  fibsem::SynthConfig synth;
+  synth.width = 64;
+  synth.height = 64;
+  synth.depth = 3;
+  synth.seed = 311;
+  synth.needle_count = 8;
+  const fibsem::SyntheticVolume vol = fibsem::generate_volume(synth);
+  const std::string prompt =
+      fibsem::default_prompt(fibsem::SampleType::kCrystalline);
+
+  for (const auto& name : tensor::available_backends()) {
+    core::PipelineConfig cfg;
+    cfg.kernel_backend = name;
+
+    cfg.volume_threads = 1;
+    const core::VolumeResult serial = core::ZenesisPipeline(cfg).segment_volume(
+        core::VolumeRequest::view(vol.volume, prompt));
+    cfg.volume_threads = 4;
+    const core::VolumeResult parallel =
+        core::ZenesisPipeline(cfg).segment_volume(
+            core::VolumeRequest::view(vol.volume, prompt));
+
+    ASSERT_EQ(serial.slices.size(), parallel.slices.size()) << name;
+    for (std::size_t z = 0; z < serial.slices.size(); ++z) {
+      EXPECT_EQ(serial.slices[z].confidence, parallel.slices[z].confidence)
+          << name << " slice " << z;
+      const auto pa = serial.slices[z].mask.pixels();
+      const auto pb = parallel.slices[z].mask.pixels();
+      ASSERT_EQ(pa.size(), pb.size()) << name << " slice " << z;
+      for (std::size_t i = 0; i < pa.size(); ++i) {
+        ASSERT_EQ(pa[i], pb[i]) << name << " slice " << z << " pixel " << i;
+      }
+    }
+  }
+}
+
+}  // namespace

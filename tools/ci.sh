@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
-# CI entry point: build + test the repo five times — a default
+# CI entry point: build + test the repo six times — a default
 # RelWithDebInfo build running the full tier-1 suite, a ThreadSanitizer
 # build race-checking the concurrency surface (thread pool, parallel
 # Mode-B pipelines, feature cache, segmentation service, streaming TIFF
 # reader), an AddressSanitizer(+UBSan) build memory-checking the same
-# surface plus the TIFF fuzz corpus, a standalone UBSan build replaying
-# the fuzz corpus with recovery disabled (any UB aborts), and a rerun of
-# the default suite with ZENESIS_TRACE=1 so every test also exercises
-# the observability recording path (seqlock rings, trace-id stitching).
+# surface plus the TIFF fuzz corpus and the SIMD kernel backends, a
+# standalone UBSan build replaying the fuzz corpus with recovery
+# disabled (any UB aborts), a rerun of the default suite with
+# ZENESIS_TRACE=1 so every test also exercises the observability
+# recording path (seqlock rings, trace-id stitching), and a rerun with
+# ZENESIS_KERNEL=scalar pinning every test to the scalar reference
+# backend — dispatch-parity proof that backend selection is a pure
+# performance knob.
 #
 # Usage:
-#   tools/ci.sh                # default + TSAN + ASAN + UBSAN + traced
+#   tools/ci.sh                # default + TSAN + ASAN + UBSAN + traced + scalar
 #   CI_TSAN_ALL=1 tools/ci.sh  # run the ENTIRE suite under TSAN (slow)
 #   CI_ASAN_ALL=1 tools/ci.sh  # run the ENTIRE suite under ASAN (slow)
 #   CI_JOBS=8 tools/ci.sh      # override build/test parallelism
@@ -26,15 +30,16 @@ JOBS="${CI_JOBS:-$(nproc)}"
 # test_tiff_stream, so the mutation fuzzer runs under every sanitizer;
 # test_cache matches test_cache, test_cache_disk and test_cache_stress,
 # so the sharded-LRU contention stress and disk-tier corruption suite
-# run under every sanitizer too.
-SAN_FILTER="${CI_SAN_FILTER:-test_parallel|test_volume_parallel|test_batch_images|test_serve|test_obs|test_pipeline|test_session|test_integration|test_tiff|test_cache}"
+# run under every sanitizer too. test_kernels puts the AVX2/blocked
+# micro-kernels (tile edges, packed panels) under ASAN/TSAN/UBSan.
+SAN_FILTER="${CI_SAN_FILTER:-test_parallel|test_volume_parallel|test_batch_images|test_serve|test_obs|test_pipeline|test_session|test_integration|test_tiff|test_cache|test_kernels}"
 
-echo "=== [1/5] default build + full tier-1 suite ==="
+echo "=== [1/6] default build + full tier-1 suite ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [2/5] ThreadSanitizer build + concurrency suite ==="
+echo "=== [2/6] ThreadSanitizer build + concurrency suite ==="
 cmake -B build-tsan -S . -DZENESIS_SANITIZE=thread \
       -DZENESIS_BUILD_BENCH=OFF -DZENESIS_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j "$JOBS"
@@ -44,7 +49,7 @@ else
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R "$SAN_FILTER"
 fi
 
-echo "=== [3/5] AddressSanitizer build + concurrency suite ==="
+echo "=== [3/6] AddressSanitizer build + concurrency suite ==="
 cmake -B build-asan -S . -DZENESIS_SANITIZE=address \
       -DZENESIS_BUILD_BENCH=OFF -DZENESIS_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-asan -j "$JOBS"
@@ -54,13 +59,16 @@ else
   ctest --test-dir build-asan --output-on-failure -j "$JOBS" -R "$SAN_FILTER"
 fi
 
-echo "=== [4/5] UndefinedBehaviorSanitizer build + fuzz/corruption corpora ==="
+echo "=== [4/6] UndefinedBehaviorSanitizer build + fuzz/corruption/kernel corpora ==="
 cmake -B build-ubsan -S . -DZENESIS_SANITIZE=undefined \
       -DZENESIS_BUILD_BENCH=OFF -DZENESIS_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-ubsan -j "$JOBS"
-ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" -R "test_tiff|test_cache"
+ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" -R "test_tiff|test_cache|test_kernels"
 
-echo "=== [5/5] tracing-enabled rerun of the default suite (ZENESIS_TRACE=1) ==="
+echo "=== [5/6] tracing-enabled rerun of the default suite (ZENESIS_TRACE=1) ==="
 ZENESIS_TRACE=1 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "=== [6/6] scalar-backend rerun of the default suite (ZENESIS_KERNEL=scalar) ==="
+ZENESIS_KERNEL=scalar ctest --test-dir build --output-on-failure -j "$JOBS"
 
 echo "CI OK"

@@ -1,0 +1,106 @@
+// zen_kernels — inspect and benchmark the tensor kernel backends.
+//
+//   zen_kernels                 CPU features, available backends, active pick
+//   zen_kernels bench [N ...]   per-backend GFLOP/s for matmul / matmul_nt /
+//                               linear at the given square sizes
+//                               (default 128 256 512)
+//
+// The same dispatch path the pipeline uses (ZENESIS_KERNEL honored), so
+// the printout answers "which backend will my run actually get, and what
+// is it worth" on this exact machine.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "zenesis/tensor/init.hpp"
+#include "zenesis/tensor/kernels.hpp"
+#include "zenesis/tensor/ops.hpp"
+
+using namespace zenesis;
+
+namespace {
+
+double time_gflops(const char* op, std::int64_t n) {
+  const tensor::Tensor a = tensor::xavier_uniform(n, n, 42, 1);
+  const tensor::Tensor b = tensor::xavier_uniform(n, n, 42, 2);
+  tensor::Tensor bias({n});
+
+  const auto run = [&] {
+    if (std::string(op) == "matmul") return tensor::matmul(a, b);
+    if (std::string(op) == "matmul_nt") return tensor::matmul_nt(a, b);
+    return tensor::linear(a, b, bias);
+  };
+  (void)run();  // warm-up (pool spin-up, page faults)
+
+  const double flops_per_iter = 2.0 * static_cast<double>(n) *
+                                static_cast<double>(n) *
+                                static_cast<double>(n);
+  int iters = 1;
+  double elapsed = 0.0;
+  for (;;) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) (void)run();
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0)
+                  .count();
+    if (elapsed >= 0.2 || iters >= 1 << 14) break;
+    iters *= 4;
+  }
+  return flops_per_iter * static_cast<double>(iters) / elapsed / 1e9;
+}
+
+int run_bench(const std::vector<std::int64_t>& sizes) {
+  const std::string active = tensor::backend_name();
+  for (const auto& backend : tensor::available_backends()) {
+    if (!tensor::set_backend(backend)) continue;
+    std::printf("backend %s\n", backend.c_str());
+    for (const std::int64_t n : sizes) {
+      std::printf("  %5lld x %-5lld  matmul %7.2f GFLOP/s   matmul_nt %7.2f "
+                  "GFLOP/s   linear %7.2f GFLOP/s\n",
+                  static_cast<long long>(n), static_cast<long long>(n),
+                  time_gflops("matmul", n), time_gflops("matmul_nt", n),
+                  time_gflops("linear", n));
+    }
+  }
+  tensor::set_backend(active);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("cpu features:       %s\n", tensor::cpu_feature_string().c_str());
+  std::printf("available backends:");
+  for (const auto& name : tensor::available_backends()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
+  const char* env = std::getenv("ZENESIS_KERNEL");
+  std::printf("ZENESIS_KERNEL:     %s\n", env != nullptr ? env : "(unset)");
+  std::printf("active backend:     %s\n", tensor::backend_name());
+
+  if (argc >= 2 && std::string(argv[1]) == "bench") {
+    std::vector<std::int64_t> sizes;
+    for (int i = 2; i < argc; ++i) {
+      const long long v = std::atoll(argv[i]);
+      if (v < 1) {
+        std::fprintf(stderr, "zen_kernels: bad size '%s'\n", argv[i]);
+        return 2;
+      }
+      sizes.push_back(v);
+    }
+    if (sizes.empty()) sizes = {128, 256, 512};
+    std::printf("\n");
+    return run_bench(sizes);
+  }
+  if (argc >= 2) {
+    std::fprintf(stderr,
+                 "usage: zen_kernels            # report CPU/backend info\n"
+                 "       zen_kernels bench [N ...]  # per-backend GFLOP/s\n");
+    return 2;
+  }
+  return 0;
+}
