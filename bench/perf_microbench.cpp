@@ -105,6 +105,23 @@ void BM_Gemm(benchmark::State& state, const std::string& backend,
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 
+/// Dynamic-int8 GEMM throughput per kernel backend: the full
+/// linear_quantized path (per-row activation quantize + int8 GEMM +
+/// fp32 requantize) against a pre-quantized weight panel. Items
+/// processed = int8 MACs*2, so the rate reads as OP/s next to
+/// BM_Gemm's FLOP/s.
+void BM_GemmInt8(benchmark::State& state, const std::string& backend) {
+  const ScopedBackend scoped(backend);
+  const auto n = state.range(0);
+  const tensor::Tensor a = tensor::xavier_uniform(n, n, 1, 1);
+  const tensor::Tensor b = tensor::xavier_uniform(n, n, 1, 2);
+  const tensor::quant::QuantizedTensor qb = tensor::quant::quantize_rows(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul_nt_quantized(a, qb));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+
 /// Attention per kernel backend (scores GEMM + softmax + value GEMM).
 void BM_AttentionBackend(benchmark::State& state, const std::string& backend) {
   const ScopedBackend scoped(backend);
@@ -128,6 +145,13 @@ void register_kernel_benchmarks() {
           [backend, op = std::string(op)](benchmark::State& s) {
             BM_Gemm(s, backend, op);
           })
+          ->Arg(256)
+          ->Arg(512);
+    }
+    if (tensor::backend_supports_int8(backend)) {
+      benchmark::RegisterBenchmark(
+          ("BM_GemmInt8/" + backend).c_str(),
+          [backend](benchmark::State& s) { BM_GemmInt8(s, backend); })
           ->Arg(256)
           ->Arg(512);
     }
@@ -858,7 +882,9 @@ void write_tiff_record() {
 /// Standalone per-backend GEMM measurement, persisted as
 /// out/BENCH_gemm.json: GFLOP/s for matmul / matmul_nt / linear at 256,
 /// 512 and 1024 under every available backend, plus the speedup of each
-/// fast backend over the scalar reference (the acceptance headline).
+/// fast backend over the scalar reference, plus int8 GOP/s of the
+/// dynamic-quantization matmul_nt path and its ratio over the same
+/// backend's fp32 matmul_nt (the quantization acceptance headline).
 /// Runs regardless of --benchmark_filter.
 void write_gemm_record() {
   const std::vector<std::int64_t> sizes = {256, 512, 1024};
@@ -877,6 +903,29 @@ void write_gemm_record() {
       } else {
         benchmark::DoNotOptimize(tensor::linear(a, b, bias));
       }
+    };
+    run();  // warm-up
+    double best = 1e30;
+    for (int r = 0; r < kReps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      run();
+      const std::chrono::duration<double> dt =
+          std::chrono::steady_clock::now() - t0;
+      best = std::min(best, dt.count());
+    }
+    return 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+           static_cast<double>(n) / best / 1e9;
+  };
+
+  // Int8 GOP/s of the full dynamic path (activation quantize + int8
+  // GEMM + requantize) against a pre-quantized panel — the exact shape
+  // ops::linear_quantized runs in the encoder.
+  const auto gops_int8 = [&](std::int64_t n) {
+    const tensor::Tensor a = tensor::xavier_uniform(n, n, 1, 1);
+    const tensor::Tensor b = tensor::xavier_uniform(n, n, 1, 2);
+    const tensor::quant::QuantizedTensor qb = tensor::quant::quantize_rows(b);
+    const auto run = [&] {
+      benchmark::DoNotOptimize(tensor::matmul_nt_quantized(a, qb));
     };
     run();  // warm-up
     double best = 1e30;
@@ -915,6 +964,15 @@ void write_gemm_record() {
         rec.set(key + "_gflops", g);
       }
     }
+    if (tensor::backend_supports_int8(backend)) {
+      for (const std::int64_t n : sizes) {
+        const std::string key =
+            backend + "_matmul_nt_i8_" + std::to_string(n);
+        const double g = gops_int8(n);
+        results[key] = g;
+        rec.set(key + "_gops", g);
+      }
+    }
   }
   tensor::set_backend(active);
   rec.set("backends", backends_csv);
@@ -929,6 +987,18 @@ void write_gemm_record() {
                 results[backend + "_" + suffix] /
                     results["scalar_" + suffix]);
       }
+    }
+  }
+
+  // Quantization headline: int8 matmul_nt over the SAME backend's fp32
+  // matmul_nt (acceptance: >= 1.8x on avx2 at every size).
+  for (const auto& backend : tensor::available_backends()) {
+    if (!tensor::backend_supports_int8(backend)) continue;
+    for (const std::int64_t n : sizes) {
+      const std::string sz = std::to_string(n);
+      rec.set(backend + "_int8_vs_fp32_matmul_nt_" + sz,
+              results[backend + "_matmul_nt_i8_" + sz] /
+                  results[backend + "_matmul_nt_" + sz]);
     }
   }
 

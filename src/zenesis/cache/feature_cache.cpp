@@ -2,6 +2,7 @@
 
 #include "zenesis/cache/serialize.hpp"
 #include "zenesis/obs/trace.hpp"
+#include "zenesis/tensor/quant.hpp"
 
 namespace zenesis::cache {
 namespace {
@@ -35,6 +36,12 @@ std::uint64_t hash_backbone_config(const models::BackboneConfig& cfg) {
   h = fnv1a_value(h, cfg.heads);
   h = fnv1a_value(h, cfg.branch_scale);
   h = fnv1a_value(h, cfg.seed);
+  // The active numeric precision changes the floats encode() produces,
+  // so it is part of the key: an fp32 embedding persisted by the disk
+  // store must be a clean miss under int8 (and vice versa), never a
+  // silently served cross-precision hit.
+  const char* precision = tensor::quant::precision_name();
+  h = fnv1a_bytes(h, precision, std::string_view(precision).size());
   return h;
 }
 

@@ -89,7 +89,10 @@ struct FeatureCacheStats {
 /// Content hash (FNV-1a) of an image's pixels and geometry.
 std::uint64_t hash_image(const image::ImageF32& img);
 
-/// Content hash of every field that determines a backbone's weights.
+/// Content hash of every field that determines a backbone's weights,
+/// plus the active numeric precision (tensor::quant) — fp32 and int8
+/// runs produce different floats, so their cached/persisted embeddings
+/// must live under different keys.
 std::uint64_t hash_backbone_config(const models::BackboneConfig& cfg);
 
 class FeatureCache {

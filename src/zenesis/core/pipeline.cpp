@@ -12,6 +12,7 @@
 #include "zenesis/obs/trace.hpp"
 #include "zenesis/parallel/parallel_for.hpp"
 #include "zenesis/tensor/kernels.hpp"
+#include "zenesis/tensor/quant.hpp"
 
 namespace zenesis::core {
 
@@ -67,6 +68,22 @@ std::vector<std::string> PipelineConfig::validate() const {
     for (const auto& name : tensor::available_backends()) msg += " " + name;
     issues.push_back(msg + ")");
   }
+  if (precision != "auto" && precision != "fp32" && precision != "int8") {
+    issues.push_back("precision '" + precision +
+                     "' is unknown (expected auto, fp32 or int8)");
+  } else if (precision == "int8") {
+    // The backend the pipeline will actually run on: the concrete knob,
+    // or the current process-wide selection under "auto".
+    const std::string backend = kernel_backend == "auto"
+                                    ? std::string(tensor::backend_name())
+                                    : kernel_backend;
+    if (tensor::backend_available(backend) &&
+        !tensor::backend_supports_int8(backend)) {
+      issues.push_back("precision 'int8' requires int8 kernels, which "
+                       "kernel backend '" +
+                       backend + "' does not provide");
+    }
+  }
   return issues;
 }
 
@@ -98,6 +115,14 @@ std::uint64_t decode_config_fingerprint(const PipelineConfig& cfg) {
                                    : cfg.kernel_backend;
   h = cache::fnv1a_value(h, resolved.size());
   h = cache::fnv1a_bytes(h, resolved.data(), resolved.size());
+  // Resolved precision, same rule: hash the name actually producing the
+  // floats ("auto" → the process-wide ZENESIS_PRECISION selection), so
+  // fp32 and int8 masks can never alias in the mask cache.
+  const std::string precision = cfg.precision == "auto"
+                                    ? std::string(tensor::quant::precision_name())
+                                    : cfg.precision;
+  h = cache::fnv1a_value(h, precision.size());
+  h = cache::fnv1a_bytes(h, precision.data(), precision.size());
   return h;
 }
 
@@ -129,6 +154,12 @@ PipelineConfig checked(const PipelineConfig& cfg) {
   // default-configured pipeline never clobbers an explicit selection.
   if (cfg.kernel_backend != "auto") {
     tensor::set_backend(cfg.kernel_backend);  // validated above
+  }
+  // Precision follows the same contract — and is applied AFTER the
+  // backend so an int8 request is checked against the backend this
+  // pipeline just selected.
+  if (cfg.precision != "auto") {
+    tensor::quant::set_precision(cfg.precision);  // validated above
   }
   return cfg;
 }

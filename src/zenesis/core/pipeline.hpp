@@ -57,6 +57,16 @@ struct PipelineConfig {
   /// decode_config_fingerprint(), so cached masks never alias across
   /// backends (different backends agree only to rounding, not by byte).
   std::string kernel_backend = "auto";
+  /// Numeric precision of the encoder/attention GEMM path: "auto"
+  /// (default — honor ZENESIS_PRECISION / the process-wide selection),
+  /// "fp32", or "int8" (dynamic per-row quantization, tensor/quant.hpp).
+  /// A concrete name is applied process-wide at pipeline construction
+  /// via tensor::quant::set_precision(); validate() rejects "int8" when
+  /// the selected kernel backend has no int8 kernels. The *resolved*
+  /// name is folded into decode_config_fingerprint() AND the feature
+  /// cache's backbone hash, so neither cached masks nor cached/persisted
+  /// embeddings ever alias across precisions.
+  std::string precision = "auto";
 
   /// Sanity-checks every knob and returns one human-readable message per
   /// violation (empty = valid). `ZenesisPipeline`'s constructor calls this

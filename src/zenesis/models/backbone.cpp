@@ -34,6 +34,15 @@ TransformerBlock::TransformerBlock(std::int64_t dim, int heads,
   }
 }
 
+tensor::Tensor TransformerBlock::project(
+    const tensor::Tensor& x, const tensor::Tensor& w,
+    const tensor::quant::QuantizedWeights& qw, const tensor::Tensor& b) const {
+  if (tensor::quant::int8_fast_path()) {
+    return tensor::linear_quantized(x, qw.get(w), b);
+  }
+  return tensor::linear(x, w, b);
+}
+
 void TransformerBlock::apply(tensor::Tensor& tokens) const {
   if (tokens.rank() != 2 || tokens.dim(1) != dim_) {
     throw std::invalid_argument("TransformerBlock::apply: bad token shape");
@@ -41,20 +50,20 @@ void TransformerBlock::apply(tensor::Tensor& tokens) const {
   // Attention branch.
   tensor::Tensor normed = tokens;
   tensor::layernorm_rows(normed, ln1_g_, ln1_b_);
-  tensor::Tensor q = tensor::linear(normed, wq_, bq_);
-  tensor::Tensor k = tensor::linear(normed, wk_, bk_);
-  tensor::Tensor v = tensor::linear(normed, wv_, bv_);
+  tensor::Tensor q = project(normed, wq_, qwq_, bq_);
+  tensor::Tensor k = project(normed, wk_, qwk_, bk_);
+  tensor::Tensor v = project(normed, wv_, qwv_, bv_);
   tensor::Tensor attn = tensor::multihead_attention(q, k, v, heads_);
-  tensor::Tensor out = tensor::linear(attn, wo_, bo_);
+  tensor::Tensor out = project(attn, wo_, qwo_, bo_);
   tensor::scale_inplace(out, branch_scale_);
   tensor::add_inplace(tokens, out);
 
   // MLP branch.
   normed = tokens;
   tensor::layernorm_rows(normed, ln2_g_, ln2_b_);
-  tensor::Tensor hidden = tensor::linear(normed, w1_, b1_);
+  tensor::Tensor hidden = project(normed, w1_, qw1_, b1_);
   tensor::gelu_inplace(hidden);
-  tensor::Tensor mlp = tensor::linear(hidden, w2_, b2_);
+  tensor::Tensor mlp = project(hidden, w2_, qw2_, b2_);
   tensor::scale_inplace(mlp, branch_scale_);
   tensor::add_inplace(tokens, mlp);
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "zenesis/models/features.hpp"
+#include "zenesis/tensor/quant.hpp"
 #include "zenesis/tensor/tensor.hpp"
 
 namespace zenesis::models {
@@ -35,6 +36,12 @@ class TransformerBlock {
   int heads() const noexcept { return heads_; }
 
  private:
+  /// linear() or, on the int8 fast path, linear_quantized() against the
+  /// weight's memoized panel.
+  tensor::Tensor project(const tensor::Tensor& x, const tensor::Tensor& w,
+                         const tensor::quant::QuantizedWeights& qw,
+                         const tensor::Tensor& b) const;
+
   std::int64_t dim_;
   int heads_;
   float branch_scale_;
@@ -43,6 +50,9 @@ class TransformerBlock {
   tensor::Tensor w1_, w2_;            // MLP [4*dim, dim], [dim, 4*dim]
   tensor::Tensor b1_, b2_;
   tensor::Tensor ln1_g_, ln1_b_, ln2_g_, ln2_b_;
+  // Int8 panels for the six linears, quantized once on first use under
+  // int8 precision (quant.hpp). Unused (never materialized) under fp32.
+  tensor::quant::QuantizedWeights qwq_, qwk_, qwv_, qwo_, qw1_, qw2_;
 };
 
 /// Backbone configuration.

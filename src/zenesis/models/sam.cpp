@@ -100,11 +100,15 @@ image::ImageF32 SamModel::decode_coarse(const SamEncoded& enc,
   const tensor::Tensor q_obj = tensor::mean_rows(attended);
 
   // Per-patch logits: similarity of each image token to the object query,
-  // computed as one tokens · q GEMV on the active kernel backend.
+  // computed as one tokens · q GEMV on the active kernel backend (both
+  // sides dynamically quantized on the int8 fast path).
   const std::int64_t n = e.tokens.dim(0);
   tensor::Tensor q_row({1, d});
   std::copy(q_obj.data(), q_obj.data() + d, q_row.data());
-  const tensor::Tensor sims = tensor::matmul_nt(e.tokens, q_row);  // [n, 1]
+  const tensor::Tensor sims =
+      tensor::quant::int8_fast_path()
+          ? tensor::matmul_nt_dyn_quantized(e.tokens, q_row)
+          : tensor::matmul_nt(e.tokens, q_row);  // [n, 1]
   tensor::Tensor logits({1, e.grid_h, e.grid_w});
   float max_abs = 1e-6f;
   for (std::int64_t j = 0; j < n; ++j) {

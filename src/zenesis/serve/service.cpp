@@ -13,6 +13,7 @@
 #include "zenesis/obs/trace.hpp"
 #include "zenesis/parallel/parallel_for.hpp"
 #include "zenesis/tensor/kernels.hpp"
+#include "zenesis/tensor/quant.hpp"
 
 namespace zenesis::serve {
 
@@ -547,6 +548,7 @@ ServiceStats SegmentService::stats() const {
   std::lock_guard<std::mutex> sl(stats_mutex_);
   ServiceStats s = stats_;
   s.kernel_backend = tensor::backend_name();
+  s.precision = tensor::quant::precision_name();
   return s;
 }
 
@@ -592,6 +594,7 @@ void SegmentService::publish_stats(eval::Dashboard& dashboard) const {
   // The dashboard is numeric-only, so the resolved kernel backend is
   // published as a one-hot key: serve_kernel_backend_<name> = 1.
   dashboard.set_stat("serve_kernel_backend_" + s.kernel_backend, 1.0);
+  dashboard.set_stat("serve_precision_" + s.precision, 1.0);
 }
 
 void SegmentService::attach_to(core::Session& session) {

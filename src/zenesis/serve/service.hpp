@@ -233,6 +233,11 @@ struct ServiceStats {
   /// ("scalar", "blocked", "avx2", "neon"). Snapshot of
   /// tensor::backend_name() at stats() time.
   std::string kernel_backend;
+
+  /// Resolved numeric precision of the encoder GEMM path ("fp32",
+  /// "int8"). Snapshot of tensor::quant::precision_name() at stats()
+  /// time.
+  std::string precision;
 };
 
 class SegmentService {

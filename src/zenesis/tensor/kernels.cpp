@@ -33,30 +33,39 @@ std::atomic<const KernelBackend*> g_active{nullptr};
 std::once_flag g_env_once;
 
 /// One-time ZENESIS_KERNEL resolution. An unknown or unavailable value
-/// must not abort a long pipeline run at startup — it falls back to the
-/// best available backend with a stderr note (the validated
+/// must not abort a long pipeline run at startup — resolve_selector
+/// falls back to the best available backend and the note is printed
+/// exactly once (this function runs under a call_once; the validated
 /// PipelineConfig knob is the strict path).
 void init_from_env() {
   const char* env = std::getenv("ZENESIS_KERNEL");
-  const KernelBackend* chosen = nullptr;
-  if (env != nullptr && env[0] != '\0') {
-    chosen = lookup(env);
-    if (chosen == nullptr) {
-      std::fprintf(stderr,
-                   "zenesis: ZENESIS_KERNEL=%s is unknown or unavailable on "
-                   "this CPU; using '%s'\n",
-                   env, best_backend().name);
-    }
-  }
-  if (chosen == nullptr) chosen = &best_backend();
+  std::string warning;
+  const KernelBackend& chosen =
+      resolve_selector(env != nullptr ? std::string_view(env)
+                                      : std::string_view(),
+                       &warning);
+  if (!warning.empty()) std::fprintf(stderr, "%s\n", warning.c_str());
   // Keep an explicit set_backend() that raced ahead of lazy init.
   const KernelBackend* expected = nullptr;
-  g_active.compare_exchange_strong(expected, chosen,
+  g_active.compare_exchange_strong(expected, &chosen,
                                    std::memory_order_release,
                                    std::memory_order_relaxed);
 }
 
 }  // namespace
+
+const KernelBackend& resolve_selector(std::string_view value,
+                                      std::string* warning) {
+  if (warning != nullptr) warning->clear();
+  if (value.empty()) return best_backend();
+  if (const KernelBackend* chosen = lookup(value)) return *chosen;
+  if (warning != nullptr) {
+    *warning = "zenesis: ZENESIS_KERNEL=" + std::string(value) +
+               " is unknown or unavailable on this CPU; using '" +
+               best_backend().name + "'";
+  }
+  return best_backend();
+}
 
 const KernelBackend& active() {
   const KernelBackend* backend = g_active.load(std::memory_order_acquire);
@@ -89,6 +98,13 @@ std::vector<std::string> available_backends() {
 
 bool backend_available(std::string_view name) {
   return kernels::lookup(name) != nullptr;
+}
+
+bool backend_supports_int8(std::string_view name) {
+  const kernels::KernelBackend* backend = kernels::lookup(name);
+  return backend != nullptr && backend->quantize_row != nullptr &&
+         backend->dequantize_row != nullptr &&
+         backend->matmul_nt_i8 != nullptr;
 }
 
 std::string cpu_feature_string() {

@@ -77,6 +77,36 @@ struct KernelBackend {
   /// out[j] = max over i in [0, m) of a[i*n + j] (column-wise max).
   void (*colwise_max)(const float* a, float* out, std::int64_t m,
                       std::int64_t n);
+
+  // ---- int8 dynamic-quantization kernels (see quant.hpp) ----
+  //
+  // The quantization scheme is symmetric per-row: scale = max|row|/127,
+  // values clamped to [-127, 127] (the -128 slot is never produced, so
+  // |q| <= 127 — which keeps the AVX2 maddubs pair-sums exact, see
+  // kernels_avx2.cpp). Integer accumulation is exact, so within a
+  // backend int8 results are byte-stable across any thread split; across
+  // backends the int8 payloads are bit-identical and only the final
+  // float requantize can differ by rounding.
+
+  /// Quantizes n floats to int8: *scale = max|src|/127 (1.0 for an
+  /// all-zero row), dst[i] = clamp(rint(src[i] * (127/max|src|)), ±127).
+  /// rint is round-to-nearest-even (the default FP environment), which
+  /// every backend matches bit-exactly.
+  void (*quantize_row)(const float* src, std::int8_t* dst, float* scale,
+                       std::int64_t n);
+  /// dst[i] = scale * src[i] over n elements.
+  void (*dequantize_row)(const std::int8_t* src, float* dst, float scale,
+                         std::int64_t n);
+  /// Rows [m0, m1) of C[M,N] = (Aq[M,K] · Bq[N,K]ᵀ) requantized:
+  /// C[i][j] = float(acc_i32) * (a_scales[i] * b_scales[j]) + bias[j]
+  /// with a saturating-free exact i32 accumulator (|q| <= 127 keeps any
+  /// K <= ~133000 overflow-free). `bias` is nullable, as in matmul_nt.
+  /// May be nullptr on backends without int8 kernels — callers must
+  /// check (ops.cpp falls back to the fp32 path).
+  void (*matmul_nt_i8)(const std::int8_t* a, const float* a_scales,
+                       const std::int8_t* b, const float* b_scales,
+                       const float* bias, float* c, std::int64_t m0,
+                       std::int64_t m1, std::int64_t k, std::int64_t n);
 };
 
 /// The reference backend (always available).
@@ -93,6 +123,15 @@ const KernelBackend* neon_backend();
 /// ZENESIS_KERNEL (invalid or unavailable values fall back to the best
 /// available backend with a one-line stderr note).
 const KernelBackend& active();
+
+/// The ZENESIS_KERNEL resolution rule as a pure function (the env init
+/// calls this exactly once per process): maps a selector value to the
+/// backend it lands on. When `value` is unknown or unavailable on this
+/// CPU, returns the best available backend and sets `*warning` to the
+/// one-line fallback note; otherwise `*warning` is cleared. Exposed so
+/// tests can cover the fallback path without forking a process.
+const KernelBackend& resolve_selector(std::string_view value,
+                                      std::string* warning);
 
 }  // namespace kernels
 
@@ -111,6 +150,13 @@ std::vector<std::string> available_backends();
 
 /// True when `name` names a backend that set_backend() would accept.
 bool backend_available(std::string_view name);
+
+/// True when `name` names an available backend whose table provides the
+/// int8 kernels (quantize/dequantize/matmul_nt_i8). "auto" reports on
+/// the backend auto-selection would pick. PipelineConfig::validate()
+/// uses this to reject precision="int8" against a backend that cannot
+/// run it.
+bool backend_supports_int8(std::string_view name);
 
 /// Space-separated SIMD capabilities detected at runtime (e.g.
 /// "sse4.2 avx avx2 fma avx512f"), independent of which backends were

@@ -217,10 +217,79 @@ void b_colwise_max(const float* a, float* out, std::int64_t m,
   }
 }
 
+// ---- int8 portable kernels ------------------------------------------
+//
+// Integer accumulation is exact in any order, so unlike the float
+// kernels there is no reduction-order contract to preserve here — the
+// loops are free to unroll however the compiler likes. The scale
+// formulas mirror kernels_scalar.cpp bit-for-bit (single float ops).
+
+void q_quantize_row(const float* src, std::int8_t* dst, float* scale,
+                    std::int64_t n) {
+  float amax = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) amax = std::max(amax, std::fabs(src[i]));
+  if (amax == 0.0f) {
+    *scale = 1.0f;
+    std::fill(dst, dst + n, std::int8_t{0});
+    return;
+  }
+  *scale = amax / 127.0f;
+  const float inv = 127.0f / amax;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int q = static_cast<int>(std::nearbyintf(src[i] * inv));
+    dst[i] = static_cast<std::int8_t>(std::clamp(q, -127, 127));
+  }
+}
+
+void q_dequantize_row(const std::int8_t* src, float* dst, float scale,
+                      std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    dst[i] = scale * static_cast<float>(src[i]);
+  }
+}
+
+/// 4-way unrolled int8 dot with i32 partials: exact, so the partials are
+/// a pure throughput device (the compiler widens them to SIMD lanes).
+inline std::int32_t dot_i8(const std::int8_t* x, const std::int8_t* y,
+                           std::int64_t k) {
+  std::int32_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  std::int64_t kk = 0;
+  for (; kk + 4 <= k; kk += 4) {
+    s0 += static_cast<std::int32_t>(x[kk + 0]) * y[kk + 0];
+    s1 += static_cast<std::int32_t>(x[kk + 1]) * y[kk + 1];
+    s2 += static_cast<std::int32_t>(x[kk + 2]) * y[kk + 2];
+    s3 += static_cast<std::int32_t>(x[kk + 3]) * y[kk + 3];
+  }
+  std::int32_t tail = 0;
+  for (; kk < k; ++kk) tail += static_cast<std::int32_t>(x[kk]) * y[kk];
+  return s0 + s1 + s2 + s3 + tail;
+}
+
+void q_matmul_nt_i8(const std::int8_t* a, const float* a_scales,
+                    const std::int8_t* b, const float* b_scales,
+                    const float* bias, float* c, std::int64_t m0,
+                    std::int64_t m1, std::int64_t k, std::int64_t n) {
+  constexpr std::int64_t kJTile = 64;  // B rows revisited while L1-hot
+  for (std::int64_t j0 = 0; j0 < n; j0 += kJTile) {
+    const std::int64_t j1 = std::min(n, j0 + kJTile);
+    for (std::int64_t i = m0; i < m1; ++i) {
+      const std::int8_t* ai = a + i * k;
+      const float as = a_scales[i];
+      float* ci = c + i * n;
+      for (std::int64_t j = j0; j < j1; ++j) {
+        const float v = static_cast<float>(dot_i8(ai, b + j * k, k)) *
+                        (as * b_scales[j]);
+        ci[j] = bias != nullptr ? v + bias[j] : v;
+      }
+    }
+  }
+}
+
 constexpr KernelBackend kBlockedBackend = {
     "blocked",      b_matmul_nn, b_matmul_nt,   b_dot,           b_axpy,
     b_add,          b_scale,     b_softmax_row, b_layernorm_row, b_gelu,
     b_relu,         b_colwise_max,
+    q_quantize_row, q_dequantize_row, q_matmul_nt_i8,
 };
 
 }  // namespace
@@ -237,6 +306,7 @@ constexpr KernelBackend kNeonBackend = {
     "neon",         b_matmul_nn, b_matmul_nt,   b_dot,           b_axpy,
     b_add,          b_scale,     b_softmax_row, b_layernorm_row, b_gelu,
     b_relu,         b_colwise_max,
+    q_quantize_row, q_dequantize_row, q_matmul_nt_i8,
 };
 }  // namespace
 const KernelBackend* neon_backend() { return &kNeonBackend; }

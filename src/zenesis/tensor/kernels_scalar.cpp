@@ -115,10 +115,64 @@ void s_colwise_max(const float* a, float* out, std::int64_t m,
   }
 }
 
+// ---- int8 reference kernels -----------------------------------------
+//
+// The scale/inverse formulas (amax/127 and 127/amax — NOT 1/scale) and
+// nearbyint rounding are the cross-backend contract: each is a single
+// float operation, so every backend produces bit-identical int8
+// payloads and scales. See kernels.hpp.
+
+void s_quantize_row(const float* src, std::int8_t* dst, float* scale,
+                    std::int64_t n) {
+  float amax = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) amax = std::max(amax, std::fabs(src[i]));
+  if (amax == 0.0f) {
+    *scale = 1.0f;
+    std::fill(dst, dst + n, std::int8_t{0});
+    return;
+  }
+  *scale = amax / 127.0f;
+  const float inv = 127.0f / amax;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float q = std::nearbyintf(src[i] * inv);  // nearest-even
+    dst[i] = static_cast<std::int8_t>(
+        std::clamp(static_cast<int>(q), -127, 127));
+  }
+}
+
+void s_dequantize_row(const std::int8_t* src, float* dst, float scale,
+                      std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    dst[i] = scale * static_cast<float>(src[i]);
+  }
+}
+
+void s_matmul_nt_i8(const std::int8_t* a, const float* a_scales,
+                    const std::int8_t* b, const float* b_scales,
+                    const float* bias, float* c, std::int64_t m0,
+                    std::int64_t m1, std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = m0; i < m1; ++i) {
+    const std::int8_t* ai = a + i * k;
+    float* ci = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::int8_t* bj = b + j * k;
+      std::int32_t acc = 0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<std::int32_t>(ai[kk]) *
+               static_cast<std::int32_t>(bj[kk]);
+      }
+      const float v =
+          static_cast<float>(acc) * (a_scales[i] * b_scales[j]);
+      ci[j] = bias != nullptr ? v + bias[j] : v;
+    }
+  }
+}
+
 constexpr KernelBackend kScalarBackend = {
     "scalar",       s_matmul_nn, s_matmul_nt, s_dot,  s_axpy,
     s_add,          s_scale,     s_softmax_row, s_layernorm_row,
     s_gelu,         s_relu,      s_colwise_max,
+    s_quantize_row, s_dequantize_row, s_matmul_nt_i8,
 };
 
 }  // namespace

@@ -95,6 +95,58 @@ Tensor linear(const Tensor& x, const Tensor& weight, const Tensor& bias) {
   return y;
 }
 
+namespace {
+
+// Shared core of the quantized GEMM forwarders: activations already
+// quantized on the pool, weight panel pre-quantized. Falls back to the
+// fp32 kernels (reconstructing the panel once) when the backend lacks
+// int8 entries, so the call is always safe.
+Tensor matmul_nt_i8_impl(const quant::QuantizedTensor& qa,
+                         const quant::QuantizedTensor& qb, const float* bias) {
+  const std::int64_t m = qa.rows, k = qa.cols, n = qb.rows;
+  Tensor c({m, n});
+  const kernels::KernelBackend& backend = be();
+  parallel::parallel_for_chunked(
+      0, m, kGemmRowGrain, [&](std::int64_t m0, std::int64_t m1) {
+        backend.matmul_nt_i8(qa.data.data(), qa.scales.data(), qb.data.data(),
+                             qb.scales.data(), bias, c.data(), m0, m1, k, n);
+      });
+  return c;
+}
+
+}  // namespace
+
+Tensor linear_quantized(const Tensor& x, const quant::QuantizedTensor& qw,
+                        const Tensor& bias) {
+  require_rank2(x, "linear_quantized: x must be rank 2");
+  require(x.dim(1) == qw.cols, "linear_quantized: feature dimensions differ");
+  const bool has_bias = bias.rank() != 0;
+  if (has_bias) {
+    require(bias.rank() == 1 && bias.dim(0) == qw.rows,
+            "linear_quantized: bias size must equal output features");
+  }
+  const float* bias_ptr = has_bias ? bias.data() : nullptr;
+  if (be().matmul_nt_i8 == nullptr) {
+    const Tensor w = quant::dequantize_rows(qw);
+    return has_bias ? linear(x, w, bias) : matmul_nt(x, w);
+  }
+  return matmul_nt_i8_impl(quant::quantize_rows(x), qw, bias_ptr);
+}
+
+Tensor matmul_nt_quantized(const Tensor& a, const quant::QuantizedTensor& qb) {
+  return linear_quantized(a, qb, Tensor{});
+}
+
+Tensor matmul_nt_dyn_quantized(const Tensor& a, const Tensor& b) {
+  require_rank2(a, "matmul_nt_dyn_quantized: a must be rank 2");
+  require_rank2(b, "matmul_nt_dyn_quantized: b must be rank 2");
+  require(a.dim(1) == b.dim(1),
+          "matmul_nt_dyn_quantized: feature dimensions differ");
+  if (be().matmul_nt_i8 == nullptr) return matmul_nt(a, b);
+  return matmul_nt_i8_impl(quant::quantize_rows(a), quant::quantize_rows(b),
+                           nullptr);
+}
+
 Tensor transpose(const Tensor& a) {
   require_rank2(a, "transpose: rank 2 required");
   const std::int64_t m = a.dim(0), n = a.dim(1);
@@ -175,7 +227,11 @@ void relu_inplace(Tensor& a) {
 Tensor attention(const Tensor& q, const Tensor& k, const Tensor& v) {
   require(q.dim(1) == k.dim(1), "attention: q/k feature mismatch");
   require(k.dim(0) == v.dim(0), "attention: k/v length mismatch");
-  Tensor scores = matmul_nt(q, k);
+  // Under int8 the scores GEMM — the largest single matmul in the
+  // encoder at 1024 tokens — quantizes both operands dynamically. The
+  // softmax and the scores·V matmul stay fp32 for accuracy.
+  Tensor scores = quant::int8_fast_path() ? matmul_nt_dyn_quantized(q, k)
+                                          : matmul_nt(q, k);
   scale_inplace(scores, 1.0f / std::sqrt(static_cast<float>(q.dim(1))));
   softmax_rows(scores);
   return matmul(scores, v);

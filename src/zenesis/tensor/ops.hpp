@@ -10,6 +10,7 @@
 // set_backend()). Within one backend, results are byte-deterministic
 // across thread counts; across backends they agree to rounding only.
 
+#include "zenesis/tensor/quant.hpp"
 #include "zenesis/tensor/tensor.hpp"
 
 namespace zenesis::tensor {
@@ -28,6 +29,28 @@ Tensor linear(const Tensor& x, const Tensor& weight, const Tensor& bias);
 
 /// Transposes a rank-2 tensor.
 Tensor transpose(const Tensor& a);
+
+// ---- Quantized GEMM path (tensor::quant) ----
+//
+// These run the dynamic-int8 pipeline: the activation matrix is
+// quantized per row on the ThreadPool, the pre-quantized weight panel
+// is reused as-is, and the int8 GEMM requantizes back to fp32 in its
+// epilogue. If the active backend has no int8 kernels they fall back to
+// the fp32 kernels (dequantizing the panel once), so call sites can
+// branch on quant::int8_fast_path() for speed but never for safety.
+
+/// y = x(MxK) * dequant(qw)(NxK)^T [+ bias(N)]. `bias` may be empty
+/// (rank 0) for a pure matmul_nt against a quantized panel.
+Tensor linear_quantized(const Tensor& x, const quant::QuantizedTensor& qw,
+                        const Tensor& bias);
+
+/// C = A(MxK) * dequant(qb)(NxK)^T — matmul_nt against a pre-quantized
+/// right-hand panel.
+Tensor matmul_nt_quantized(const Tensor& a, const quant::QuantizedTensor& qb);
+
+/// C = A(MxK) * B(NxK)^T with BOTH sides quantized dynamically per call
+/// (used for attention scores where neither operand is a weight).
+Tensor matmul_nt_dyn_quantized(const Tensor& a, const Tensor& b);
 
 // ---- Elementwise / rowwise ----
 

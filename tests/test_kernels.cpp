@@ -12,19 +12,31 @@
 //   3. Determinism — within one backend, volume results are
 //      byte-identical across thread counts (the test_volume_parallel
 //      contract, re-run per backend).
+//
+// The int8 quantization path (tensor/quant.hpp) is held to the same
+// three layers, plus two contracts of its own: int8 payloads and scales
+// are bit-identical across backends (the shared single-op scale
+// formulas), and cached artifacts never alias across precisions (the
+// fingerprint / feature-cache key folds).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <filesystem>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "zenesis/core/pipeline.hpp"
 #include "zenesis/eval/metrics.hpp"
 #include "zenesis/fibsem/synth.hpp"
 #include "zenesis/image/normalize.hpp"
+#include "zenesis/models/feature_cache.hpp"
 #include "zenesis/tensor/kernels.hpp"
 #include "zenesis/tensor/ops.hpp"
+#include "zenesis/tensor/quant.hpp"
 
 namespace {
 
@@ -59,12 +71,18 @@ void expect_close(const tensor::Tensor& got, const tensor::Tensor& ref,
   }
 }
 
-/// Saves and restores the process-wide backend selection, so a failing
-/// test cannot leak a forced backend into later tests.
+/// Saves and restores the process-wide backend AND precision
+/// selections, so a failing test cannot leak either into later tests.
 class KernelBackendTest : public ::testing::Test {
  protected:
-  void SetUp() override { saved_ = tensor::backend_name(); }
-  void TearDown() override { tensor::set_backend(saved_); }
+  void SetUp() override {
+    saved_ = tensor::backend_name();
+    saved_precision_ = tensor::quant::precision_name();
+  }
+  void TearDown() override {
+    tensor::set_backend(saved_);
+    tensor::quant::set_precision(saved_precision_);
+  }
 
   static std::vector<std::string> fast_backends() {
     std::vector<std::string> out;
@@ -75,6 +93,7 @@ class KernelBackendTest : public ::testing::Test {
   }
 
   std::string saved_;
+  std::string saved_precision_;
 };
 
 // M/K/N sweep: powers of two (pure tile paths), primes and odd sizes
@@ -303,6 +322,399 @@ TEST_F(KernelBackendTest, EndToEndMaskAccuracyAcrossBackends) {
       const eval::Metrics gt = eval::compute_metrics(got.mask, slice.ground_truth);
       EXPECT_GE(gt.iou, ref_gt.iou - 0.01)
           << backend << " vs ground truth, " << fibsem::sample_type_name(type);
+    }
+  }
+}
+
+// ---- int8 quantization path --------------------------------------------
+
+TEST_F(KernelBackendTest, Int8SupportRegistry) {
+  // Every shipped backend provides the int8 kernel triple; unknown names
+  // report unsupported (the validate() combo check relies on this).
+  for (const auto& name : tensor::available_backends()) {
+    EXPECT_TRUE(tensor::backend_supports_int8(name)) << name;
+  }
+  EXPECT_FALSE(tensor::backend_supports_int8("not-a-backend"));
+  EXPECT_FALSE(tensor::backend_supports_int8(""));
+}
+
+TEST_F(KernelBackendTest, QuantizeRoundTripPerBackend) {
+  for (const auto& name : tensor::available_backends()) {
+    ASSERT_TRUE(tensor::set_backend(name));
+    for (const std::int64_t n : {1, 2, 7, 16, 31, 32, 33, 64, 257}) {
+      const tensor::Tensor t = filled(5, n, 100 + n);
+      const tensor::quant::QuantizedTensor q = tensor::quant::quantize_rows(t);
+      ASSERT_EQ(q.rows, 5) << name;
+      ASSERT_EQ(q.cols, n) << name;
+      // Payload stays in the symmetric range (no -128 — the AVX2
+      // maddubs exactness contract).
+      for (const std::int8_t v : q.data) {
+        ASSERT_GE(v, -127) << name << " n=" << n;
+        ASSERT_LE(v, 127) << name << " n=" << n;
+      }
+      // Round trip is within half a quantization step per element.
+      const tensor::Tensor back = tensor::quant::dequantize_rows(q);
+      for (std::int64_t i = 0; i < 5; ++i) {
+        const float step = q.scales[static_cast<std::size_t>(i)];
+        for (std::int64_t j = 0; j < n; ++j) {
+          ASSERT_NEAR(back.at(i, j), t.at(i, j), 0.5f * step + 1e-7f)
+              << name << " n=" << n << " (" << i << "," << j << ")";
+        }
+      }
+    }
+    // A zero row quantizes to a zero payload with the sentinel scale.
+    tensor::Tensor zero({2, 9});
+    const tensor::quant::QuantizedTensor qz = tensor::quant::quantize_rows(zero);
+    for (const std::int8_t v : qz.data) ASSERT_EQ(v, 0) << name;
+    for (const float s : qz.scales) ASSERT_EQ(s, 1.0f) << name;
+  }
+}
+
+TEST_F(KernelBackendTest, Int8PayloadBitIdenticalAcrossBackends) {
+  // The cross-backend contract: scale = amax/127, inv = 127/amax and
+  // nearest-even rounding are single float ops everywhere, so payloads
+  // and scales match byte for byte between backends.
+  const tensor::Tensor t = filled(17, 133, 42);  // odd cols: SIMD tails
+  ASSERT_TRUE(tensor::set_backend("scalar"));
+  const tensor::quant::QuantizedTensor ref = tensor::quant::quantize_rows(t);
+  for (const auto& name : fast_backends()) {
+    ASSERT_TRUE(tensor::set_backend(name));
+    const tensor::quant::QuantizedTensor got = tensor::quant::quantize_rows(t);
+    ASSERT_EQ(got.data.size(), ref.data.size()) << name;
+    for (std::size_t i = 0; i < ref.data.size(); ++i) {
+      ASSERT_EQ(got.data[i], ref.data[i]) << name << " payload " << i;
+    }
+    for (std::size_t i = 0; i < ref.scales.size(); ++i) {
+      ASSERT_EQ(got.scales[i], ref.scales[i]) << name << " scale " << i;
+    }
+  }
+}
+
+TEST_F(KernelBackendTest, Int8GemmEquivalenceAcrossShapes) {
+  // Layer 1 for the int8 GEMM: every backend reproduces the scalar int8
+  // reference. The i32 accumulation is exact everywhere; only the final
+  // fp32 requantize may differ by FMA contraction, hence the tight (but
+  // nonzero) tolerance.
+  for (const auto& backend : fast_backends()) {
+    for (const auto& s : kShapes) {
+      const tensor::Tensor a = filled(s.m, s.k, 11 * s.m + s.n);
+      const tensor::Tensor b_nt = filled(s.n, s.k, 31 * s.n + s.k);
+      const tensor::Tensor bias = filled(1, s.n, 47 * s.n + 5);
+      tensor::Tensor bias1({s.n});
+      std::copy(bias.data(), bias.data() + s.n, bias1.data());
+
+      ASSERT_TRUE(tensor::set_backend("scalar"));
+      const tensor::quant::QuantizedTensor qb =
+          tensor::quant::quantize_rows(b_nt);
+      const tensor::Tensor lin_ref = tensor::linear_quantized(a, qb, bias1);
+      const tensor::Tensor nt_ref = tensor::matmul_nt_quantized(a, qb);
+      const tensor::Tensor dyn_ref = tensor::matmul_nt_dyn_quantized(a, b_nt);
+
+      ASSERT_TRUE(tensor::set_backend(backend));
+      const std::string tag = backend + " m=" + std::to_string(s.m) +
+                              " k=" + std::to_string(s.k) +
+                              " n=" + std::to_string(s.n);
+      expect_close(tensor::linear_quantized(a, qb, bias1), lin_ref,
+                   "linear_quantized " + tag, 1e-5f);
+      expect_close(tensor::matmul_nt_quantized(a, qb), nt_ref,
+                   "matmul_nt_quantized " + tag, 1e-5f);
+      expect_close(tensor::matmul_nt_dyn_quantized(a, b_nt), dyn_ref,
+                   "matmul_nt_dyn_quantized " + tag, 1e-5f);
+    }
+  }
+}
+
+TEST_F(KernelBackendTest, Int8GemmApproximatesFp32) {
+  // Dequantize semantics sanity: the int8 result is the fp32 result up
+  // to quantization error (loose tolerance — ~1% relative for these
+  // magnitudes), so a wiring bug (wrong scale, wrong operand) shows up
+  // as a gross mismatch rather than passing unnoticed.
+  const tensor::Tensor a = filled(24, 96, 5);
+  const tensor::Tensor b = filled(32, 96, 6);
+  const tensor::Tensor ref = tensor::matmul_nt(a, b);
+  const tensor::Tensor got = tensor::matmul_nt_dyn_quantized(a, b);
+  ASSERT_EQ(got.shape(), ref.shape());
+  double err = 0.0, mag = 0.0;
+  for (std::size_t i = 0; i < ref.flat().size(); ++i) {
+    err += std::abs(static_cast<double>(got.flat()[i] - ref.flat()[i]));
+    mag += std::abs(static_cast<double>(ref.flat()[i]));
+  }
+  EXPECT_LT(err / mag, 0.02) << "mean relative int8 error too large";
+}
+
+TEST_F(KernelBackendTest, Int8WithinBackendByteDeterminism) {
+  // Within one backend the int8 pipeline is byte-deterministic across
+  // repeated runs (and therefore across chunk→worker assignments): the
+  // i32 accumulation is exact and the requantize order is fixed per row.
+  for (const auto& name : tensor::available_backends()) {
+    ASSERT_TRUE(tensor::set_backend(name));
+    const tensor::Tensor a = filled(67, 96, 1);
+    const tensor::Tensor b = filled(71, 96, 3);
+    tensor::Tensor bias({71});
+    const tensor::quant::QuantizedTensor qb = tensor::quant::quantize_rows(b);
+    const tensor::Tensor first = tensor::linear_quantized(a, qb, bias);
+    for (int rep = 0; rep < 3; ++rep) {
+      const tensor::Tensor again = tensor::linear_quantized(a, qb, bias);
+      const auto f1 = first.flat(), f2 = again.flat();
+      for (std::size_t i = 0; i < f1.size(); ++i) {
+        ASSERT_EQ(f1[i], f2[i]) << name << " rep " << rep << " elem " << i;
+      }
+    }
+  }
+}
+
+TEST_F(KernelBackendTest, QuantizedWeightsMemoizes) {
+  const tensor::Tensor w = filled(16, 32, 9);
+  const tensor::quant::QuantizedWeights panel;
+  const tensor::quant::QuantizedTensor& first = panel.get(w);
+  const tensor::quant::QuantizedTensor& second = panel.get(w);
+  // Same object, not merely equal contents — get() must not re-quantize.
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(first.rows, 16);
+  EXPECT_EQ(first.cols, 32);
+}
+
+TEST_F(KernelBackendTest, KernelSelectorFallsBackWithWarning) {
+  // The ZENESIS_KERNEL resolution rule (init_from_env calls exactly this
+  // function once per process): unknown names fall back to the best
+  // backend with a one-line warning; known names resolve silently.
+  std::string warning;
+  const auto& fallback =
+      tensor::kernels::resolve_selector("not-a-backend", &warning);
+  EXPECT_STREQ(fallback.name, tensor::available_backends().front().c_str());
+  EXPECT_NE(warning.find("ZENESIS_KERNEL"), std::string::npos);
+  EXPECT_NE(warning.find("not-a-backend"), std::string::npos);
+
+  warning = "stale";
+  const auto& empty = tensor::kernels::resolve_selector("", &warning);
+  EXPECT_STREQ(empty.name, tensor::available_backends().front().c_str());
+  EXPECT_TRUE(warning.empty()) << warning;
+
+  const auto& scalar = tensor::kernels::resolve_selector("scalar", &warning);
+  EXPECT_STREQ(scalar.name, "scalar");
+  EXPECT_TRUE(warning.empty()) << warning;
+}
+
+TEST_F(KernelBackendTest, PrecisionSelectorFallsBackWithWarning) {
+  // Same contract for ZENESIS_PRECISION.
+  std::string warning;
+  EXPECT_EQ(tensor::quant::resolve_precision_selector("bogus", &warning),
+            tensor::quant::Precision::kFp32);
+  EXPECT_NE(warning.find("ZENESIS_PRECISION"), std::string::npos);
+  EXPECT_NE(warning.find("bogus"), std::string::npos);
+
+  for (const char* ok : {"", "auto", "fp32"}) {
+    warning = "stale";
+    EXPECT_EQ(tensor::quant::resolve_precision_selector(ok, &warning),
+              tensor::quant::Precision::kFp32)
+        << ok;
+    EXPECT_TRUE(warning.empty()) << ok << ": " << warning;
+  }
+  // int8 resolves cleanly when the active backend has int8 kernels
+  // (every shipped backend does).
+  warning = "stale";
+  EXPECT_EQ(tensor::quant::resolve_precision_selector("int8", &warning),
+            tensor::quant::Precision::kInt8);
+  EXPECT_TRUE(warning.empty()) << warning;
+}
+
+TEST_F(KernelBackendTest, SetPrecisionAndFastPath) {
+  ASSERT_TRUE(tensor::quant::set_precision("fp32"));
+  EXPECT_STREQ(tensor::quant::precision_name(), "fp32");
+  EXPECT_FALSE(tensor::quant::int8_fast_path());
+
+  ASSERT_TRUE(tensor::quant::set_precision("int8"));
+  EXPECT_STREQ(tensor::quant::precision_name(), "int8");
+  EXPECT_TRUE(tensor::quant::int8_fast_path());
+
+  // A failed set leaves the selection untouched.
+  EXPECT_FALSE(tensor::quant::set_precision("fp16"));
+  EXPECT_STREQ(tensor::quant::precision_name(), "int8");
+
+  EXPECT_TRUE(tensor::quant::precision_available("auto"));
+  EXPECT_TRUE(tensor::quant::precision_available("fp32"));
+  EXPECT_TRUE(tensor::quant::precision_available("int8"));
+  EXPECT_FALSE(tensor::quant::precision_available("fp16"));
+}
+
+TEST_F(KernelBackendTest, PipelineConfigValidatesPrecisionKnob) {
+  core::PipelineConfig cfg;
+  cfg.precision = "fp16";
+  const auto issues = cfg.validate();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].find("precision"), std::string::npos);
+  EXPECT_THROW(core::ZenesisPipeline{cfg}, std::invalid_argument);
+
+  // Every shipped backend provides int8 kernels, so the concrete combos
+  // validate cleanly (the lacking-int8 branch is reachable only through
+  // backend_supports_int8, covered by Int8SupportRegistry).
+  for (const char* p : {"auto", "fp32", "int8"}) {
+    cfg.precision = p;
+    for (const auto& backend : tensor::available_backends()) {
+      cfg.kernel_backend = backend;
+      EXPECT_TRUE(cfg.validate().empty()) << p << " on " << backend;
+    }
+  }
+}
+
+TEST_F(KernelBackendTest, FingerprintSeparatesPrecisions) {
+  // Cached masks must never alias across precisions.
+  core::PipelineConfig fp32_cfg, int8_cfg, auto_cfg;
+  fp32_cfg.precision = "fp32";
+  int8_cfg.precision = "int8";
+  EXPECT_NE(core::decode_config_fingerprint(fp32_cfg),
+            core::decode_config_fingerprint(int8_cfg));
+  // "auto" hashes the resolved name — same rule as the backend knob.
+  ASSERT_TRUE(tensor::quant::set_precision("int8"));
+  auto_cfg.precision = "auto";
+  EXPECT_EQ(core::decode_config_fingerprint(auto_cfg),
+            core::decode_config_fingerprint(int8_cfg));
+  ASSERT_TRUE(tensor::quant::set_precision("fp32"));
+  EXPECT_EQ(core::decode_config_fingerprint(auto_cfg),
+            core::decode_config_fingerprint(fp32_cfg));
+}
+
+TEST_F(KernelBackendTest, FeatureCacheSeparatesPrecisions) {
+  // The feature-cache key (L1 and the persistent disk tier) folds the
+  // active precision: embeddings persisted under fp32 must be a clean
+  // miss under int8 — not a silently served cross-precision hit — and
+  // must hit again once fp32 is restored.
+  namespace fs = std::filesystem;
+  static std::atomic<int> counter{0};
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("zenesis_quant_cache_" + std::to_string(::getpid()) + "_" +
+       std::to_string(counter.fetch_add(1)));
+  fs::create_directories(dir);
+
+  models::BackboneConfig bb;
+  bb.patch_size = 8;
+  bb.dim = 32;
+  bb.blocks = 1;
+  const models::VisionBackbone backbone(bb);
+  const fibsem::SynthConfig synth = [] {
+    fibsem::SynthConfig s;
+    s.width = 48;
+    s.height = 48;
+    s.depth = 1;
+    s.seed = 77;
+    return s;
+  }();
+  const fibsem::SyntheticSlice slice = fibsem::generate_slice(synth, 0);
+  const image::ImageF32 ready =
+      image::make_ai_ready(image::AnyImage(slice.raw), {});
+
+  models::FeatureCacheConfig cache_cfg;
+  cache_cfg.disk_path = dir.string();
+
+  ASSERT_TRUE(tensor::quant::set_precision("fp32"));
+  const std::uint64_t h_fp32 = cache::hash_backbone_config(bb);
+  {
+    models::FeatureCache warm(cache_cfg);
+    (void)warm.encode(ready, backbone);  // miss → L1 + disk write
+    const auto s = warm.stats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.disk_writes, 1u);
+  }
+
+  ASSERT_TRUE(tensor::quant::set_precision("int8"));
+  EXPECT_NE(cache::hash_backbone_config(bb), h_fp32);
+  {
+    models::FeatureCache cold(cache_cfg);
+    (void)cold.encode(ready, backbone);  // same image, other precision
+    const auto s = cold.stats();
+    EXPECT_EQ(s.disk_hits, 0u) << "fp32 embedding served under int8";
+    EXPECT_EQ(s.misses, 1u);
+  }
+
+  ASSERT_TRUE(tensor::quant::set_precision("fp32"));
+  {
+    models::FeatureCache back(cache_cfg);
+    (void)back.encode(ready, backbone);
+    const auto s = back.stats();
+    EXPECT_EQ(s.disk_hits, 1u) << "fp32 embedding lost from the store";
+    EXPECT_EQ(s.misses, 0u);
+  }
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
+TEST_F(KernelBackendTest, Int8EndToEndMaskAccuracyPerBackend) {
+  // The quantization accuracy gate: under every backend, the int8
+  // pipeline mask must match that backend's fp32 mask at IoU/Dice >=
+  // 0.99 and lose at most 0.01 ground-truth IoU, on both morphologies.
+  fibsem::SynthConfig synth;
+  synth.width = 96;
+  synth.height = 96;
+  synth.depth = 1;
+  synth.seed = 902;
+  synth.needle_count = 12;
+
+  for (const auto type :
+       {fibsem::SampleType::kCrystalline, fibsem::SampleType::kAmorphous}) {
+    synth.type = type;
+    const fibsem::SyntheticSlice slice = fibsem::generate_slice(synth, 0);
+    const std::string prompt = fibsem::default_prompt(type);
+
+    for (const auto& backend : tensor::available_backends()) {
+      core::PipelineConfig cfg;
+      cfg.kernel_backend = backend;
+
+      cfg.precision = "fp32";
+      const core::SliceResult ref =
+          core::ZenesisPipeline(cfg).segment(image::AnyImage(slice.raw), prompt);
+      const eval::Metrics ref_gt =
+          eval::compute_metrics(ref.mask, slice.ground_truth);
+
+      cfg.precision = "int8";
+      const core::SliceResult got =
+          core::ZenesisPipeline(cfg).segment(image::AnyImage(slice.raw), prompt);
+      const eval::Metrics m = eval::compute_metrics(got.mask, ref.mask);
+      EXPECT_GE(m.iou, 0.99) << backend << " int8 vs fp32, "
+                             << fibsem::sample_type_name(type);
+      EXPECT_GE(m.dice, 0.99) << backend << " int8 vs fp32, "
+                              << fibsem::sample_type_name(type);
+      const eval::Metrics gt =
+          eval::compute_metrics(got.mask, slice.ground_truth);
+      EXPECT_GE(gt.iou, ref_gt.iou - 0.01)
+          << backend << " int8 vs ground truth, "
+          << fibsem::sample_type_name(type);
+    }
+  }
+}
+
+TEST_F(KernelBackendTest, VolumeDeterminismUnderInt8) {
+  // The Mode-B byte-determinism contract holds on the int8 path too:
+  // volume_threads 1 and 4 produce identical masks and confidences.
+  fibsem::SynthConfig synth;
+  synth.width = 64;
+  synth.height = 64;
+  synth.depth = 3;
+  synth.seed = 311;
+  synth.needle_count = 8;
+  const fibsem::SyntheticVolume vol = fibsem::generate_volume(synth);
+  const std::string prompt =
+      fibsem::default_prompt(fibsem::SampleType::kCrystalline);
+
+  core::PipelineConfig cfg;
+  cfg.precision = "int8";
+  cfg.volume_threads = 1;
+  const core::VolumeResult serial = core::ZenesisPipeline(cfg).segment_volume(
+      core::VolumeRequest::view(vol.volume, prompt));
+  cfg.volume_threads = 4;
+  const core::VolumeResult parallel = core::ZenesisPipeline(cfg).segment_volume(
+      core::VolumeRequest::view(vol.volume, prompt));
+
+  ASSERT_EQ(serial.slices.size(), parallel.slices.size());
+  for (std::size_t z = 0; z < serial.slices.size(); ++z) {
+    EXPECT_EQ(serial.slices[z].confidence, parallel.slices[z].confidence)
+        << "slice " << z;
+    const auto pa = serial.slices[z].mask.pixels();
+    const auto pb = parallel.slices[z].mask.pixels();
+    ASSERT_EQ(pa.size(), pb.size()) << "slice " << z;
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      ASSERT_EQ(pa[i], pb[i]) << "slice " << z << " pixel " << i;
     }
   }
 }

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI entry point: build + test the repo six times — a default
+# CI entry point: build + test the repo seven times — a default
 # RelWithDebInfo build running the full tier-1 suite, a ThreadSanitizer
 # build race-checking the concurrency surface (thread pool, parallel
 # Mode-B pipelines, feature cache, segmentation service, streaming TIFF
@@ -8,13 +8,16 @@
 # standalone UBSan build replaying the fuzz corpus with recovery
 # disabled (any UB aborts), a rerun of the default suite with
 # ZENESIS_TRACE=1 so every test also exercises the observability
-# recording path (seqlock rings, trace-id stitching), and a rerun with
+# recording path (seqlock rings, trace-id stitching), a rerun with
 # ZENESIS_KERNEL=scalar pinning every test to the scalar reference
 # backend — dispatch-parity proof that backend selection is a pure
-# performance knob.
+# performance knob — and an int8 rerun (ZENESIS_PRECISION=int8) of the
+# kernel suite under the ASAN and UBSan builds, so the quantized GEMM
+# path (saturating requantize, SIMD tails, accuracy gate) is
+# sanitizer-checked every run.
 #
 # Usage:
-#   tools/ci.sh                # default + TSAN + ASAN + UBSAN + traced + scalar
+#   tools/ci.sh                # default + TSAN + ASAN + UBSAN + traced + scalar + int8
 #   CI_TSAN_ALL=1 tools/ci.sh  # run the ENTIRE suite under TSAN (slow)
 #   CI_ASAN_ALL=1 tools/ci.sh  # run the ENTIRE suite under ASAN (slow)
 #   CI_JOBS=8 tools/ci.sh      # override build/test parallelism
@@ -31,15 +34,16 @@ JOBS="${CI_JOBS:-$(nproc)}"
 # test_cache matches test_cache, test_cache_disk and test_cache_stress,
 # so the sharded-LRU contention stress and disk-tier corruption suite
 # run under every sanitizer too. test_kernels puts the AVX2/blocked
-# micro-kernels (tile edges, packed panels) under ASAN/TSAN/UBSan.
+# micro-kernels (tile edges, packed panels, int8 quantization) under
+# ASAN/TSAN/UBSan.
 SAN_FILTER="${CI_SAN_FILTER:-test_parallel|test_volume_parallel|test_batch_images|test_serve|test_obs|test_pipeline|test_session|test_integration|test_tiff|test_cache|test_kernels}"
 
-echo "=== [1/6] default build + full tier-1 suite ==="
+echo "=== [1/7] default build + full tier-1 suite ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [2/6] ThreadSanitizer build + concurrency suite ==="
+echo "=== [2/7] ThreadSanitizer build + concurrency suite ==="
 cmake -B build-tsan -S . -DZENESIS_SANITIZE=thread \
       -DZENESIS_BUILD_BENCH=OFF -DZENESIS_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j "$JOBS"
@@ -49,7 +53,7 @@ else
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R "$SAN_FILTER"
 fi
 
-echo "=== [3/6] AddressSanitizer build + concurrency suite ==="
+echo "=== [3/7] AddressSanitizer build + concurrency suite ==="
 cmake -B build-asan -S . -DZENESIS_SANITIZE=address \
       -DZENESIS_BUILD_BENCH=OFF -DZENESIS_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-asan -j "$JOBS"
@@ -59,16 +63,25 @@ else
   ctest --test-dir build-asan --output-on-failure -j "$JOBS" -R "$SAN_FILTER"
 fi
 
-echo "=== [4/6] UndefinedBehaviorSanitizer build + fuzz/corruption/kernel corpora ==="
+echo "=== [4/7] UndefinedBehaviorSanitizer build + fuzz/corruption/kernel corpora ==="
 cmake -B build-ubsan -S . -DZENESIS_SANITIZE=undefined \
       -DZENESIS_BUILD_BENCH=OFF -DZENESIS_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-ubsan -j "$JOBS"
 ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" -R "test_tiff|test_cache|test_kernels"
 
-echo "=== [5/6] tracing-enabled rerun of the default suite (ZENESIS_TRACE=1) ==="
+echo "=== [5/7] tracing-enabled rerun of the default suite (ZENESIS_TRACE=1) ==="
 ZENESIS_TRACE=1 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [6/6] scalar-backend rerun of the default suite (ZENESIS_KERNEL=scalar) ==="
+echo "=== [6/7] scalar-backend rerun of the default suite (ZENESIS_KERNEL=scalar) ==="
 ZENESIS_KERNEL=scalar ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "=== [7/7] int8-precision kernel suite under ASAN + UBSan (ZENESIS_PRECISION=int8) ==="
+# Every test in test_kernels — the int8 accuracy gate included — with
+# the process-wide precision forced to int8, under both memory and UB
+# sanitizers: overflow in the saturating requantize, out-of-bounds in
+# the SIMD pack/unpack tails, or a quantization-induced mask drift all
+# fail this stage.
+ZENESIS_PRECISION=int8 ctest --test-dir build-asan --output-on-failure -j "$JOBS" -R "test_kernels"
+ZENESIS_PRECISION=int8 ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" -R "test_kernels"
 
 echo "CI OK"
