@@ -1,0 +1,212 @@
+#include "zenesis/net/client.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace zenesis::net {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+Client::Client(int fd, NetLimits limits)
+    : fd_(fd), limits_(limits), decoder_(limits) {}
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      limits_(other.limits_),
+      decoder_(std::move(other.decoder_)),
+      next_id_(other.next_id_),
+      inbox_(std::move(other.inbox_)),
+      peer_closed_(other.peer_closed_),
+      decode_failed_(other.decode_failed_) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    limits_ = other.limits_;
+    decoder_ = std::move(other.decoder_);
+    next_id_ = other.next_id_;
+    inbox_ = std::move(other.inbox_);
+    peer_closed_ = other.peer_closed_;
+    decode_failed_ = other.decode_failed_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+std::pair<Client, int> Client::loopback_pair(NetLimits limits) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw std::runtime_error("net::Client: socketpair() failed");
+  }
+  return {Client(fds[0], limits), fds[1]};
+}
+
+bool Client::send_bytes(const void* data, std::size_t n) {
+  if (fd_ < 0) return false;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    peer_closed_ = true;
+    return false;
+  }
+  return true;
+}
+
+void Client::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::hello(std::uint32_t tenant, std::chrono::milliseconds timeout) {
+  if (!send_bytes(encode_hello(tenant))) return false;
+  const std::optional<ServerMessage> msg = recv(timeout);
+  return msg && msg->type == FrameType::kHelloAck;
+}
+
+std::uint64_t Client::submit_slice(const image::AnyImage& image,
+                                   const std::string& prompt,
+                                   const WireRequestOptions& opts,
+                                   std::uint64_t request_id) {
+  const std::uint64_t rid = request_id != 0 ? request_id : next_id_++;
+  if (!send_bytes(encode_slice_request(rid, image, prompt, opts))) return 0;
+  return rid;
+}
+
+std::uint64_t Client::submit_volume_file(const std::string& path,
+                                         const std::string& prompt,
+                                         const WireRequestOptions& opts,
+                                         std::uint64_t request_id) {
+  const std::uint64_t rid = request_id != 0 ? request_id : next_id_++;
+  if (!send_bytes(encode_volume_file_request(rid, path, prompt, opts))) {
+    return 0;
+  }
+  return rid;
+}
+
+bool Client::cancel(std::uint64_t request_id) {
+  return send_bytes(encode_cancel(request_id));
+}
+
+bool Client::ping(const std::vector<std::uint8_t>& payload,
+                  std::chrono::milliseconds timeout) {
+  if (!send_bytes(encode_ping(payload))) return false;
+  const Clock::time_point deadline = Clock::now() + timeout;
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0) return false;
+    std::optional<ServerMessage> msg = recv_wire(left);
+    if (!msg) return false;
+    if (msg->type == FrameType::kPong) return msg->ping_payload == payload;
+    inbox_.push_back(std::move(*msg));  // unrelated traffic: keep it
+  }
+}
+
+bool Client::read_some(std::chrono::milliseconds timeout) {
+  if (fd_ < 0 || peer_closed_) return false;
+  pollfd pfd{fd_, POLLIN, 0};
+  const int rc =
+      ::poll(&pfd, 1, static_cast<int>(std::max<long long>(0, timeout.count())));
+  if (rc <= 0) return false;
+  std::uint8_t buf[65536];
+  const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+  if (n <= 0) {
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return false;
+    }
+    peer_closed_ = true;
+    return false;
+  }
+  decoder_.feed(buf, static_cast<std::size_t>(n));
+  return true;
+}
+
+std::optional<ServerMessage> Client::recv(std::chrono::milliseconds timeout) {
+  if (!inbox_.empty()) {
+    ServerMessage msg = std::move(inbox_.front());
+    inbox_.pop_front();
+    return msg;
+  }
+  return recv_wire(timeout);
+}
+
+std::optional<ServerMessage> Client::recv_wire(
+    std::chrono::milliseconds timeout) {
+  if (decode_failed_) return std::nullopt;
+  const Clock::time_point deadline = Clock::now() + timeout;
+  for (;;) {
+    Frame frame;
+    const FrameDecoder::Status st = decoder_.next(frame);
+    if (st == FrameDecoder::Status::kFrame) {
+      std::optional<ServerMessage> msg = parse_server_frame(frame, limits_);
+      if (!msg) {
+        decode_failed_ = true;
+        return std::nullopt;
+      }
+      return msg;
+    }
+    if (st == FrameDecoder::Status::kError) {
+      decode_failed_ = true;
+      return std::nullopt;
+    }
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0) return std::nullopt;
+    if (!read_some(left) && peer_closed_) return std::nullopt;
+  }
+}
+
+std::optional<ServerMessage> Client::wait_for(
+    std::uint64_t request_id, std::chrono::milliseconds timeout) {
+  const auto is_terminal_for = [request_id](const ServerMessage& m) {
+    return m.request_id == request_id &&
+           (m.type == FrameType::kResponse || m.type == FrameType::kRejected ||
+            m.type == FrameType::kError);
+  };
+  for (auto it = inbox_.begin(); it != inbox_.end(); ++it) {
+    if (is_terminal_for(*it)) {
+      ServerMessage msg = std::move(*it);
+      inbox_.erase(it);
+      return msg;
+    }
+  }
+  const Clock::time_point deadline = Clock::now() + timeout;
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0) return std::nullopt;
+    std::optional<ServerMessage> msg = recv_wire(left);
+    if (!msg) {
+      if (peer_closed_ || decode_failed_) return std::nullopt;
+      continue;
+    }
+    if (is_terminal_for(*msg)) return msg;
+    inbox_.push_back(std::move(*msg));
+  }
+}
+
+}  // namespace zenesis::net

@@ -1,0 +1,110 @@
+#pragma once
+// zenesis::net::Client — deterministic blocking loopback client for the
+// zen_net server. This is test/tool infrastructure, not a production SDK:
+// every test in test_net*.cpp, the protocol fuzzer, and the zen_load CLI
+// drive the server through this one class, so its surface is deliberately
+// small and fully synchronous (poll-with-timeout on one fd, no threads).
+//
+// The raw escape hatches (send_bytes / shutdown_write / close) exist for
+// the fault-injection and fuzz suites: they let a test write arbitrary
+// bytes mid-conversation, half-close the socket, or vanish abruptly while
+// requests are in flight.
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "zenesis/image/image.hpp"
+#include "zenesis/net/frame.hpp"
+
+namespace zenesis::net {
+
+class Client {
+ public:
+  /// Takes ownership of a connected stream socket fd.
+  explicit Client(int fd, NetLimits limits = {});
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// socketpair() loopback: returns the client plus the server-side fd to
+  /// hand to Server::adopt. Throws std::runtime_error on socketpair failure.
+  static std::pair<Client, int> loopback_pair(NetLimits limits = {});
+
+  /// Sends Hello and waits for the HelloAck. False on timeout/error.
+  bool hello(std::uint32_t tenant,
+             std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+
+  /// Sends a request frame; returns the auto-assigned request id (or the
+  /// id in opts_request_id when nonzero). 0 = send failed.
+  std::uint64_t submit_slice(const image::AnyImage& image,
+                             const std::string& prompt,
+                             const WireRequestOptions& opts = {},
+                             std::uint64_t request_id = 0);
+  std::uint64_t submit_volume_file(const std::string& path,
+                                   const std::string& prompt,
+                                   const WireRequestOptions& opts = {},
+                                   std::uint64_t request_id = 0);
+
+  bool cancel(std::uint64_t request_id);
+
+  /// Ping round-trip; true when the echoed payload matches.
+  bool ping(const std::vector<std::uint8_t>& payload,
+            std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+
+  /// Next decoded server message (buffered ones first). nullopt on
+  /// timeout, EOF, or a wire-level decode failure (see peer_closed /
+  /// decode_failed to distinguish).
+  std::optional<ServerMessage> recv(
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+
+  /// Waits for the terminal frame (Response/Rejected/Error) of
+  /// `request_id`, buffering unrelated messages for later recv() calls.
+  std::optional<ServerMessage> wait_for(
+      std::uint64_t request_id,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(30000));
+
+  // --- raw fault-injection surface ---------------------------------------
+
+  /// Writes exactly n bytes (looping over partial sends). False when the
+  /// peer is gone.
+  bool send_bytes(const void* data, std::size_t n);
+  bool send_bytes(const std::vector<std::uint8_t>& bytes) {
+    return send_bytes(bytes.data(), bytes.size());
+  }
+  /// Half-close: no more writes, reads keep working (the server owes us
+  /// responses for everything already sent).
+  void shutdown_write();
+  /// Abrupt full close (simulates a vanished peer).
+  void close();
+
+  int fd() const noexcept { return fd_; }
+  bool peer_closed() const noexcept { return peer_closed_; }
+  bool decode_failed() const noexcept { return decode_failed_; }
+  std::uint64_t next_request_id() noexcept { return next_id_++; }
+
+ private:
+  /// Polls for readability and feeds one recv() worth of bytes into the
+  /// decoder. False on timeout/EOF/error.
+  bool read_some(std::chrono::milliseconds timeout);
+  /// Next message straight off the wire, bypassing the inbox (wait_for
+  /// uses this so re-buffered messages cannot starve socket reads).
+  std::optional<ServerMessage> recv_wire(std::chrono::milliseconds timeout);
+
+  int fd_ = -1;
+  NetLimits limits_;
+  FrameDecoder decoder_;
+  std::uint64_t next_id_ = 1;
+  std::deque<ServerMessage> inbox_;
+  bool peer_closed_ = false;
+  bool decode_failed_ = false;
+};
+
+}  // namespace zenesis::net

@@ -1,0 +1,601 @@
+#include "zenesis/net/frame.hpp"
+
+#include <cstring>
+#include <utility>
+
+namespace zenesis::net {
+
+namespace {
+
+// Caps for the string fields of server→client frames (client-side decode
+// hardening; the server composes these itself).
+constexpr std::uint32_t kMaxStageBytes = 256;
+constexpr std::uint32_t kMaxMessageBytes = 4096;
+constexpr std::uint32_t kMaxErrorCode = 9;  ///< last core::ErrorCode value
+
+void put_header(std::vector<std::uint8_t>& out, FrameType type,
+                std::uint64_t request_id, std::size_t payload_len) {
+  PayloadWriter w;
+  w.u32(kMagic);
+  w.u16(kProtocolVersion);
+  w.u16(static_cast<std::uint16_t>(type));
+  w.u64(request_id);
+  w.u32(static_cast<std::uint32_t>(payload_len));
+  const auto& h = w.data();
+  out.insert(out.end(), h.begin(), h.end());
+}
+
+std::vector<std::uint8_t> make_frame(FrameType type, std::uint64_t request_id,
+                                     PayloadWriter&& payload) {
+  std::vector<std::uint8_t> body = payload.take();
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kHeaderBytes + body.size());
+  put_header(frame, type, request_id, body.size());
+  frame.insert(frame.end(), body.begin(), body.end());
+  return frame;
+}
+
+/// Variant index ↔ wire pixel format (0=u8, 1=u16, 2=u32, 3=f32).
+template <typename T>
+constexpr std::uint8_t pixel_format_of() {
+  if constexpr (std::is_same_v<T, std::uint8_t>) return 0;
+  if constexpr (std::is_same_v<T, std::uint16_t>) return 1;
+  if constexpr (std::is_same_v<T, std::uint32_t>) return 2;
+  return 3;
+}
+
+void write_request_options(PayloadWriter& w, const WireRequestOptions& opts) {
+  w.i32(opts.priority);
+  w.u32(opts.deadline_ms);
+  w.u64(opts.trace_id);
+}
+
+bool read_request_options(PayloadReader& r, WireRequestOptions& opts) {
+  return r.i32(opts.priority) && r.u32(opts.deadline_ms) &&
+         r.u64(opts.trace_id);
+}
+
+void write_mask(PayloadWriter& w, const image::Mask& mask) {
+  w.u32(static_cast<std::uint32_t>(mask.width()));
+  w.u32(static_cast<std::uint32_t>(mask.height()));
+  const auto px = mask.pixels();
+  w.bytes(px.data(), px.size());
+}
+
+bool read_mask(PayloadReader& r, const NetLimits& limits, image::Mask& out) {
+  std::uint32_t w = 0, h = 0;
+  if (!r.u32(w) || !r.u32(h)) return false;
+  const std::uint64_t pixels = static_cast<std::uint64_t>(w) * h;
+  if (pixels > limits.max_pixels || pixels > r.remaining()) return false;
+  image::Mask mask(static_cast<std::int64_t>(w), static_cast<std::int64_t>(h));
+  if (!r.bytes(mask.pixels().data(), static_cast<std::size_t>(pixels))) {
+    return false;
+  }
+  out = std::move(mask);
+  return true;
+}
+
+void write_box(PayloadWriter& w, const image::Box& box) {
+  w.i64(box.x);
+  w.i64(box.y);
+  w.i64(box.w);
+  w.i64(box.h);
+}
+
+bool read_box(PayloadReader& r, image::Box& box) {
+  return r.i64(box.x) && r.i64(box.y) && r.i64(box.w) && r.i64(box.h);
+}
+
+bool read_error(PayloadReader& r, core::Error& error) {
+  std::uint8_t code = 0;
+  if (!r.u8(code) || code > kMaxErrorCode) return false;
+  error.code = static_cast<core::ErrorCode>(code);
+  return r.str(error.stage, kMaxStageBytes) &&
+         r.str(error.message, kMaxMessageBytes);
+}
+
+void write_error(PayloadWriter& w, const core::Error& error) {
+  w.u8(static_cast<std::uint8_t>(error.code));
+  w.str(error.stage);
+  w.str(error.message);
+}
+
+}  // namespace
+
+bool is_client_frame(FrameType t) noexcept {
+  switch (t) {
+    case FrameType::kHello:
+    case FrameType::kSlice:
+    case FrameType::kVolumeFile:
+    case FrameType::kCancel:
+    case FrameType::kPing:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_known_frame(std::uint16_t t) noexcept {
+  switch (static_cast<FrameType>(t)) {
+    case FrameType::kHello:
+    case FrameType::kSlice:
+    case FrameType::kVolumeFile:
+    case FrameType::kCancel:
+    case FrameType::kPing:
+    case FrameType::kHelloAck:
+    case FrameType::kResponse:
+    case FrameType::kRejected:
+    case FrameType::kError:
+    case FrameType::kPong:
+      return true;
+  }
+  return false;
+}
+
+const char* to_string(WireReject reason) noexcept {
+  switch (reason) {
+    case WireReject::kNone: return "None";
+    case WireReject::kQueueFull: return "QueueFull";
+    case WireReject::kDeadlineExpired: return "DeadlineExpired";
+    case WireReject::kShuttingDown: return "ShuttingDown";
+    case WireReject::kCancelled: return "Cancelled";
+    case WireReject::kTenantQuota: return "TenantQuota";
+    case WireReject::kOverloaded: return "Overloaded";
+  }
+  return "?";
+}
+
+const char* to_string(WireErrorKind kind) noexcept {
+  switch (kind) {
+    case WireErrorKind::kNone: return "None";
+    case WireErrorKind::kBadMagic: return "BadMagic";
+    case WireErrorKind::kBadVersion: return "BadVersion";
+    case WireErrorKind::kBadType: return "BadType";
+    case WireErrorKind::kOversized: return "Oversized";
+    case WireErrorKind::kBadPayload: return "BadPayload";
+    case WireErrorKind::kBadState: return "BadState";
+    case WireErrorKind::kTruncated: return "Truncated";
+    case WireErrorKind::kTimeout: return "Timeout";
+  }
+  return "?";
+}
+
+// --- PayloadWriter -------------------------------------------------------
+
+void PayloadWriter::u8(std::uint8_t v) { out_.push_back(v); }
+void PayloadWriter::u16(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v));
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+void PayloadWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+void PayloadWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+void PayloadWriter::i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+void PayloadWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+void PayloadWriter::f32(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u32(bits);
+}
+void PayloadWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+void PayloadWriter::bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  out_.insert(out_.end(), p, p + n);
+}
+void PayloadWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes(s.data(), s.size());
+}
+
+// --- PayloadReader -------------------------------------------------------
+
+bool PayloadReader::bytes(void* out, std::size_t n) {
+  if (n > size_ - pos_) return false;
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+  return true;
+}
+bool PayloadReader::u8(std::uint8_t& v) { return bytes(&v, 1); }
+bool PayloadReader::u16(std::uint16_t& v) {
+  std::uint8_t b[2];
+  if (!bytes(b, 2)) return false;
+  v = static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+  return true;
+}
+bool PayloadReader::u32(std::uint32_t& v) {
+  std::uint8_t b[4];
+  if (!bytes(b, 4)) return false;
+  v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | b[i];
+  return true;
+}
+bool PayloadReader::u64(std::uint64_t& v) {
+  std::uint8_t b[8];
+  if (!bytes(b, 8)) return false;
+  v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+  return true;
+}
+bool PayloadReader::i32(std::int32_t& v) {
+  std::uint32_t u = 0;
+  if (!u32(u)) return false;
+  v = static_cast<std::int32_t>(u);
+  return true;
+}
+bool PayloadReader::i64(std::int64_t& v) {
+  std::uint64_t u = 0;
+  if (!u64(u)) return false;
+  v = static_cast<std::int64_t>(u);
+  return true;
+}
+bool PayloadReader::f32(float& v) {
+  std::uint32_t bits = 0;
+  if (!u32(bits)) return false;
+  std::memcpy(&v, &bits, sizeof(v));
+  return true;
+}
+bool PayloadReader::f64(double& v) {
+  std::uint64_t bits = 0;
+  if (!u64(bits)) return false;
+  std::memcpy(&v, &bits, sizeof(v));
+  return true;
+}
+bool PayloadReader::str(std::string& out, std::uint32_t max_len) {
+  std::uint32_t len = 0;
+  if (!u32(len) || len > max_len || len > size_ - pos_) return false;
+  out.assign(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return true;
+}
+
+// --- FrameDecoder --------------------------------------------------------
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t n) {
+  if (failed_) return;  // unframeable stream: drop further bytes
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+FrameDecoder::Status FrameDecoder::fail(WireErrorKind kind,
+                                        std::string message) {
+  failed_ = true;
+  error_kind_ = kind;
+  error_message_ = std::move(message);
+  buf_.clear();
+  pos_ = 0;
+  return Status::kError;
+}
+
+FrameDecoder::Status FrameDecoder::next(Frame& out) {
+  if (failed_) return Status::kError;
+  if (buffered() < kHeaderBytes) {
+    // Compact lazily so a long-lived connection doesn't grow the buffer.
+    if (pos_ > 0 && pos_ == buf_.size()) {
+      buf_.clear();
+      pos_ = 0;
+    }
+    return Status::kNeedMore;
+  }
+  PayloadReader r(buf_.data() + pos_, kHeaderBytes);
+  FrameHeader h;
+  r.u32(h.magic);
+  r.u16(h.version);
+  r.u16(h.type);
+  r.u64(h.request_id);
+  r.u32(h.payload_len);
+  if (h.magic != kMagic) {
+    return fail(WireErrorKind::kBadMagic, "bad frame magic");
+  }
+  if (h.version != kProtocolVersion) {
+    return fail(WireErrorKind::kBadVersion,
+                "unsupported protocol version " + std::to_string(h.version));
+  }
+  if (!is_known_frame(h.type)) {
+    return fail(WireErrorKind::kBadType,
+                "unknown frame type " + std::to_string(h.type));
+  }
+  // Length validated before any buffering decision: an adversarial
+  // payload_len can neither allocation-bomb nor wedge the connection.
+  if (h.payload_len > limits_.max_frame_bytes) {
+    return fail(WireErrorKind::kOversized,
+                "frame payload of " + std::to_string(h.payload_len) +
+                    " bytes exceeds limit of " +
+                    std::to_string(limits_.max_frame_bytes));
+  }
+  if (buffered() < kHeaderBytes + h.payload_len) return Status::kNeedMore;
+  out.header = h;
+  out.payload.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + kHeaderBytes),
+                     buf_.begin() + static_cast<std::ptrdiff_t>(
+                                        pos_ + kHeaderBytes + h.payload_len));
+  pos_ += kHeaderBytes + h.payload_len;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > (1u << 16)) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  return Status::kFrame;
+}
+
+// --- client → server encoders -------------------------------------------
+
+std::vector<std::uint8_t> encode_hello(std::uint32_t tenant,
+                                       std::uint32_t flags) {
+  PayloadWriter w;
+  w.u32(tenant);
+  w.u32(flags);
+  return make_frame(FrameType::kHello, 0, std::move(w));
+}
+
+std::vector<std::uint8_t> encode_slice_request(std::uint64_t request_id,
+                                               const image::AnyImage& image,
+                                               const std::string& prompt,
+                                               const WireRequestOptions& opts) {
+  PayloadWriter w;
+  std::visit(
+      [&](const auto& img) {
+        using Sample = std::decay_t<decltype(img.pixels()[0])>;
+        w.u8(pixel_format_of<Sample>());
+        w.u8(static_cast<std::uint8_t>(img.channels()));
+        w.u16(0);  // reserved
+        w.u32(static_cast<std::uint32_t>(img.width()));
+        w.u32(static_cast<std::uint32_t>(img.height()));
+        write_request_options(w, opts);
+        w.str(prompt);
+        const auto px = img.pixels();
+        w.bytes(px.data(), px.size() * sizeof(Sample));
+      },
+      image);
+  return make_frame(FrameType::kSlice, request_id, std::move(w));
+}
+
+std::vector<std::uint8_t> encode_volume_file_request(
+    std::uint64_t request_id, const std::string& path,
+    const std::string& prompt, const WireRequestOptions& opts) {
+  PayloadWriter w;
+  write_request_options(w, opts);
+  w.str(path);
+  w.str(prompt);
+  return make_frame(FrameType::kVolumeFile, request_id, std::move(w));
+}
+
+std::vector<std::uint8_t> encode_cancel(std::uint64_t request_id) {
+  return make_frame(FrameType::kCancel, request_id, PayloadWriter{});
+}
+
+std::vector<std::uint8_t> encode_ping(
+    const std::vector<std::uint8_t>& payload) {
+  PayloadWriter w;
+  w.bytes(payload.data(), payload.size());
+  return make_frame(FrameType::kPing, 0, std::move(w));
+}
+
+// --- server → client encoders -------------------------------------------
+
+std::vector<std::uint8_t> encode_hello_ack(std::uint32_t tenant) {
+  PayloadWriter w;
+  w.u32(tenant);
+  return make_frame(FrameType::kHelloAck, 0, std::move(w));
+}
+
+std::vector<std::uint8_t> encode_pong(
+    const std::vector<std::uint8_t>& payload) {
+  PayloadWriter w;
+  w.bytes(payload.data(), payload.size());
+  return make_frame(FrameType::kPong, 0, std::move(w));
+}
+
+std::vector<std::uint8_t> encode_slice_response(
+    std::uint64_t request_id, std::uint64_t trace_id,
+    const core::SliceResult& result, const WireTimings& timings) {
+  PayloadWriter w;
+  w.u64(trace_id);
+  w.u8(0);  // kind: slice
+  w.u8(0);
+  w.u16(0);
+  w.f64(result.confidence);
+  write_box(w, result.primary_box);
+  w.f64(timings.queue_us);
+  w.f64(timings.decode_us);
+  w.f64(timings.total_us);
+  write_mask(w, result.mask);
+  return make_frame(FrameType::kResponse, request_id, std::move(w));
+}
+
+std::vector<std::uint8_t> encode_volume_response(
+    std::uint64_t request_id, std::uint64_t trace_id,
+    const core::VolumeResult& result, const WireTimings& timings) {
+  PayloadWriter w;
+  w.u64(trace_id);
+  w.u8(3);  // kind: volume (serve::RequestKind::kVolume)
+  w.u8(0);
+  w.u16(0);
+  w.f64(timings.queue_us);
+  w.f64(timings.decode_us);
+  w.f64(timings.total_us);
+  w.u32(static_cast<std::uint32_t>(result.slices.size()));
+  w.i32(result.replaced_count);
+  for (const auto& slice : result.slices) {
+    w.f64(slice.confidence);
+    write_box(w, slice.primary_box);
+    write_mask(w, slice.mask);
+  }
+  return make_frame(FrameType::kResponse, request_id, std::move(w));
+}
+
+std::vector<std::uint8_t> encode_rejected(std::uint64_t request_id,
+                                          std::uint64_t trace_id,
+                                          WireReject reason,
+                                          const core::Error& error) {
+  PayloadWriter w;
+  w.u64(trace_id);
+  w.u8(static_cast<std::uint8_t>(reason));
+  write_error(w, error);
+  return make_frame(FrameType::kRejected, request_id, std::move(w));
+}
+
+std::vector<std::uint8_t> encode_error(std::uint64_t request_id,
+                                       std::uint64_t trace_id,
+                                       const core::Error& error) {
+  PayloadWriter w;
+  w.u64(trace_id);
+  write_error(w, error);
+  return make_frame(FrameType::kError, request_id, std::move(w));
+}
+
+// --- parsers -------------------------------------------------------------
+
+std::optional<WireHello> parse_hello(const Frame& frame) {
+  PayloadReader r(frame.payload);
+  WireHello hello;
+  if (!r.u32(hello.tenant) || !r.u32(hello.flags) || !r.done()) {
+    return std::nullopt;
+  }
+  return hello;
+}
+
+std::optional<WireSliceRequest> parse_slice_request(const Frame& frame,
+                                                    const NetLimits& limits) {
+  PayloadReader r(frame.payload);
+  std::uint8_t format = 0, channels = 0;
+  std::uint16_t reserved = 0;
+  std::uint32_t width = 0, height = 0;
+  WireSliceRequest req;
+  if (!r.u8(format) || !r.u8(channels) || !r.u16(reserved) || !r.u32(width) ||
+      !r.u32(height) || !read_request_options(r, req.options) ||
+      !r.str(req.prompt, limits.max_prompt_bytes)) {
+    return std::nullopt;
+  }
+  if (format > 3 || channels < 1 || channels > 4) return std::nullopt;
+  const std::uint64_t pixels = static_cast<std::uint64_t>(width) * height;
+  if (pixels > limits.max_pixels) return std::nullopt;
+  const std::size_t sample_bytes[] = {1, 2, 4, 4};
+  const std::uint64_t data_bytes = pixels * channels * sample_bytes[format];
+  // The pixel block must be exactly the remaining payload: trailing
+  // garbage fails the parse instead of being silently ignored.
+  if (data_bytes != r.remaining()) return std::nullopt;
+  const auto read_image = [&](auto tag) -> bool {
+    using Sample = decltype(tag);
+    image::Image<Sample> img(static_cast<std::int64_t>(width),
+                             static_cast<std::int64_t>(height), channels);
+    if (!r.bytes(img.pixels().data(), static_cast<std::size_t>(data_bytes))) {
+      return false;
+    }
+    req.image = std::move(img);
+    return true;
+  };
+  bool ok = false;
+  switch (format) {
+    case 0: ok = read_image(std::uint8_t{}); break;
+    case 1: ok = read_image(std::uint16_t{}); break;
+    case 2: ok = read_image(std::uint32_t{}); break;
+    case 3: ok = read_image(float{}); break;
+  }
+  if (!ok || !r.done()) return std::nullopt;
+  return req;
+}
+
+std::optional<WireVolumeFileRequest> parse_volume_file_request(
+    const Frame& frame, const NetLimits& limits) {
+  PayloadReader r(frame.payload);
+  WireVolumeFileRequest req;
+  if (!read_request_options(r, req.options) ||
+      !r.str(req.path, limits.max_path_bytes) ||
+      !r.str(req.prompt, limits.max_prompt_bytes) || !r.done()) {
+    return std::nullopt;
+  }
+  if (req.path.empty()) return std::nullopt;
+  return req;
+}
+
+std::optional<ServerMessage> parse_server_frame(const Frame& frame,
+                                                const NetLimits& limits) {
+  ServerMessage msg;
+  msg.type = static_cast<FrameType>(frame.header.type);
+  msg.request_id = frame.header.request_id;
+  PayloadReader r(frame.payload);
+  switch (msg.type) {
+    case FrameType::kHelloAck: {
+      std::uint32_t tenant = 0;
+      if (!r.u32(tenant) || !r.done()) return std::nullopt;
+      return msg;
+    }
+    case FrameType::kPong:
+      msg.ping_payload = frame.payload;
+      if (msg.ping_payload.size() > limits.max_ping_bytes) return std::nullopt;
+      return msg;
+    case FrameType::kRejected: {
+      std::uint8_t reason = 0;
+      if (!r.u64(msg.trace_id) || !r.u8(reason) ||
+          reason > static_cast<std::uint8_t>(WireReject::kOverloaded) ||
+          !read_error(r, msg.error) || !r.done()) {
+        return std::nullopt;
+      }
+      msg.reject = static_cast<WireReject>(reason);
+      return msg;
+    }
+    case FrameType::kError:
+      if (!r.u64(msg.trace_id) || !read_error(r, msg.error) || !r.done()) {
+        return std::nullopt;
+      }
+      return msg;
+    case FrameType::kResponse: {
+      std::uint8_t pad8 = 0;
+      std::uint16_t pad16 = 0;
+      if (!r.u64(msg.trace_id) || !r.u8(msg.kind) || !r.u8(pad8) ||
+          !r.u16(pad16)) {
+        return std::nullopt;
+      }
+      if (msg.kind == 3) {  // volume
+        std::uint32_t depth = 0;
+        if (!r.f64(msg.queue_us) || !r.f64(msg.decode_us) ||
+            !r.f64(msg.total_us) || !r.u32(depth) ||
+            !r.i32(msg.replaced_count)) {
+          return std::nullopt;
+        }
+        // Each slice carries ≥ 56 bytes of fixed fields, so depth is
+        // implicitly bounded by the frame size; still cap the reserve.
+        if (depth > frame.payload.size() / 8) return std::nullopt;
+        msg.volume_masks.reserve(depth);
+        for (std::uint32_t z = 0; z < depth; ++z) {
+          double conf = 0.0;
+          image::Box box;
+          image::Mask mask;
+          if (!r.f64(conf) || !read_box(r, box) ||
+              !read_mask(r, limits, mask)) {
+            return std::nullopt;
+          }
+          if (z == 0) {
+            msg.confidence = conf;
+            msg.box = box;
+          }
+          msg.volume_masks.push_back(std::move(mask));
+        }
+        if (!r.done()) return std::nullopt;
+        return msg;
+      }
+      if (!r.f64(msg.confidence) || !read_box(r, msg.box) ||
+          !r.f64(msg.queue_us) || !r.f64(msg.decode_us) ||
+          !r.f64(msg.total_us) || !read_mask(r, limits, msg.mask) ||
+          !r.done()) {
+        return std::nullopt;
+      }
+      return msg;
+    }
+    default:
+      return std::nullopt;  // client-direction or unknown type
+  }
+}
+
+}  // namespace zenesis::net

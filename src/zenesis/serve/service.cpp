@@ -154,7 +154,11 @@ std::future<Response> SegmentService::submit(Request req) {
   // One trace id per request, allocated on the submitting thread: every
   // span this request produces — here, in the dispatcher, on fan-out
   // workers — carries it, and the Response echoes it back to the caller.
-  const std::uint64_t trace_id = obs::new_trace_id();
+  // A submitter that already carries a trace context (the zen_net server
+  // wrapping a wire request) keeps its id, so wire-level spans and the
+  // service's spans stitch into one trace.
+  std::uint64_t trace_id = obs::current_trace_id();
+  if (trace_id == 0) trace_id = obs::new_trace_id();
   obs::TraceScope trace(trace_id);
   obs::Span submit_span("serve.submit");
   std::promise<Response> promise;
@@ -557,6 +561,27 @@ std::size_t SegmentService::queue_depth() const {
   return queue_.size();
 }
 
+void SegmentService::note_connection_accepted() {
+  std::lock_guard<std::mutex> sl(stats_mutex_);
+  stats_.connections_accepted += 1;
+  stats_.connections_active += 1;
+}
+
+void SegmentService::note_connection_closed() {
+  std::lock_guard<std::mutex> sl(stats_mutex_);
+  if (stats_.connections_active > 0) stats_.connections_active -= 1;
+}
+
+void SegmentService::note_request_shed() {
+  std::lock_guard<std::mutex> sl(stats_mutex_);
+  stats_.requests_shed += 1;
+}
+
+void SegmentService::note_protocol_error() {
+  std::lock_guard<std::mutex> sl(stats_mutex_);
+  stats_.protocol_errors += 1;
+}
+
 void SegmentService::publish_stats(eval::Dashboard& dashboard) const {
   const ServiceStats s = stats();
   const auto set_u64 = [&](const char* key, std::uint64_t v) {
@@ -572,6 +597,10 @@ void SegmentService::publish_stats(eval::Dashboard& dashboard) const {
   set_u64("serve_cancelled", s.cancelled);
   set_u64("serve_batches", s.batches);
   set_u64("serve_queue_high_water", s.queue_depth_high_water);
+  set_u64("serve_connections_accepted", s.connections_accepted);
+  set_u64("serve_connections_active", s.connections_active);
+  set_u64("serve_requests_shed", s.requests_shed);
+  set_u64("serve_protocol_errors", s.protocol_errors);
   dashboard.set_stat("serve_batch_size_mean", s.batch_size.mean());
   dashboard.set_stat("serve_batch_size_max", s.batch_size.max());
   const auto set_hist = [&](const std::string& prefix, const Histogram& h) {

@@ -1,0 +1,342 @@
+#include "tests/net_fuzz_harness.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <utility>
+
+#include "zenesis/net/client.hpp"
+#include "zenesis/net/server.hpp"
+
+namespace zenesis::net::fuzz {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// --- deterministic RNG (SplitMix64, same as tiff_fuzz_harness) ----------
+
+struct Rng {
+  std::uint64_t state;
+
+  explicit Rng(std::uint64_t seed) : state(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+};
+
+// --- corpus -------------------------------------------------------------
+
+template <typename T>
+image::Image<T> pattern_image(std::int64_t w, std::int64_t h) {
+  image::Image<T> img(w, h);
+  const std::span<T> px = img.pixels();
+  for (std::size_t i = 0; i < px.size(); ++i) {
+    px[i] = static_cast<T>(i * 37 + 11);
+  }
+  return img;
+}
+
+/// Appends `frame` to `entry`, recording its start offset.
+void push_frame(CorpusEntry& entry, std::vector<std::uint8_t> frame) {
+  entry.offsets.push_back(entry.bytes.size());
+  entry.bytes.insert(entry.bytes.end(), frame.begin(), frame.end());
+}
+
+constexpr const char* kPrompt = "needle crystal";
+
+// Header field byte offsets within a frame (see frame.hpp).
+constexpr std::size_t kOffMagic = 0;
+constexpr std::size_t kOffVersion = 4;
+constexpr std::size_t kOffType = 6;
+constexpr std::size_t kOffRequestId = 8;
+constexpr std::size_t kOffPayloadLen = 16;
+
+void put_u16(std::vector<std::uint8_t>& b, std::size_t off, std::uint16_t v) {
+  if (off + 2 > b.size()) return;
+  b[off] = static_cast<std::uint8_t>(v);
+  b[off + 1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void put_u32(std::vector<std::uint8_t>& b, std::size_t off, std::uint32_t v) {
+  if (off + 4 > b.size()) return;
+  for (int i = 0; i < 4; ++i) {
+    b[off + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& b, std::size_t off, std::uint64_t v) {
+  if (off + 8 > b.size()) return;
+  for (int i = 0; i < 8; ++i) {
+    b[off + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+std::uint16_t frame_type_at(const CorpusEntry& entry, std::size_t frame_idx) {
+  const std::size_t off = entry.offsets[frame_idx] + kOffType;
+  if (off + 2 > entry.bytes.size()) return 0;
+  return static_cast<std::uint16_t>(entry.bytes[off] |
+                                    (entry.bytes[off + 1] << 8));
+}
+
+// --- mutation engine -----------------------------------------------------
+
+/// Produces one mutant byte stream from `entry`. Structure-aware: most
+/// mutations target a frame boundary or a known header/payload field.
+std::vector<std::uint8_t> mutate(const CorpusEntry& entry, Rng& rng) {
+  std::vector<std::uint8_t> bytes = entry.bytes;
+  const std::size_t n_frames = entry.offsets.size();
+  const std::size_t frame_idx = rng.below(n_frames);
+  const std::size_t frame_off = entry.offsets[frame_idx];
+
+  switch (rng.below(9)) {
+    case 0:  // corrupt magic
+      put_u32(bytes, frame_off + kOffMagic, static_cast<std::uint32_t>(rng.next()));
+      break;
+    case 1:  // corrupt version
+      put_u16(bytes, frame_off + kOffVersion,
+              static_cast<std::uint16_t>(rng.next()));
+      break;
+    case 2:  // corrupt frame type (unknown or server-direction values)
+      put_u16(bytes, frame_off + kOffType,
+              static_cast<std::uint16_t>(rng.below(64)));
+      break;
+    case 3: {  // payload length: zero / huge / 0xFFFFFFFF / off-by-some
+      const std::uint32_t lens[] = {
+          0u, 1u, 0xFFFFFFFFu, 0x7FFFFFFFu, 1u << 30,
+          static_cast<std::uint32_t>(rng.below(1u << 20))};
+      put_u32(bytes, frame_off + kOffPayloadLen,
+              lens[rng.below(sizeof(lens) / sizeof(lens[0]))]);
+      break;
+    }
+    case 4: {  // truncate: mid-header, mid-payload or mid-stream
+      const std::size_t cut = rng.below(bytes.size()) + 1;
+      bytes.resize(cut);
+      break;
+    }
+    case 5: {  // duplicate one frame (duplicate request ids, double hello)
+      const std::size_t end = frame_idx + 1 < n_frames
+                                  ? entry.offsets[frame_idx + 1]
+                                  : entry.bytes.size();
+      std::vector<std::uint8_t> frame(entry.bytes.begin() + static_cast<std::ptrdiff_t>(frame_off),
+                                      entry.bytes.begin() + static_cast<std::ptrdiff_t>(end));
+      bytes.insert(bytes.end(), frame.begin(), frame.end());
+      break;
+    }
+    case 6: {  // payload field graft: dimension bombs / huge inner lengths.
+      // Request payloads start with fixed-width fields; rewriting 4 bytes
+      // somewhere in the first 32 payload bytes hits format/channels/
+      // width/height on slice frames and the path length on volume ones.
+      const std::uint16_t t = frame_type_at(entry, frame_idx);
+      if (t == static_cast<std::uint16_t>(FrameType::kSlice) ||
+          t == static_cast<std::uint16_t>(FrameType::kVolumeFile)) {
+        const std::size_t payload = frame_off + kHeaderBytes;
+        const std::size_t field = payload + 4 * rng.below(8);
+        const std::uint32_t bombs[] = {0u, 0xFFFFFFFFu, 0x10000u, 0x7FFFu,
+                                       static_cast<std::uint32_t>(rng.next())};
+        put_u32(bytes, field, bombs[rng.below(5)]);
+      } else {
+        put_u64(bytes, frame_off + kOffRequestId, rng.next());
+      }
+      break;
+    }
+    case 7: {  // raw byte flips (1..8 of them)
+      const std::size_t flips = 1 + rng.below(8);
+      for (std::size_t i = 0; i < flips; ++i) {
+        bytes[rng.below(bytes.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.below(8));
+      }
+      break;
+    }
+    case 8: {  // insert garbage between frames (desyncs the stream)
+      const std::size_t len = 1 + rng.below(24);
+      std::vector<std::uint8_t> junk(len);
+      for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+      const std::size_t at = frame_idx + 1 < n_frames
+                                 ? entry.offsets[frame_idx + 1]
+                                 : bytes.size();
+      bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(at),
+                   junk.begin(), junk.end());
+      break;
+    }
+  }
+  return bytes;
+}
+
+/// Replays one byte stream against the server and drains the reply.
+/// Returns false (and appends to failures) on a contract violation.
+bool run_one(Server& server, const NetLimits& limits,
+             const std::vector<std::uint8_t>& bytes,
+             std::chrono::milliseconds watchdog, const std::string& label,
+             FuzzStats& stats) {
+  auto [client, server_fd] = Client::loopback_pair(limits);
+  server.adopt(server_fd);
+
+  if (!client.send_bytes(bytes)) {
+    // The server error-closed while we were still writing — a legal
+    // outcome for garbage streams, as long as it is a *close*, which is
+    // exactly what the failed send proves.
+    stats.send_cut += 1;
+    return true;
+  }
+  client.shutdown_write();
+
+  const Clock::time_point deadline = Clock::now() + watchdog;
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0) {
+      if (stats.failures.size() < 20) {
+        stats.failures.push_back(label +
+                                 ": hang — server neither answered nor "
+                                 "closed within the watchdog");
+      }
+      return false;
+    }
+    const std::optional<ServerMessage> msg = client.recv(left);
+    if (msg) {
+      switch (msg->type) {
+        case FrameType::kResponse: stats.responses += 1; break;
+        case FrameType::kRejected: stats.rejected += 1; break;
+        case FrameType::kError: stats.errors += 1; break;
+        case FrameType::kHelloAck:
+        case FrameType::kPong: stats.acks_pongs += 1; break;
+        default:
+          if (stats.failures.size() < 20) {
+            stats.failures.push_back(label + ": client-direction frame type " +
+                                     std::to_string(static_cast<unsigned>(
+                                         msg->type)) +
+                                     " from server");
+          }
+          return false;
+      }
+      continue;
+    }
+    if (client.decode_failed()) {
+      if (stats.failures.size() < 20) {
+        stats.failures.push_back(label + ": server sent unparseable bytes");
+      }
+      return false;
+    }
+    if (client.peer_closed()) {
+      stats.clean_eof += 1;
+      return true;  // clean EOF — the required terminal state
+    }
+    // recv timed out but the watchdog has not expired: keep draining
+    // (a valid request may still be in the pipeline).
+  }
+}
+
+}  // namespace
+
+std::vector<CorpusEntry> build_corpus() {
+  std::vector<CorpusEntry> corpus;
+  const auto u16 = image::AnyImage(pattern_image<std::uint16_t>(20, 16));
+  const auto u8 = image::AnyImage(pattern_image<std::uint8_t>(16, 12));
+  const auto f32 = image::AnyImage(pattern_image<float>(12, 12));
+  WireRequestOptions opts;
+
+  {
+    CorpusEntry e;
+    e.name = "hello_slice_u16";
+    push_frame(e, encode_hello(1));
+    push_frame(e, encode_slice_request(1, u16, kPrompt, opts));
+    corpus.push_back(std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.name = "hello_slice_u8_f32";
+    push_frame(e, encode_hello(2));
+    push_frame(e, encode_slice_request(1, u8, kPrompt, opts));
+    push_frame(e, encode_slice_request(2, f32, kPrompt, opts));
+    corpus.push_back(std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.name = "hello_ping_slice";
+    push_frame(e, encode_hello(3));
+    push_frame(e, encode_ping({0xAA, 0xBB, 0xCC}));
+    push_frame(e, encode_slice_request(7, u16, kPrompt, opts));
+    push_frame(e, encode_ping({}));
+    corpus.push_back(std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.name = "hello_volume_file_missing";
+    // The file never exists: exercises the service's error path without
+    // touching disk state. The reply must be a clean kError response.
+    push_frame(e, encode_hello(4));
+    push_frame(e, encode_volume_file_request(1, "no/such/stack.tif", kPrompt,
+                                             opts));
+    corpus.push_back(std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.name = "hello_slice_cancel";
+    push_frame(e, encode_hello(5));
+    push_frame(e, encode_slice_request(9, u16, kPrompt, opts));
+    push_frame(e, encode_cancel(9));
+    push_frame(e, encode_cancel(12345));  // unknown id: idempotent no-op
+    corpus.push_back(std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.name = "slice_without_hello";
+    push_frame(e, encode_slice_request(1, u16, kPrompt, opts));
+    corpus.push_back(std::move(e));
+  }
+  {
+    CorpusEntry e;
+    WireRequestOptions deadline_opts;
+    deadline_opts.priority = 3;
+    deadline_opts.deadline_ms = 60000;
+    deadline_opts.trace_id = 0x1234ull;
+    e.name = "hello_slice_options";
+    push_frame(e, encode_hello(6));
+    push_frame(e, encode_slice_request(2, u8, kPrompt, deadline_opts));
+    corpus.push_back(std::move(e));
+  }
+  {
+    CorpusEntry e;
+    e.name = "hello_only";
+    push_frame(e, encode_hello(7));
+    corpus.push_back(std::move(e));
+  }
+  return corpus;
+}
+
+FuzzStats run_fuzz(Server& server, const NetLimits& limits,
+                   std::uint64_t seed, std::size_t mutants_per_entry,
+                   std::chrono::milliseconds watchdog) {
+  FuzzStats stats;
+  const std::vector<CorpusEntry> corpus = build_corpus();
+  for (const CorpusEntry& entry : corpus) {
+    // The pristine conversation must terminate cleanly too.
+    run_one(server, limits, entry.bytes, watchdog, entry.name + "/pristine",
+            stats);
+    Rng rng(seed ^ std::hash<std::string>{}(entry.name));
+    for (std::size_t i = 0; i < mutants_per_entry; ++i) {
+      const std::vector<std::uint8_t> mutant = mutate(entry, rng);
+      stats.mutants += 1;
+      run_one(server, limits, mutant, watchdog,
+              entry.name + "/mutant" + std::to_string(i), stats);
+      if (stats.failures.size() >= 20) return stats;
+    }
+  }
+  return stats;
+}
+
+}  // namespace zenesis::net::fuzz

@@ -1,0 +1,72 @@
+#pragma once
+// Structure-aware zen_net protocol fuzzer.
+//
+// The wire contract of zenesis::net is binary: any client byte stream
+// yields, per request the server actually decoded, exactly one terminal
+// frame, every byte the server sends parses as a well-formed server
+// frame, and the connection always terminates — never a crash, hang,
+// unbounded buffer or leaked queue slot (see server.hpp "robustness
+// contract"). This harness enforces that contract deterministically
+// against a LIVE server: it builds a corpus of well-formed conversations
+// (hello/slice in several pixel formats/volume-file/cancel/ping
+// sequences), applies seeded structure-aware mutations — it knows the
+// frame boundaries of each conversation and rewrites header fields
+// (magic, version, type, request id, payload length incl. zero/huge/
+// 0xFFFFFFFF), grafts payload-level corruption (dimension bombs, prompt
+// length overflows), duplicates and reorders frames, truncates streams
+// mid-header and mid-payload, and flips raw bytes — then replays every
+// mutant on a fresh loopback connection and drains the server's reply
+// under a watchdog.
+//
+// Mirrors tests/tiff_fuzz_harness.* (same SplitMix64 determinism, same
+// gtest-free shape): tests/test_net_fuzz.cpp wraps it in a TEST and
+// tools/ci.sh replays it under TSAN/ASAN/UBSan.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "zenesis/net/frame.hpp"
+
+namespace zenesis::net {
+class Server;
+}
+
+namespace zenesis::net::fuzz {
+
+/// One well-formed conversation plus its frame boundaries (the structure
+/// the mutators aim at).
+struct CorpusEntry {
+  std::string name;                  ///< e.g. "hello_slice_u16"
+  std::vector<std::uint8_t> bytes;   ///< concatenated frames
+  std::vector<std::size_t> offsets;  ///< start offset of each frame
+};
+
+/// Builds the conversation corpus. Images are tiny (<= 24x24) so a few
+/// thousand mutants stay fast even under sanitizers.
+std::vector<CorpusEntry> build_corpus();
+
+struct FuzzStats {
+  std::uint64_t mutants = 0;       ///< mutant conversations executed
+  std::uint64_t responses = 0;     ///< kResponse frames received
+  std::uint64_t rejected = 0;      ///< kRejected frames received
+  std::uint64_t errors = 0;        ///< kError frames received
+  std::uint64_t acks_pongs = 0;    ///< kHelloAck + kPong frames received
+  std::uint64_t clean_eof = 0;     ///< connections the server closed cleanly
+  std::uint64_t send_cut = 0;      ///< server closed while we were sending
+  /// Contract violations (empty = pass). Capped at 20 entries.
+  std::vector<std::string> failures;
+};
+
+/// Runs `mutants_per_entry` deterministic mutants of every corpus entry
+/// (plus the pristine entry itself) against `server` — which must have
+/// been built with `limits` — each on a fresh loopback connection.
+/// `watchdog` bounds one conversation end-to-end: a server that neither
+/// answers nor closes within it is a hang (contract violation). Same
+/// seed => same mutants => same byte streams.
+FuzzStats run_fuzz(Server& server, const NetLimits& limits,
+                   std::uint64_t seed, std::size_t mutants_per_entry,
+                   std::chrono::milliseconds watchdog);
+
+}  // namespace zenesis::net::fuzz

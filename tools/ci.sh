@@ -3,10 +3,11 @@
 # RelWithDebInfo build running the full tier-1 suite, a ThreadSanitizer
 # build race-checking the concurrency surface (thread pool, parallel
 # Mode-B pipelines, feature cache, segmentation service, streaming TIFF
-# reader), an AddressSanitizer(+UBSan) build memory-checking the same
-# surface plus the TIFF fuzz corpus and the SIMD kernel backends, a
-# standalone UBSan build replaying the fuzz corpus with recovery
-# disabled (any UB aborts), a rerun of the default suite with
+# reader, the zen_net event loop with its fuzz/fault/soak suites), an
+# AddressSanitizer(+UBSan) build memory-checking the same surface plus
+# the TIFF fuzz corpus and the SIMD kernel backends, a standalone UBSan
+# build replaying the TIFF and zen_net protocol fuzz corpora with
+# recovery disabled (any UB aborts), a rerun of the default suite with
 # ZENESIS_TRACE=1 so every test also exercises the observability
 # recording path (seqlock rings, trace-id stitching), a rerun with
 # ZENESIS_KERNEL=scalar pinning every test to the scalar reference
@@ -35,8 +36,11 @@ JOBS="${CI_JOBS:-$(nproc)}"
 # so the sharded-LRU contention stress and disk-tier corruption suite
 # run under every sanitizer too. test_kernels puts the AVX2/blocked
 # micro-kernels (tile edges, packed panels, int8 quantization) under
-# ASAN/TSAN/UBSan.
-SAN_FILTER="${CI_SAN_FILTER:-test_parallel|test_volume_parallel|test_batch_images|test_serve|test_obs|test_pipeline|test_session|test_integration|test_tiff|test_cache|test_kernels}"
+# ASAN/TSAN/UBSan. test_net matches test_net, test_net_fuzz,
+# test_net_faults and test_net_soak: the poll() event loop, the protocol
+# mutation fuzzer, the fault-injection suite and the thousand-client
+# soak all run race- and leak-checked every CI run.
+SAN_FILTER="${CI_SAN_FILTER:-test_parallel|test_volume_parallel|test_batch_images|test_serve|test_obs|test_pipeline|test_session|test_integration|test_tiff|test_cache|test_kernels|test_net}"
 
 echo "=== [1/7] default build + full tier-1 suite ==="
 cmake -B build -S . >/dev/null
@@ -67,7 +71,7 @@ echo "=== [4/7] UndefinedBehaviorSanitizer build + fuzz/corruption/kernel corpor
 cmake -B build-ubsan -S . -DZENESIS_SANITIZE=undefined \
       -DZENESIS_BUILD_BENCH=OFF -DZENESIS_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-ubsan -j "$JOBS"
-ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" -R "test_tiff|test_cache|test_kernels"
+ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" -R "test_tiff|test_cache|test_kernels|test_net_fuzz"
 
 echo "=== [5/7] tracing-enabled rerun of the default suite (ZENESIS_TRACE=1) ==="
 ZENESIS_TRACE=1 ctest --test-dir build --output-on-failure -j "$JOBS"
