@@ -3,9 +3,10 @@
 // latency, thread-scaling of the parallel substrate, Mode-B volume
 // throughput (serial vs. parallel vs. feature-cached), and serving-layer
 // throughput (blocking submit vs. micro-batched SegmentService). The
-// main() also emits out/BENCH_volume.json, out/BENCH_serve.json,
-// out/BENCH_tiff.json and out/BENCH_obs.json — one machine-readable
-// record per run so successive PRs accumulate a perf trajectory.
+// main() also emits out/BENCH_volume.json, out/BENCH_serve.json and
+// out/BENCH_obs.json — one machine-readable record per run so successive
+// PRs accumulate a perf trajectory. (out/BENCH_tiff.json moved to
+// `tools/tiff_corpus --bench`, which measures against real files.)
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -491,6 +492,16 @@ io::TiffWriteOptions tiff_variant_options(int variant) {
       opt.layout = io::TiffLayout::kTiles;
       opt.compression = io::TiffCompression::kPackBits;
       break;
+    case 4:
+      opt.layout = io::TiffLayout::kTiles;
+      opt.compression = io::TiffCompression::kLzw;
+      opt.predictor = 2;
+      break;
+    case 5:
+      opt.layout = io::TiffLayout::kTiles;
+      opt.compression = io::TiffCompression::kDeflate;
+      opt.predictor = 2;
+      break;
     default:
       break;  // classic LE, single strip, uncompressed
   }
@@ -502,6 +513,8 @@ const char* tiff_variant_name(int variant) {
     case 1: return "classic_packbits";
     case 2: return "classic_tiles";
     case 3: return "bigtiff_tiles_packbits";
+    case 4: return "classic_tiles_lzw_pred";
+    case 5: return "classic_tiles_deflate_pred";
     default: return "classic_strips";
   }
 }
@@ -520,7 +533,7 @@ void BM_TiffDecode(benchmark::State& state) {
                           static_cast<std::int64_t>(stack.pages.size()));
   state.SetBytesProcessed(state.iterations() * 4 * 256 * 256 * 2);
 }
-BENCHMARK(BM_TiffDecode)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+BENCHMARK(BM_TiffDecode)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
 
 /// Streaming-reader throughput: parse once, decode pages on demand —
 /// the per-slice cost the Mode-B streaming path pays.
@@ -528,7 +541,7 @@ void BM_TiffStream(benchmark::State& state) {
   const int variant = static_cast<int>(state.range(0));
   const auto bytes =
       io::write_tiff_bytes(tiff_bench_stack(), tiff_variant_options(variant));
-  const auto reader = io::TiffVolumeReader::from_bytes(bytes);
+  const auto reader = io::TiffVolumeReader::open(bytes);
   std::int64_t page = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(reader.read_page(page));
@@ -538,7 +551,7 @@ void BM_TiffStream(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
   state.SetBytesProcessed(state.iterations() * 256 * 256 * 2);
 }
-BENCHMARK(BM_TiffStream)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+BENCHMARK(BM_TiffStream)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
 
 /// Times one segment_volume pass in seconds (best of `reps`).
 double time_volume_pass(const core::ZenesisPipeline& pipe,
@@ -828,56 +841,10 @@ void write_cache_record() {
   std::printf("cache perf record written to %s\n", path.c_str());
 }
 
-/// Standalone TIFF decode/stream measurement over the format variants,
-/// persisted as out/BENCH_tiff.json. Runs regardless of
-/// --benchmark_filter.
-void write_tiff_record() {
-  const io::TiffStack stack = tiff_bench_stack();
-  constexpr int kReps = 5;
-  const double pages = static_cast<double>(stack.pages.size());
-
-  io::JsonObject rec;
-  rec.set("bench", "tiff_ingest");
-  rec.set("width", static_cast<std::int64_t>(256));
-  rec.set("height", static_cast<std::int64_t>(256));
-  rec.set("pages", static_cast<std::int64_t>(stack.pages.size()));
-  rec.set("bits", static_cast<std::int64_t>(16));
-
-  for (int variant = 0; variant < 4; ++variant) {
-    const auto bytes =
-        io::write_tiff_bytes(stack, tiff_variant_options(variant));
-    double t_decode = 1e30;
-    for (int r = 0; r < kReps; ++r) {
-      const auto t0 = std::chrono::steady_clock::now();
-      benchmark::DoNotOptimize(io::read_tiff_bytes(bytes));
-      const std::chrono::duration<double> dt =
-          std::chrono::steady_clock::now() - t0;
-      t_decode = std::min(t_decode, dt.count());
-    }
-    const auto reader = io::TiffVolumeReader::from_bytes(bytes);
-    double t_stream = 1e30;
-    for (int r = 0; r < kReps; ++r) {
-      const auto t0 = std::chrono::steady_clock::now();
-      for (std::int64_t p = 0; p < reader.pages(); ++p) {
-        benchmark::DoNotOptimize(reader.read_page(p));
-      }
-      const std::chrono::duration<double> dt =
-          std::chrono::steady_clock::now() - t0;
-      t_stream = std::min(t_stream, dt.count());
-    }
-    const std::string name = tiff_variant_name(variant);
-    rec.set(name + "_file_bytes", static_cast<std::int64_t>(bytes.size()));
-    rec.set(name + "_decode_pages_per_sec", pages / t_decode);
-    rec.set(name + "_stream_pages_per_sec", pages / t_stream);
-  }
-
-  bench::ExperimentConfig out_cfg;
-  const std::string out = bench::ensure_out_dir(out_cfg);
-  const std::string path = out + "/BENCH_tiff.json";
-  rec.write(path);
-  std::printf("\n%s\n", rec.to_string(2).c_str());
-  std::printf("tiff perf record written to %s\n", path.c_str());
-}
+// out/BENCH_tiff.json is owned by `tools/tiff_corpus --bench` now: the
+// per-codec naive-vs-streaming comparison needs real files, byte
+// sources and RSS probes, which live more naturally next to the corpus
+// tool than inside this in-memory microbenchmark.
 
 /// Standalone per-backend GEMM measurement, persisted as
 /// out/BENCH_gemm.json: GFLOP/s for matmul / matmul_nt / linear at 256,
@@ -1021,7 +988,6 @@ int main(int argc, char** argv) {
   write_gemm_record();
   write_volume_record();
   write_serve_record();
-  write_tiff_record();
   write_obs_record();
   write_cache_record();
   return 0;

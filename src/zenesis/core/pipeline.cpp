@@ -489,6 +489,27 @@ VolumeRequest VolumeRequest::from_file(std::string path, std::string text,
   return r;
 }
 
+VolumeRequest VolumeRequest::from_file(std::string path, std::string text,
+                                       const io::TiffOpenOptions& open) {
+  VolumeRequest r;
+  r.tiff_path = std::move(path);
+  r.prompt = std::move(text);
+  r.tiff_limits = open.limits;
+  r.tiff_source_kind = io::to_string(open.source_kind);
+  r.tiff_prefetch = open.prefetch;
+  return r;
+}
+
+io::TiffOpenOptions VolumeRequest::tiff_open_options() const {
+  io::TiffOpenOptions open;
+  if (const auto kind = io::parse_source_kind(tiff_source_kind)) {
+    open.source_kind = *kind;
+  }
+  open.limits = tiff_limits;
+  open.prefetch = tiff_prefetch;
+  return open;
+}
+
 std::vector<std::string> VolumeRequest::validate() const {
   std::vector<std::string> issues;
   const int engaged = (volume.has_value() ? 1 : 0) +
@@ -504,6 +525,10 @@ std::vector<std::string> VolumeRequest::validate() const {
     if (source->depth < 0) issues.push_back("negative VolumeSource depth");
   }
   if (tiff_path && tiff_path->empty()) issues.push_back("empty tiff_path");
+  if (!io::parse_source_kind(tiff_source_kind)) {
+    issues.push_back("unknown tiff_source_kind \"" + tiff_source_kind +
+                     "\" (expected auto|memory|pread|mmap)");
+  }
   return issues;
 }
 
@@ -528,7 +553,8 @@ VolumeResult ZenesisPipeline::segment_volume(const VolumeRequest& request) const
     // volume workers (the reader is internally synchronized). TiffError
     // from parse or decode propagates to the caller — serve maps it into
     // core::Error via error_from_current_exception.
-    const io::TiffVolumeReader reader(*request.tiff_path, request.tiff_limits);
+    const io::TiffVolumeReader reader = io::TiffVolumeReader::open(
+        *request.tiff_path, request.tiff_open_options());
     reader.require_uniform_geometry();
     VolumeSource source;
     source.depth = reader.pages();

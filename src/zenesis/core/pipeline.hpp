@@ -16,6 +16,7 @@
 #include "zenesis/image/image.hpp"
 #include "zenesis/image/normalize.hpp"
 #include "zenesis/io/tiff_error.hpp"
+#include "zenesis/io/tiff_stream.hpp"
 #include "zenesis/models/auto_mask.hpp"
 #include "zenesis/models/feature_cache.hpp"
 #include "zenesis/models/grounding.hpp"
@@ -146,6 +147,12 @@ struct VolumeRequest {
   std::optional<std::string> tiff_path;    ///< streamed straight from disk
   /// Parse/decode ceilings for the `tiff_path` source (ignored otherwise).
   io::TiffReadLimits tiff_limits{};
+  /// Byte-source knob for `tiff_path`: "auto" | "memory" | "pread" |
+  /// "mmap" ("auto" resolves via ZENESIS_TIFF_SOURCE and platform
+  /// support; unknown strings are validate() errors).
+  std::string tiff_source_kind = "auto";
+  /// madvise prefetch hints for mmap sources (io::TiffOpenOptions).
+  bool tiff_prefetch = true;
 
   static VolumeRequest in_memory(image::VolumeU16 vol, std::string text);
   /// Borrows `vol` (no copy): the caller keeps ownership and must keep it
@@ -155,6 +162,14 @@ struct VolumeRequest {
   static VolumeRequest streamed(VolumeSource src, std::string text);
   static VolumeRequest from_file(std::string path, std::string text,
                                  io::TiffReadLimits limits = {});
+  /// Full ingestion control: byte-source kind, limits and prefetch in
+  /// one io::TiffOpenOptions.
+  static VolumeRequest from_file(std::string path, std::string text,
+                                 const io::TiffOpenOptions& open);
+
+  /// The io::TiffOpenOptions this request's knobs denote (valid only
+  /// after validate() returned empty).
+  io::TiffOpenOptions tiff_open_options() const;
 
   /// One message per problem (source count, null slice fn, negative
   /// depth); empty = valid.

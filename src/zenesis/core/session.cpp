@@ -46,6 +46,13 @@ VolumeResult Session::mode_b_segment_volume_file(
       VolumeRequest::from_file(tiff_path, prompt, limits));
 }
 
+VolumeResult Session::mode_b_segment_volume_file(
+    const std::string& tiff_path, const std::string& prompt,
+    const io::TiffOpenOptions& open) const {
+  return pipeline_.segment_volume(
+      VolumeRequest::from_file(tiff_path, prompt, open));
+}
+
 std::vector<SliceResult> Session::mode_b_segment_images(
     const std::vector<image::AnyImage>& images, const std::string& prompt) const {
   return pipeline_.segment_images(images, prompt);

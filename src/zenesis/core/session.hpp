@@ -102,6 +102,11 @@ class Session {
   VolumeResult mode_b_segment_volume_file(
       const std::string& tiff_path, const std::string& prompt,
       const io::TiffReadLimits& limits = {}) const;
+  /// Streams a TIFF volume from disk with full ingestion control
+  /// (byte-source kind, read limits, prefetch — see io::TiffOpenOptions).
+  VolumeResult mode_b_segment_volume_file(const std::string& tiff_path,
+                                          const std::string& prompt,
+                                          const io::TiffOpenOptions& open) const;
   /// Batch over independent images (each gets its own SliceResult),
   /// scheduled like mode_b_segment_volume.
   std::vector<SliceResult> mode_b_segment_images(

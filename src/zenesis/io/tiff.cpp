@@ -4,9 +4,12 @@
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <type_traits>
 #include <utility>
 
+#include "zenesis/io/byte_source.hpp"
+#include "zenesis/io/tiff_codec.hpp"
 #include "zenesis/io/tiff_stream.hpp"
 
 namespace zenesis::io {
@@ -22,6 +25,7 @@ constexpr std::uint16_t kTagStripOffsets = 273;
 constexpr std::uint16_t kTagSamplesPerPixel = 277;
 constexpr std::uint16_t kTagRowsPerStrip = 278;
 constexpr std::uint16_t kTagStripByteCounts = 279;
+constexpr std::uint16_t kTagPredictor = 317;
 constexpr std::uint16_t kTagTileWidth = 322;
 constexpr std::uint16_t kTagTileLength = 323;
 constexpr std::uint16_t kTagTileOffsets = 324;
@@ -79,6 +83,11 @@ class TiffWriter {
         opts_.rows_per_strip < 0) {
       throw TiffError(TiffErrorKind::kUnsupported,
                       "write: invalid strip/tile geometry options", 0);
+    }
+    if (opts_.predictor != 1 && opts_.predictor != 2) {
+      throw TiffError(TiffErrorKind::kUnsupported,
+                      "write: predictor must be 1 (none) or 2 (horizontal)",
+                      0);
     }
     out_.reserve(1024);
     out_.push_back(be_ ? 'M' : 'I');
@@ -144,7 +153,8 @@ class TiffWriter {
               put_sample<T>(raw, img.contains(x, y) ? img.at(x, y) : T{});
             }
           }
-          append_segment(raw, seg_offsets, seg_counts, page_index);
+          append_segment(raw, tw, th, static_cast<int>(sizeof(T)),
+                         seg_offsets, seg_counts, page_index);
         }
       }
     } else {
@@ -156,7 +166,8 @@ class TiffWriter {
             put_sample<T>(raw, img.at(x, y0 + r));
           }
         }
-        append_segment(raw, seg_offsets, seg_counts, page_index);
+        append_segment(raw, w, rows, static_cast<int>(sizeof(T)),
+                       seg_offsets, seg_counts, page_index);
       }
     }
     if (out_.size() % 2 != 0) out_.push_back(0);  // word-align what follows
@@ -173,7 +184,9 @@ class TiffWriter {
     check_classic(ifd_off, page_index);
     patch_offset(prev_next_ptr, ifd_off);
 
-    const std::uint16_t n_entries = tiled ? 11 : 10;
+    const bool predicted = opts_.predictor == 2;
+    const std::uint16_t n_entries =
+        static_cast<std::uint16_t>((tiled ? 11 : 10) + (predicted ? 1 : 0));
     if (big_) {
       put_u64(n_entries);
     } else {
@@ -181,8 +194,13 @@ class TiffWriter {
     }
     const auto photometric = static_cast<std::uint64_t>(
         opts_.min_is_white ? 0 : 1);
-    const auto compression = static_cast<std::uint64_t>(
-        opts_.compression == TiffCompression::kPackBits ? 32773 : 1);
+    std::uint64_t compression = 1;
+    switch (opts_.compression) {
+      case TiffCompression::kNone: compression = 1; break;
+      case TiffCompression::kPackBits: compression = 32773; break;
+      case TiffCompression::kLzw: compression = 5; break;
+      case TiffCompression::kDeflate: compression = 8; break;
+    }
     put_entry_scalar(kTagImageWidth, kTypeLong, static_cast<std::uint64_t>(w),
                      page_index);
     put_entry_scalar(kTagImageLength, kTypeLong, static_cast<std::uint64_t>(h),
@@ -200,7 +218,13 @@ class TiffWriter {
                        static_cast<std::uint64_t>(rps), page_index);
       put_entry_array(kTagStripByteCounts, seg_counts, counts_array,
                       page_index);
+      if (predicted) {
+        put_entry_scalar(kTagPredictor, kTypeShort, 2, page_index);
+      }
     } else {
+      if (predicted) {
+        put_entry_scalar(kTagPredictor, kTypeShort, 2, page_index);
+      }
       put_entry_scalar(kTagTileWidth, kTypeLong,
                        static_cast<std::uint64_t>(opts_.tile_width),
                        page_index);
@@ -248,20 +272,45 @@ class TiffWriter {
     }
   }
 
-  void append_segment(const std::vector<std::uint8_t>& raw,
+  /// Predictor (in place on `raw`) then codec, then emit. row_samples/
+  /// rows/bps describe the segment geometry the predictor differences
+  /// over (tile grid rows for tiles, image rows for strips).
+  void append_segment(std::vector<std::uint8_t>& raw,
+                      std::int64_t row_samples, std::int64_t rows, int bps,
                       std::vector<std::uint64_t>& offsets,
                       std::vector<std::uint64_t>& counts,
                       std::int64_t page_index) {
     const std::uint64_t off = out_.size();
     check_classic(off, page_index);
-    if (opts_.compression == TiffCompression::kPackBits) {
-      const std::vector<std::uint8_t> packed =
-          packbits_encode(raw.data(), raw.size());
-      out_.insert(out_.end(), packed.begin(), packed.end());
-      counts.push_back(packed.size());
-    } else {
-      out_.insert(out_.end(), raw.begin(), raw.end());
-      counts.push_back(raw.size());
+    if (opts_.predictor == 2) {
+      codec::predictor_apply(raw.data(), row_samples, rows, bps, be_);
+    }
+    switch (opts_.compression) {
+      case TiffCompression::kPackBits: {
+        const std::vector<std::uint8_t> packed =
+            packbits_encode(raw.data(), raw.size());
+        out_.insert(out_.end(), packed.begin(), packed.end());
+        counts.push_back(packed.size());
+        break;
+      }
+      case TiffCompression::kLzw: {
+        const std::vector<std::uint8_t> packed =
+            codec::lzw_encode(raw.data(), raw.size());
+        out_.insert(out_.end(), packed.begin(), packed.end());
+        counts.push_back(packed.size());
+        break;
+      }
+      case TiffCompression::kDeflate: {
+        const std::vector<std::uint8_t> packed =
+            codec::zlib_deflate(raw.data(), raw.size());
+        out_.insert(out_.end(), packed.begin(), packed.end());
+        counts.push_back(packed.size());
+        break;
+      }
+      case TiffCompression::kNone:
+        out_.insert(out_.end(), raw.begin(), raw.end());
+        counts.push_back(raw.size());
+        break;
     }
     offsets.push_back(off);
   }
@@ -411,7 +460,8 @@ class TiffWriter {
   std::vector<std::uint8_t> out_;
 };
 
-/// Non-owning ByteSource so read_tiff_bytes avoids copying its input.
+/// Non-owning ByteSource so read_tiff_bytes avoids copying its input;
+/// view() makes decode zero-copy over the caller's buffer.
 class SpanByteSource final : public ByteSource {
  public:
   explicit SpanByteSource(const std::vector<std::uint8_t>& bytes)
@@ -422,35 +472,44 @@ class SpanByteSource final : public ByteSource {
     if (off > bytes_.size() || n > bytes_.size() - off) {
       throw TiffError(TiffErrorKind::kTruncated, "read past end of data", off);
     }
+    if (n == 0) return;  // dst may be null for an empty segment
     std::memcpy(dst, bytes_.data() + off, n);
+  }
+  std::span<const std::uint8_t> view(std::uint64_t off,
+                                     std::size_t n) const override {
+    if (off > bytes_.size() || n > bytes_.size() - off) {
+      throw TiffError(TiffErrorKind::kTruncated, "view past end of data", off);
+    }
+    return {bytes_.data() + off, n};
   }
 
  private:
   const std::vector<std::uint8_t>& bytes_;
 };
 
-TiffStack materialize(const ByteSource& src, const TiffReadLimits& limits) {
-  const std::vector<TiffPageInfo> pages =
-      detail::parse_tiff_pages(src, limits);
+TiffStack materialize(std::shared_ptr<const ByteSource> src,
+                      const TiffReadLimits& limits) {
+  TiffOpenOptions opts;
+  opts.limits = limits;
+  const TiffVolumeReader reader = TiffVolumeReader::open(std::move(src), opts);
   // Cumulative allocation bound: a thousand-page stack of limit-sized
   // pages must not exceed the decoded-bytes budget just because each page
   // individually fits.
   std::uint64_t total = 0;
-  for (std::size_t i = 0; i < pages.size(); ++i) {
-    const std::uint64_t page_bytes = pages[i].decoded_bytes();
+  for (std::int64_t i = 0; i < reader.pages(); ++i) {
+    const std::uint64_t page_bytes = reader.page_info(i).decoded_bytes();
     if (page_bytes > limits.max_decoded_bytes - total) {
       throw TiffError(TiffErrorKind::kLimitExceeded,
                       "cumulative decoded size exceeds limit " +
                           std::to_string(limits.max_decoded_bytes),
-                      0, 0, static_cast<std::int64_t>(i));
+                      0, 0, i);
     }
     total += page_bytes;
   }
   TiffStack stack;
-  stack.pages.reserve(pages.size());
-  for (std::size_t i = 0; i < pages.size(); ++i) {
-    stack.pages.push_back(detail::decode_tiff_page(
-        src, pages[i], limits, static_cast<std::int64_t>(i)));
+  stack.pages.reserve(static_cast<std::size_t>(reader.pages()));
+  for (std::int64_t i = 0; i < reader.pages(); ++i) {
+    stack.pages.push_back(reader.read_page(i));
   }
   return stack;
 }
@@ -459,11 +518,11 @@ TiffStack materialize(const ByteSource& src, const TiffReadLimits& limits) {
 
 TiffStack read_tiff_bytes(const std::vector<std::uint8_t>& bytes,
                           const TiffReadLimits& limits) {
-  return materialize(SpanByteSource(bytes), limits);
+  return materialize(std::make_shared<SpanByteSource>(bytes), limits);
 }
 
 TiffStack read_tiff(const std::string& path, const TiffReadLimits& limits) {
-  return materialize(FileByteSource(path), limits);
+  return materialize(std::make_shared<PreadByteSource>(path), limits);
 }
 
 std::vector<std::uint8_t> write_tiff_bytes(const TiffStack& stack,

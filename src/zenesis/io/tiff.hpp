@@ -4,9 +4,11 @@
 // FIB-SEM stacks arrive as multi-page grayscale TIFFs (8/16/32-bit
 // unsigned) — often multi-gigabyte, tiled and compressed, and in a
 // production setting, untrusted. This module reads classic TIFF and
-// BigTIFF (strips or tiles, uncompressed or PackBits, either byte order,
-// BlackIsZero or MinIsWhite) and writes classic or BigTIFF with the same
-// layout/compression choices, all without external dependencies.
+// BigTIFF (strips or tiles; uncompressed, PackBits, LZW or Deflate,
+// with or without the horizontal predictor; either byte order,
+// BlackIsZero or MinIsWhite) and writes classic or BigTIFF with the
+// same layout/compression/predictor choices, all without external
+// dependencies.
 //
 // Robustness contract: every malformed or out-of-subset input throws
 // TiffError (tiff_error.hpp) carrying a kind, byte offset, tag and page —
@@ -38,7 +40,7 @@ struct TiffStack {
 /// instead of truncating when a stack outgrows that — switch to kBigTiff.
 enum class TiffFormat { kClassic, kBigTiff };
 
-enum class TiffCompression { kNone, kPackBits };
+enum class TiffCompression { kNone, kPackBits, kLzw, kDeflate };
 
 enum class TiffLayout { kStrips, kTiles };
 
@@ -53,6 +55,9 @@ struct TiffWriteOptions {
   /// Tile layout geometry (the spec wants multiples of 16).
   std::int64_t tile_width = 64;
   std::int64_t tile_height = 64;
+  /// TIFF Predictor tag: 1 = none, 2 = horizontal differencing before
+  /// compression (pairs naturally with kLzw/kDeflate on smooth data).
+  int predictor = 1;
   /// Byte order of the emitted file (the reader accepts both).
   bool big_endian = false;
   /// Store pages as Photometric=MinIsWhite with inverted samples; reading

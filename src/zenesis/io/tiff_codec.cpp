@@ -1,0 +1,688 @@
+#include "zenesis/io/tiff_codec.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+
+#include "zenesis/io/tiff_error.hpp"
+
+namespace zenesis::io::codec {
+namespace {
+
+[[noreturn]] void raise(TiffErrorKind kind, const std::string& detail,
+                        std::uint64_t off, std::int64_t page) {
+  throw TiffError(kind, detail, off, 0, page);
+}
+
+// ---------------------------------------------------------------------------
+// LZW (TIFF flavor: MSB-first code packing, early code-width change)
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t kLzwClear = 256;
+constexpr std::uint32_t kLzwEoi = 257;
+constexpr std::uint32_t kLzwFirst = 258;
+constexpr std::uint32_t kLzwTableSize = 4096;
+// Encoder emits a Clear before the table becomes unaddressable at the
+// 12-bit ceiling (mirrors libtiff, which resets near 4094).
+constexpr std::uint32_t kLzwClearAt = 4094;
+
+struct BitReaderMsb {
+  const std::uint8_t* in;
+  std::size_t n;
+  std::uint64_t src_off;
+  std::int64_t page;
+  std::size_t pos = 0;
+  std::uint32_t acc = 0;
+  int cnt = 0;
+
+  std::uint32_t read(int width) {
+    while (cnt < width) {
+      if (pos >= n) {
+        raise(TiffErrorKind::kTruncated, "LZW stream exhausted",
+              src_off + pos, page);
+      }
+      acc = (acc << 8) | in[pos++];
+      cnt += 8;
+    }
+    cnt -= width;
+    return (acc >> cnt) & ((1u << width) - 1u);
+  }
+};
+
+struct BitWriterMsb {
+  std::vector<std::uint8_t> out;
+  std::uint32_t acc = 0;
+  int cnt = 0;
+
+  void put(std::uint32_t code, int width) {
+    acc = (acc << width) | (code & ((1u << width) - 1u));
+    cnt += width;
+    while (cnt >= 8) {
+      cnt -= 8;
+      out.push_back(static_cast<std::uint8_t>((acc >> cnt) & 0xFF));
+    }
+  }
+  std::vector<std::uint8_t> finish() {
+    if (cnt > 0) {
+      out.push_back(static_cast<std::uint8_t>((acc << (8 - cnt)) & 0xFF));
+      cnt = 0;
+    }
+    return std::move(out);
+  }
+};
+
+}  // namespace
+
+void lzw_decode(const std::uint8_t* in, std::size_t in_size,
+                std::uint8_t* out, std::size_t out_size,
+                std::uint64_t src_off, std::int64_t page) {
+  BitReaderMsb br{in, in_size, src_off, page, 0, 0, 0};
+  std::array<std::uint16_t, kLzwTableSize> prefix{};
+  std::array<std::uint8_t, kLzwTableSize> suffix{};
+  std::array<std::uint8_t, kLzwTableSize> stack{};
+  int width = 9;
+  std::uint32_t next = kLzwFirst;
+  std::int32_t old_code = -1;
+  std::size_t op = 0;
+
+  while (op < out_size) {
+    const std::uint32_t code = br.read(width);
+    if (code == kLzwClear) {
+      width = 9;
+      next = kLzwFirst;
+      old_code = -1;
+      continue;
+    }
+    if (code == kLzwEoi) {
+      raise(TiffErrorKind::kTruncated, "LZW stream ended before decoded size",
+            src_off + br.pos, page);
+    }
+    if (old_code < 0) {  // first code after a Clear must be a root
+      if (code > 255) {
+        raise(TiffErrorKind::kCorruptIfd, "LZW code before dictionary exists",
+              src_off + br.pos, page);
+      }
+      out[op++] = static_cast<std::uint8_t>(code);
+      old_code = static_cast<std::int32_t>(code);
+      continue;
+    }
+    // KwKwK: the one code allowed to reference the entry being defined.
+    std::uint32_t c = code;
+    bool kwkwk = false;
+    if (c >= next) {
+      if (c != next || next >= kLzwTableSize) {
+        raise(TiffErrorKind::kCorruptIfd, "LZW code out of table range",
+              src_off + br.pos, page);
+      }
+      kwkwk = true;
+      c = static_cast<std::uint32_t>(old_code);
+    }
+    std::size_t sp = 0;
+    while (c >= kLzwFirst) {  // chains terminate at a root by construction
+      stack[sp++] = suffix[c];
+      c = prefix[c];
+    }
+    const auto first = static_cast<std::uint8_t>(c);
+    stack[sp++] = first;
+    const std::size_t len = sp + (kwkwk ? 1 : 0);
+    if (op + len > out_size) {
+      raise(TiffErrorKind::kCorruptIfd, "LZW output overrun",
+            src_off + br.pos, page);
+    }
+    while (sp > 0) out[op++] = stack[--sp];
+    if (kwkwk) out[op++] = first;
+    if (next < kLzwTableSize) {
+      prefix[next] = static_cast<std::uint16_t>(old_code);
+      suffix[next] = first;
+      ++next;
+      if (next == (1u << width) - 1u && width < 12) ++width;  // early change
+    }
+    old_code = static_cast<std::int32_t>(code);
+  }
+}
+
+std::vector<std::uint8_t> lzw_encode(const std::uint8_t* p, std::size_t n) {
+  BitWriterMsb bw;
+  std::unordered_map<std::uint32_t, std::uint16_t> table;
+  table.reserve(kLzwTableSize);
+  int width = 9;
+  std::uint32_t next = kLzwFirst;
+  // The decoder's table lags the encoder's by one entry, so the early
+  // change lands one entry later here (next == 2^w) than in lzw_decode
+  // (next == 2^w - 1) — that offset is what keeps the widths in
+  // lockstep on the wire.
+  const auto bump = [&] {
+    ++next;
+    if (next == (1u << width) && width < 12) ++width;
+  };
+  bw.put(kLzwClear, width);
+  if (n == 0) {
+    bw.put(kLzwEoi, width);
+    return bw.finish();
+  }
+  std::uint32_t cur = p[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::uint32_t key = (cur << 8) | p[i];
+    const auto it = table.find(key);
+    if (it != table.end()) {
+      cur = it->second;
+      continue;
+    }
+    bw.put(cur, width);
+    table.emplace(key, static_cast<std::uint16_t>(next));
+    bump();
+    cur = p[i];
+    if (next >= kLzwClearAt) {
+      bw.put(kLzwClear, width);
+      table.clear();
+      width = 9;
+      next = kLzwFirst;
+    }
+  }
+  bw.put(cur, width);
+  bump();  // a compliant decoder grows the table (and width) here too
+  bw.put(kLzwEoi, width);
+  return bw.finish();
+}
+
+// ---------------------------------------------------------------------------
+// Deflate / zlib (RFC 1950 + 1951)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int kMaxBits = 15;
+
+// Length codes 257..285 and distance codes 0..29 (RFC 1951 §3.2.5).
+constexpr std::uint16_t kLenBase[29] = {
+    3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19,  23, 27,
+    31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr std::uint8_t kLenExtra[29] = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1,
+                                        1, 1, 2, 2, 2, 2, 3, 3, 3, 3,
+                                        4, 4, 4, 4, 5, 5, 5, 5, 0};
+constexpr std::uint16_t kDistBase[30] = {
+    1,    2,    3,    4,    5,    7,     9,     13,    17,    25,
+    33,   49,   65,   97,   129,  193,   257,   385,   513,   769,
+    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+constexpr std::uint8_t kDistExtra[30] = {0, 0, 0,  0,  1,  1,  2,  2,  3,  3,
+                                         4, 4, 5,  5,  6,  6,  7,  7,  8,  8,
+                                         9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+struct BitReaderLsb {
+  const std::uint8_t* in;
+  std::size_t n;
+  std::uint64_t src_off;
+  std::int64_t page;
+  std::size_t pos = 0;
+  std::uint32_t acc = 0;
+  int cnt = 0;
+
+  int bit() {
+    if (cnt == 0) {
+      if (pos >= n) {
+        raise(TiffErrorKind::kTruncated, "deflate stream exhausted",
+              src_off + pos, page);
+      }
+      acc = in[pos++];
+      cnt = 8;
+    }
+    const int b = static_cast<int>(acc & 1u);
+    acc >>= 1;
+    --cnt;
+    return b;
+  }
+  std::uint32_t bits(int k) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < k; ++i) {
+      v |= static_cast<std::uint32_t>(bit()) << i;
+    }
+    return v;
+  }
+  void align() {
+    acc = 0;
+    cnt = 0;
+  }
+};
+
+/// Canonical Huffman table in puff-style count/symbol form.
+struct Huffman {
+  std::array<std::uint16_t, kMaxBits + 1> count{};
+  std::array<std::uint16_t, 288> symbol{};
+};
+
+/// Builds the canonical table; returns <0 when over-subscribed, 0 when
+/// complete, >0 (bits left over) when incomplete.
+int build_huffman(Huffman& h, const std::uint8_t* lengths, int n) {
+  h.count.fill(0);
+  for (int i = 0; i < n; ++i) ++h.count[lengths[i]];
+  h.count[0] = 0;
+  int left = 1;
+  for (int len = 1; len <= kMaxBits; ++len) {
+    left <<= 1;
+    left -= h.count[len];
+    if (left < 0) return left;
+  }
+  std::array<std::uint16_t, kMaxBits + 1> offs{};
+  for (int len = 1; len < kMaxBits; ++len) {
+    offs[len + 1] = static_cast<std::uint16_t>(offs[len] + h.count[len]);
+  }
+  for (int sym = 0; sym < n; ++sym) {
+    if (lengths[sym] != 0) {
+      h.symbol[offs[lengths[sym]]++] = static_cast<std::uint16_t>(sym);
+    }
+  }
+  return left;
+}
+
+int decode_symbol(BitReaderLsb& br, const Huffman& h) {
+  int code = 0, first = 0, index = 0;
+  for (int len = 1; len <= kMaxBits; ++len) {
+    code |= br.bit();
+    const int cnt = h.count[len];
+    if (code - first < cnt) return h.symbol[index + (code - first)];
+    index += cnt;
+    first = (first + cnt) << 1;
+    code <<= 1;
+  }
+  raise(TiffErrorKind::kCorruptIfd, "deflate: invalid Huffman code",
+        br.src_off + br.pos, br.page);
+}
+
+void fixed_tables(Huffman& lit, Huffman& dist) {
+  std::array<std::uint8_t, 288> lens{};
+  for (int i = 0; i < 144; ++i) lens[i] = 8;
+  for (int i = 144; i < 256; ++i) lens[i] = 9;
+  for (int i = 256; i < 280; ++i) lens[i] = 7;
+  for (int i = 280; i < 288; ++i) lens[i] = 8;
+  build_huffman(lit, lens.data(), 288);
+  std::array<std::uint8_t, 30> dlens{};
+  dlens.fill(5);
+  build_huffman(dist, dlens.data(), 30);
+}
+
+void dynamic_tables(BitReaderLsb& br, Huffman& lit, Huffman& dist,
+                    int* nlit, int* ndist) {
+  const int hlit = static_cast<int>(br.bits(5)) + 257;
+  const int hdist = static_cast<int>(br.bits(5)) + 1;
+  const int hclen = static_cast<int>(br.bits(4)) + 4;
+  if (hlit > 286 || hdist > 30) {
+    raise(TiffErrorKind::kCorruptIfd, "deflate: bad dynamic code counts",
+          br.src_off + br.pos, br.page);
+  }
+  static constexpr std::uint8_t kOrder[19] = {
+      16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15};
+  std::array<std::uint8_t, 19> cl_lens{};
+  for (int i = 0; i < hclen; ++i) {
+    cl_lens[kOrder[i]] = static_cast<std::uint8_t>(br.bits(3));
+  }
+  Huffman cl;
+  if (build_huffman(cl, cl_lens.data(), 19) != 0) {
+    raise(TiffErrorKind::kCorruptIfd, "deflate: bad code-length code",
+          br.src_off + br.pos, br.page);
+  }
+  std::array<std::uint8_t, 286 + 30> lens{};
+  int i = 0;
+  while (i < hlit + hdist) {
+    const int sym = decode_symbol(br, cl);
+    int rep;
+    std::uint8_t val = 0;
+    if (sym < 16) {
+      lens[i++] = static_cast<std::uint8_t>(sym);
+      continue;
+    } else if (sym == 16) {
+      if (i == 0) {
+        raise(TiffErrorKind::kCorruptIfd, "deflate: repeat with no previous",
+              br.src_off + br.pos, br.page);
+      }
+      rep = 3 + static_cast<int>(br.bits(2));
+      val = lens[i - 1];
+    } else if (sym == 17) {
+      rep = 3 + static_cast<int>(br.bits(3));
+    } else {
+      rep = 11 + static_cast<int>(br.bits(7));
+    }
+    if (i + rep > hlit + hdist) {
+      raise(TiffErrorKind::kCorruptIfd, "deflate: code lengths overflow",
+            br.src_off + br.pos, br.page);
+    }
+    while (rep-- > 0) lens[i++] = val;
+  }
+  if (lens[256] == 0) {
+    raise(TiffErrorKind::kCorruptIfd, "deflate: missing end-of-block code",
+          br.src_off + br.pos, br.page);
+  }
+  // Incomplete codes are valid only in the degenerate one-code case
+  // (puff's rule); anything else is a corrupt table.
+  int err = build_huffman(lit, lens.data(), hlit);
+  if (err < 0 || (err > 0 && hlit - lit.count[0] != 1)) {
+    raise(TiffErrorKind::kCorruptIfd, "deflate: bad literal/length code",
+          br.src_off + br.pos, br.page);
+  }
+  err = build_huffman(dist, lens.data() + hlit, hdist);
+  if (err < 0 || (err > 0 && hdist - dist.count[0] != 1)) {
+    raise(TiffErrorKind::kCorruptIfd, "deflate: bad distance code",
+          br.src_off + br.pos, br.page);
+  }
+  *nlit = hlit;
+  *ndist = hdist;
+}
+
+struct BitWriterLsb {
+  std::vector<std::uint8_t> out;
+  std::uint32_t acc = 0;
+  int cnt = 0;
+
+  void bits(std::uint32_t v, int k) {
+    acc |= v << cnt;
+    cnt += k;
+    while (cnt >= 8) {
+      out.push_back(static_cast<std::uint8_t>(acc & 0xFF));
+      acc >>= 8;
+      cnt -= 8;
+    }
+  }
+  /// Huffman codes pack most-significant code bit first.
+  void huff(std::uint32_t code, int len) {
+    std::uint32_t r = 0;
+    for (int i = 0; i < len; ++i) r = (r << 1) | ((code >> i) & 1u);
+    bits(r, len);
+  }
+  void finish() {
+    if (cnt > 0) {
+      out.push_back(static_cast<std::uint8_t>(acc & 0xFF));
+      acc = 0;
+      cnt = 0;
+    }
+  }
+};
+
+void put_fixed_literal(BitWriterLsb& bw, std::uint8_t sym) {
+  if (sym < 144) {
+    bw.huff(0x30u + sym, 8);
+  } else {
+    bw.huff(0x190u + (sym - 144u), 9);
+  }
+}
+
+void put_fixed_length(BitWriterLsb& bw, int len) {
+  for (int k = 28; k >= 0; --k) {
+    if (len >= kLenBase[k]) {
+      const int sym = 257 + k;
+      if (sym < 280) {
+        bw.huff(static_cast<std::uint32_t>(sym - 256), 7);
+      } else {
+        bw.huff(0xC0u + static_cast<std::uint32_t>(sym - 280), 8);
+      }
+      bw.bits(static_cast<std::uint32_t>(len - kLenBase[k]), kLenExtra[k]);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::uint32_t adler32(const std::uint8_t* p, std::size_t n) {
+  std::uint32_t a = 1, b = 0;
+  std::size_t i = 0;
+  while (i < n) {
+    // 5552 iterations fit in u32 before the mod (zlib's NMAX).
+    std::size_t chunk = std::min<std::size_t>(n - i, 5552);
+    while (chunk-- > 0) {
+      a += p[i++];
+      b += a;
+    }
+    a %= 65521u;
+    b %= 65521u;
+  }
+  return (b << 16) | a;
+}
+
+void zlib_inflate(const std::uint8_t* in, std::size_t in_size,
+                  std::uint8_t* out, std::size_t out_size,
+                  std::uint64_t src_off, std::int64_t page) {
+  if (in_size < 2) {
+    raise(TiffErrorKind::kTruncated, "zlib header truncated", src_off, page);
+  }
+  const std::uint32_t cmf = in[0], flg = in[1];
+  if ((cmf & 0x0Fu) != 8u) {
+    raise(TiffErrorKind::kCorruptIfd, "zlib: compression method not deflate",
+          src_off, page);
+  }
+  if (((cmf << 8) | flg) % 31u != 0u) {
+    raise(TiffErrorKind::kCorruptIfd, "zlib: header check failed", src_off,
+          page);
+  }
+  if ((flg & 0x20u) != 0u) {
+    raise(TiffErrorKind::kCorruptIfd, "zlib: preset dictionary unsupported",
+          src_off, page);
+  }
+  BitReaderLsb br{in + 2, in_size - 2, src_off + 2, page, 0, 0, 0};
+  std::size_t op = 0;
+  bool final_block = false;
+  while (!final_block) {
+    final_block = br.bit() != 0;
+    const std::uint32_t btype = br.bits(2);
+    if (btype == 0) {  // stored
+      br.align();
+      if (br.pos + 4 > br.n) {
+        raise(TiffErrorKind::kTruncated, "deflate: stored header truncated",
+              br.src_off + br.pos, page);
+      }
+      const std::uint32_t len = static_cast<std::uint32_t>(br.in[br.pos]) |
+                                (static_cast<std::uint32_t>(br.in[br.pos + 1])
+                                 << 8);
+      const std::uint32_t nlen =
+          static_cast<std::uint32_t>(br.in[br.pos + 2]) |
+          (static_cast<std::uint32_t>(br.in[br.pos + 3]) << 8);
+      br.pos += 4;
+      if ((len ^ 0xFFFFu) != nlen) {
+        raise(TiffErrorKind::kCorruptIfd, "deflate: stored length mismatch",
+              br.src_off + br.pos, page);
+      }
+      if (op + len > out_size) {
+        raise(TiffErrorKind::kCorruptIfd, "deflate output overrun",
+              br.src_off + br.pos, page);
+      }
+      if (br.pos + len > br.n) {
+        raise(TiffErrorKind::kTruncated, "deflate: stored data truncated",
+              br.src_off + br.pos, page);
+      }
+      std::memcpy(out + op, br.in + br.pos, len);
+      op += len;
+      br.pos += len;
+      continue;
+    }
+    if (btype == 3) {
+      raise(TiffErrorKind::kCorruptIfd, "deflate: reserved block type",
+            br.src_off + br.pos, page);
+    }
+    Huffman lit, dist;
+    int nlit = 288, ndist = 30;
+    if (btype == 1) {
+      fixed_tables(lit, dist);
+    } else {
+      dynamic_tables(br, lit, dist, &nlit, &ndist);
+    }
+    for (;;) {
+      const int sym = decode_symbol(br, lit);
+      if (sym < 256) {
+        if (op >= out_size) {
+          raise(TiffErrorKind::kCorruptIfd, "deflate output overrun",
+                br.src_off + br.pos, page);
+        }
+        out[op++] = static_cast<std::uint8_t>(sym);
+        continue;
+      }
+      if (sym == 256) break;  // end of block
+      if (sym > 285) {
+        raise(TiffErrorKind::kCorruptIfd, "deflate: bad length symbol",
+              br.src_off + br.pos, page);
+      }
+      const std::size_t len =
+          kLenBase[sym - 257] + br.bits(kLenExtra[sym - 257]);
+      const int dsym = decode_symbol(br, dist);
+      if (dsym >= 30) {
+        raise(TiffErrorKind::kCorruptIfd, "deflate: bad distance symbol",
+              br.src_off + br.pos, page);
+      }
+      const std::size_t distance =
+          kDistBase[dsym] + br.bits(kDistExtra[dsym]);
+      if (distance > op) {
+        raise(TiffErrorKind::kCorruptIfd, "deflate: distance before start",
+              br.src_off + br.pos, page);
+      }
+      if (op + len > out_size) {
+        raise(TiffErrorKind::kCorruptIfd, "deflate output overrun",
+              br.src_off + br.pos, page);
+      }
+      for (std::size_t i = 0; i < len; ++i, ++op) {
+        out[op] = out[op - distance];
+      }
+    }
+  }
+  if (op != out_size) {
+    raise(TiffErrorKind::kTruncated, "deflate stream ended before decoded size",
+          br.src_off + br.pos, page);
+  }
+  br.align();
+  if (br.pos + 4 > br.n) {
+    raise(TiffErrorKind::kTruncated, "zlib: adler32 trailer truncated",
+          br.src_off + br.pos, page);
+  }
+  const std::uint32_t want = (static_cast<std::uint32_t>(br.in[br.pos]) << 24) |
+                             (static_cast<std::uint32_t>(br.in[br.pos + 1])
+                              << 16) |
+                             (static_cast<std::uint32_t>(br.in[br.pos + 2])
+                              << 8) |
+                             static_cast<std::uint32_t>(br.in[br.pos + 3]);
+  if (want != adler32(out, out_size)) {
+    raise(TiffErrorKind::kCorruptIfd, "zlib: adler32 mismatch",
+          br.src_off + br.pos, page);
+  }
+}
+
+std::vector<std::uint8_t> zlib_deflate(const std::uint8_t* p, std::size_t n) {
+  BitWriterLsb bw;
+  bw.out.reserve(n / 2 + 16);
+  bw.out.push_back(0x78);  // CMF: deflate, 32K window
+  bw.out.push_back(0x01);  // FLG: check bits, no dict, fastest
+  bw.bits(1, 1);           // BFINAL
+  bw.bits(1, 2);           // fixed Huffman
+  std::size_t i = 0;
+  while (i < n) {
+    if (i > 0) {
+      // Distance-1 run match: covers the flat spans horizontal
+      // differencing produces, and keeps the decoder's match path hot.
+      std::size_t run = 0;
+      while (i + run < n && p[i + run] == p[i - 1] && run < 258) ++run;
+      if (run >= 3) {
+        put_fixed_length(bw, static_cast<int>(run));
+        bw.huff(0, 5);  // distance symbol 0 == distance 1
+        i += run;
+        continue;
+      }
+    }
+    put_fixed_literal(bw, p[i]);
+    ++i;
+  }
+  bw.huff(0, 7);  // end of block
+  bw.finish();
+  const std::uint32_t sum = adler32(p, n);
+  bw.out.push_back(static_cast<std::uint8_t>(sum >> 24));
+  bw.out.push_back(static_cast<std::uint8_t>((sum >> 16) & 0xFF));
+  bw.out.push_back(static_cast<std::uint8_t>((sum >> 8) & 0xFF));
+  bw.out.push_back(static_cast<std::uint8_t>(sum & 0xFF));
+  return std::move(bw.out);
+}
+
+// ---------------------------------------------------------------------------
+// Horizontal predictor (TIFF tag 317, value 2)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename T>
+T load_sample(const std::uint8_t* p, bool be) {
+  T v = 0;
+  if (be) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>((v << 8) | p[i]);
+    }
+  } else {
+    for (std::size_t i = sizeof(T); i > 0; --i) {
+      v = static_cast<T>((v << 8) | p[i - 1]);
+    }
+  }
+  return v;
+}
+
+template <typename T>
+void store_sample(std::uint8_t* p, T v, bool be) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    const int shift = be ? 8 * static_cast<int>(sizeof(T) - 1 - i)
+                         : 8 * static_cast<int>(i);
+    p[i] = static_cast<std::uint8_t>((v >> shift) & 0xFF);
+  }
+}
+
+template <typename T>
+void undo_row(std::uint8_t* row, std::int64_t samples, bool be) {
+  T prev = load_sample<T>(row, be);
+  for (std::int64_t i = 1; i < samples; ++i) {
+    std::uint8_t* at = row + static_cast<std::size_t>(i) * sizeof(T);
+    prev = static_cast<T>(prev + load_sample<T>(at, be));
+    store_sample<T>(at, prev, be);
+  }
+}
+
+template <typename T>
+void apply_row(std::uint8_t* row, std::int64_t samples, bool be) {
+  // Backwards, so each difference reads the original left neighbor.
+  for (std::int64_t i = samples - 1; i > 0; --i) {
+    std::uint8_t* at = row + static_cast<std::size_t>(i) * sizeof(T);
+    const std::uint8_t* left = at - sizeof(T);
+    store_sample<T>(
+        at,
+        static_cast<T>(load_sample<T>(at, be) - load_sample<T>(left, be)),
+        be);
+  }
+}
+
+template <void (*RowFn8)(std::uint8_t*, std::int64_t, bool),
+          void (*RowFn16)(std::uint8_t*, std::int64_t, bool),
+          void (*RowFn32)(std::uint8_t*, std::int64_t, bool)>
+void per_row(std::uint8_t* buf, std::int64_t row_samples, std::int64_t rows,
+             int bytes_per_sample, bool big_endian) {
+  if (row_samples < 2) return;
+  const std::size_t row_bytes = static_cast<std::size_t>(row_samples) *
+                                static_cast<std::size_t>(bytes_per_sample);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::uint8_t* row = buf + static_cast<std::size_t>(r) * row_bytes;
+    switch (bytes_per_sample) {
+      case 1: RowFn8(row, row_samples, big_endian); break;
+      case 2: RowFn16(row, row_samples, big_endian); break;
+      default: RowFn32(row, row_samples, big_endian); break;
+    }
+  }
+}
+
+}  // namespace
+
+void predictor_undo(std::uint8_t* buf, std::int64_t row_samples,
+                    std::int64_t rows, int bytes_per_sample, bool big_endian) {
+  per_row<undo_row<std::uint8_t>, undo_row<std::uint16_t>,
+          undo_row<std::uint32_t>>(buf, row_samples, rows, bytes_per_sample,
+                                   big_endian);
+}
+
+void predictor_apply(std::uint8_t* buf, std::int64_t row_samples,
+                     std::int64_t rows, int bytes_per_sample,
+                     bool big_endian) {
+  per_row<apply_row<std::uint8_t>, apply_row<std::uint16_t>,
+          apply_row<std::uint32_t>>(buf, row_samples, rows, bytes_per_sample,
+                                    big_endian);
+}
+
+}  // namespace zenesis::io::codec

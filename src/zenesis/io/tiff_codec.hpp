@@ -1,0 +1,61 @@
+#pragma once
+// TIFF segment codecs, dependency-free: LZW (compression tag 5),
+// Deflate/zlib (tags 8 and 32946) and the horizontal predictor
+// (tag 317, value 2). Decoders follow the module's robustness
+// contract — corrupt input throws TiffError (kTruncated when the code
+// stream ends early, kCorruptIfd when the stream itself is malformed
+// or would overrun the declared decoded size), never UB or unbounded
+// allocation: output size is fixed by the caller, who has already
+// checked it against TiffReadLimits, and both decoders work in O(1)
+// extra memory on top of it.
+//
+// Encoders exist so the writer can produce compressed, predictor-
+// encoded stacks for round-trip tests, the fuzz corpus and benchmarks:
+// lzw_encode is a full 12-bit early-change TIFF LZW compressor;
+// zlib_deflate emits a fixed-Huffman stream with run matches (enough
+// to exercise the inflate length/distance path and compress the flat
+// regions predictor differencing produces).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace zenesis::io::codec {
+
+/// TIFF LZW (MSB-first codes, early code-width change) into an
+/// exact-size output. Trailing input after the output fills is
+/// ignored; EOI or input exhaustion before that throws kTruncated.
+void lzw_decode(const std::uint8_t* in, std::size_t in_size,
+                std::uint8_t* out, std::size_t out_size,
+                std::uint64_t src_off, std::int64_t page);
+
+/// TIFF LZW compression (round-trips through lzw_decode).
+std::vector<std::uint8_t> lzw_encode(const std::uint8_t* p, std::size_t n);
+
+/// zlib-wrapped Deflate (RFC 1950/1951: stored, fixed and dynamic
+/// Huffman blocks) into an exact-size output. The adler32 trailer is
+/// verified when the stream terminates within the input.
+void zlib_inflate(const std::uint8_t* in, std::size_t in_size,
+                  std::uint8_t* out, std::size_t out_size,
+                  std::uint64_t src_off, std::int64_t page);
+
+/// zlib compression: fixed-Huffman literals plus distance-1 run
+/// matches (round-trips through zlib_inflate).
+std::vector<std::uint8_t> zlib_deflate(const std::uint8_t* p, std::size_t n);
+
+/// RFC 1950 adler32 checksum.
+std::uint32_t adler32(const std::uint8_t* p, std::size_t n);
+
+/// Undoes horizontal differencing in place: buf holds `rows` rows of
+/// `row_samples` samples of `bytes_per_sample` (1/2/4) bytes each, in
+/// file byte order; each sample becomes the running sum of its row
+/// (mod 2^bits). Runs after decompression, before sample conversion.
+void predictor_undo(std::uint8_t* buf, std::int64_t row_samples,
+                    std::int64_t rows, int bytes_per_sample, bool big_endian);
+
+/// Applies horizontal differencing in place (writer-side inverse of
+/// predictor_undo; runs before compression).
+void predictor_apply(std::uint8_t* buf, std::int64_t row_samples,
+                     std::int64_t rows, int bytes_per_sample, bool big_endian);
+
+}  // namespace zenesis::io::codec

@@ -1,61 +1,121 @@
 #include "zenesis/io/tiff_stream.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <limits>
+#include <mutex>
 #include <unordered_set>
 #include <utility>
 
+#include "zenesis/io/tiff_codec.hpp"
 #include "zenesis/obs/trace.hpp"
+#include "zenesis/parallel/parallel_for.hpp"
 
 namespace zenesis::io {
 
 // ---------------------------------------------------------------------------
-// Byte sources
+// Source-kind selection (ZENESIS_TIFF_SOURCE, warn-once fallback)
 // ---------------------------------------------------------------------------
 
-void MemoryByteSource::read_at(std::uint64_t off, std::uint8_t* dst,
-                               std::size_t n) const {
-  if (off > bytes_.size() || n > bytes_.size() - off) {
-    throw TiffError(TiffErrorKind::kTruncated, "read past end of data", off);
+const char* to_string(TiffSourceKind kind) noexcept {
+  switch (kind) {
+    case TiffSourceKind::kAuto: return "auto";
+    case TiffSourceKind::kMemory: return "memory";
+    case TiffSourceKind::kPread: return "pread";
+    case TiffSourceKind::kMmap: return "mmap";
   }
-  std::memcpy(dst, bytes_.data() + off, n);
+  return "auto";
 }
 
-struct FileByteSource::Impl {
-  std::ifstream stream;
-};
-
-FileByteSource::FileByteSource(const std::string& path)
-    : impl_(std::make_unique<Impl>()) {
-  impl_->stream.open(path, std::ios::binary);
-  if (!impl_->stream) {
-    throw TiffError(TiffErrorKind::kTruncated, "cannot open " + path);
-  }
-  impl_->stream.seekg(0, std::ios::end);
-  const auto end = impl_->stream.tellg();
-  if (end < 0) {
-    throw TiffError(TiffErrorKind::kTruncated, "cannot size " + path);
-  }
-  size_ = static_cast<std::uint64_t>(end);
+std::optional<TiffSourceKind> parse_source_kind(std::string_view name) {
+  if (name == "auto") return TiffSourceKind::kAuto;
+  if (name == "memory") return TiffSourceKind::kMemory;
+  if (name == "pread") return TiffSourceKind::kPread;
+  if (name == "mmap") return TiffSourceKind::kMmap;
+  return std::nullopt;
 }
 
-FileByteSource::~FileByteSource() = default;
+TiffSourceKind resolve_tiff_source_selector(std::string_view value,
+                                            std::string* warning) {
+  if (const auto kind = parse_source_kind(value)) {
+    if (warning != nullptr) warning->clear();
+    return *kind;
+  }
+  if (warning != nullptr) {
+    *warning = "unknown ZENESIS_TIFF_SOURCE \"" + std::string(value) +
+               "\" (expected auto|memory|pread|mmap); using auto";
+  }
+  return TiffSourceKind::kAuto;
+}
 
-void FileByteSource::read_at(std::uint64_t off, std::uint8_t* dst,
-                             std::size_t n) const {
-  if (off > size_ || n > size_ - off) {
-    throw TiffError(TiffErrorKind::kTruncated, "read past end of file", off);
+namespace {
+
+std::atomic<int> g_default_kind{-1};
+std::once_flag g_source_env_once;
+std::once_flag g_mmap_warn_once;
+
+void init_default_kind_from_env() {
+  TiffSourceKind kind = TiffSourceKind::kAuto;
+  const char* env = std::getenv("ZENESIS_TIFF_SOURCE");
+  if (env != nullptr && *env != '\0') {
+    std::string warning;
+    kind = resolve_tiff_source_selector(env, &warning);
+    if (!warning.empty()) {
+      std::fprintf(stderr, "zenesis: %s\n", warning.c_str());
+    }
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  impl_->stream.clear();
-  impl_->stream.seekg(static_cast<std::streamoff>(off));
-  impl_->stream.read(reinterpret_cast<char*>(dst),
-                     static_cast<std::streamsize>(n));
-  if (static_cast<std::size_t>(impl_->stream.gcount()) != n) {
-    throw TiffError(TiffErrorKind::kTruncated, "short read from file", off);
+  if (kind == TiffSourceKind::kAuto) {
+    kind = MmapByteSource::supported() ? TiffSourceKind::kMmap
+                                       : TiffSourceKind::kPread;
   }
+  g_default_kind.store(static_cast<int>(kind), std::memory_order_relaxed);
+}
+
+/// Resolves kAuto and downgrades unsupported mmap to pread, warning
+/// once (same contract as the ZENESIS_KERNEL / ZENESIS_PRECISION
+/// fallbacks).
+TiffSourceKind concrete_source_kind(TiffSourceKind requested) {
+  TiffSourceKind kind =
+      requested == TiffSourceKind::kAuto ? default_source_kind() : requested;
+  if (kind == TiffSourceKind::kMmap && !MmapByteSource::supported()) {
+    std::call_once(g_mmap_warn_once, [] {
+      std::fprintf(stderr,
+                   "zenesis: mmap TIFF source unavailable on this platform; "
+                   "using pread\n");
+    });
+    kind = TiffSourceKind::kPread;
+  }
+  return kind;
+}
+
+std::shared_ptr<const ByteSource> make_file_source(const std::string& path,
+                                                   TiffSourceKind kind,
+                                                   bool prefetch) {
+  switch (kind) {
+    case TiffSourceKind::kMemory: {
+      // The decompress-whole-file shape: slurp, then parse from RAM.
+      PreadByteSource file(path);
+      const auto n = static_cast<std::size_t>(file.size());
+      std::vector<std::uint8_t> bytes(n);
+      if (n > 0) file.read_at(0, bytes.data(), n);
+      return std::make_shared<MemoryByteSource>(std::move(bytes));
+    }
+    case TiffSourceKind::kPread:
+      return std::make_shared<PreadByteSource>(path);
+    default:
+      return std::make_shared<MmapByteSource>(path, prefetch);
+  }
+}
+
+}  // namespace
+
+TiffSourceKind default_source_kind() {
+  std::call_once(g_source_env_once, init_default_kind_from_env);
+  return static_cast<TiffSourceKind>(
+      g_default_kind.load(std::memory_order_relaxed));
 }
 
 // ---------------------------------------------------------------------------
@@ -74,6 +134,7 @@ constexpr std::uint16_t kTagStripOffsets = 273;
 constexpr std::uint16_t kTagSamplesPerPixel = 277;
 constexpr std::uint16_t kTagRowsPerStrip = 278;
 constexpr std::uint16_t kTagStripByteCounts = 279;
+constexpr std::uint16_t kTagPredictor = 317;
 constexpr std::uint16_t kTagTileWidth = 322;
 constexpr std::uint16_t kTagTileLength = 323;
 constexpr std::uint16_t kTagTileOffsets = 324;
@@ -85,7 +146,13 @@ constexpr std::uint16_t kTypeLong = 4;
 constexpr std::uint16_t kTypeLong8 = 16;
 
 constexpr int kCompressionNone = 1;
+constexpr int kCompressionLzw = 5;
+constexpr int kCompressionDeflate = 8;
+constexpr int kCompressionDeflateOld = 32946;  ///< pre-6.0 Deflate tag
 constexpr int kCompressionPackBits = 32773;
+
+constexpr int kPredictorNone = 1;
+constexpr int kPredictorHorizontal = 2;
 
 constexpr int kPhotometricMinIsWhite = 0;
 constexpr int kPhotometricBlackIsZero = 1;
@@ -288,6 +355,7 @@ std::pair<TiffPageInfo, std::uint64_t> parse_ifd(const Cursor& c,
   std::uint64_t tile_width = 0, tile_height = 0;
   std::uint64_t bits = 8, spp = 1, compression = kCompressionNone;
   std::uint64_t photometric = kPhotometricBlackIsZero, sample_format = 1;
+  std::uint64_t predictor = kPredictorNone;
   Entry strip_offsets_e, strip_counts_e, tile_offsets_e, tile_counts_e;
 
   for (std::uint64_t i = 0; i < n_entries; ++i) {
@@ -306,6 +374,7 @@ std::pair<TiffPageInfo, std::uint64_t> parse_ifd(const Cursor& c,
       case kTagPhotometric: photometric = entry_scalar(c, e, 0, page); break;
       case kTagSamplesPerPixel: spp = entry_scalar(c, e, 0, page); break;
       case kTagRowsPerStrip: rows_per_strip = entry_scalar(c, e, 0, page); break;
+      case kTagPredictor: predictor = entry_scalar(c, e, 0, page); break;
       case kTagSampleFormat: sample_format = entry_scalar(c, e, 0, page); break;
       case kTagStripOffsets: strip_offsets_e = e; break;
       case kTagStripByteCounts: strip_counts_e = e; break;
@@ -344,10 +413,18 @@ std::pair<TiffPageInfo, std::uint64_t> parse_ifd(const Cursor& c,
           "only unsigned-integer samples supported", ifd_off, kTagSampleFormat,
           page);
   }
-  if (compression != kCompressionNone && compression != kCompressionPackBits) {
+  if (compression != kCompressionNone && compression != kCompressionLzw &&
+      compression != kCompressionDeflate &&
+      compression != kCompressionDeflateOld &&
+      compression != kCompressionPackBits) {
     raise(TiffErrorKind::kUnsupported,
           "unsupported compression " + std::to_string(compression), ifd_off,
           kTagCompression, page);
+  }
+  if (predictor != kPredictorNone && predictor != kPredictorHorizontal) {
+    raise(TiffErrorKind::kUnsupported,
+          "unsupported predictor " + std::to_string(predictor), ifd_off,
+          kTagPredictor, page);
   }
   if (photometric == kPhotometricPalette) {
     raise(TiffErrorKind::kUnsupported, "palette-color TIFF not supported",
@@ -375,6 +452,7 @@ std::pair<TiffPageInfo, std::uint64_t> parse_ifd(const Cursor& c,
   info.height = static_cast<std::int64_t>(height);
   info.bits = static_cast<int>(bits);
   info.compression = static_cast<int>(compression);
+  info.predictor = static_cast<int>(predictor);
   info.photometric = static_cast<int>(photometric);
   info.big_endian = c.be;
 
@@ -512,24 +590,70 @@ void packbits_decode(const std::uint8_t* in, std::size_t in_size,
   }
 }
 
-/// Loads segment `s` of `info` into `dst` (exactly `required` bytes),
-/// decompressing if needed. `scratch` is a reusable compressed buffer.
-void load_segment(const ByteSource& src, const TiffPageInfo& info,
-                  std::size_t s, std::uint8_t* dst, std::size_t required,
-                  std::vector<std::uint8_t>& scratch, std::int64_t page) {
+/// Loads segment `s` of `info` (exactly `required` decoded bytes) and
+/// returns a pointer to them: straight into the source's zero-copy view
+/// when one exists and no transform is needed, otherwise into `dst`.
+/// `row_samples`/`rows` describe the segment's row geometry for the
+/// predictor; `scratch` is a reusable compressed-input staging buffer
+/// for sources without views.
+const std::uint8_t* load_segment(const ByteSource& src,
+                                 const TiffPageInfo& info, std::size_t s,
+                                 std::uint8_t* dst, std::size_t required,
+                                 std::int64_t row_samples, std::int64_t rows,
+                                 std::vector<std::uint8_t>& scratch,
+                                 std::int64_t page) {
   const std::uint64_t off = info.segment_offsets[s];
   const std::uint64_t cnt = info.segment_counts[s];
-  if (info.compression == kCompressionPackBits) {
-    scratch.resize(static_cast<std::size_t>(cnt));
-    src.read_at(off, scratch.data(), scratch.size());
-    packbits_decode(scratch.data(), scratch.size(), dst, required, off, page);
-    return;
+  const bool predicted = info.predictor == kPredictorHorizontal;
+  const int bps = info.bits / 8;
+
+  if (info.compression == kCompressionNone) {
+    if (cnt < required) {
+      raise(TiffErrorKind::kCorruptIfd,
+            "strip/tile byte count smaller than decoded size", off, 0, page);
+    }
+    const std::span<const std::uint8_t> v = src.view(off, required);
+    if (!v.empty() && !predicted) {
+      return v.data();  // zero-copy: samples convert straight from the map
+    }
+    if (!v.empty()) {
+      std::memcpy(dst, v.data(), required);
+    } else {
+      src.read_at(off, dst, required);
+    }
+    if (predicted) {
+      codec::predictor_undo(dst, row_samples, rows, bps, info.big_endian);
+    }
+    return dst;
   }
-  if (cnt < required) {
-    raise(TiffErrorKind::kCorruptIfd,
-          "strip/tile byte count smaller than decoded size", off, 0, page);
+
+  // Compressed: feed the decompressor from the view when the source has
+  // one (no staging copy), else stage through scratch.
+  const std::uint8_t* in;
+  const auto in_size = static_cast<std::size_t>(cnt);
+  const std::span<const std::uint8_t> v = src.view(off, in_size);
+  if (!v.empty()) {
+    in = v.data();
+  } else {
+    scratch.resize(in_size);
+    src.read_at(off, scratch.data(), in_size);
+    in = scratch.data();
   }
-  src.read_at(off, dst, required);
+  switch (info.compression) {
+    case kCompressionPackBits:
+      packbits_decode(in, in_size, dst, required, off, page);
+      break;
+    case kCompressionLzw:
+      codec::lzw_decode(in, in_size, dst, required, off, page);
+      break;
+    default:  // kCompressionDeflate / kCompressionDeflateOld
+      codec::zlib_inflate(in, in_size, dst, required, off, page);
+      break;
+  }
+  if (predicted) {
+    codec::predictor_undo(dst, row_samples, rows, bps, info.big_endian);
+  }
+  return dst;
 }
 
 template <typename T>
@@ -580,14 +704,16 @@ image::Image<T> decode_typed(const ByteSource& src, const TiffPageInfo& info,
     for (std::int64_t ty = 0; ty < down; ++ty) {
       for (std::int64_t tx = 0; tx < across; ++tx) {
         const auto s = static_cast<std::size_t>(ty * across + tx);
-        load_segment(src, info, s, seg.data(), tile_bytes, scratch, page);
+        const std::uint8_t* data = load_segment(src, info, s, seg.data(),
+                                                tile_bytes, tw, th, scratch,
+                                                page);
         const std::int64_t y0 = ty * th;
         const std::int64_t x0 = tx * tw;
         const std::int64_t rows = std::min<std::int64_t>(th, h - y0);
         const std::int64_t cols = std::min<std::int64_t>(tw, w - x0);
         for (std::int64_t r = 0; r < rows; ++r) {
           const std::uint8_t* row =
-              seg.data() + static_cast<std::size_t>(r * tw) * bps;
+              data + static_cast<std::size_t>(r * tw) * bps;
           for (std::int64_t ccol = 0; ccol < cols; ++ccol) {
             store(x0 + ccol, y0 + r,
                   row + static_cast<std::size_t>(ccol) * bps);
@@ -605,10 +731,12 @@ image::Image<T> decode_typed(const ByteSource& src, const TiffPageInfo& info,
     const std::int64_t rows = std::min<std::int64_t>(rps, h - y);
     const std::size_t required = row_bytes * static_cast<std::size_t>(rows);
     seg.resize(required);
-    load_segment(src, info, s, seg.data(), required, scratch, page);
+    const std::uint8_t* data =
+        load_segment(src, info, s, seg.data(), required, w, rows, scratch,
+                     page);
     for (std::int64_t r = 0; r < rows; ++r, ++y) {
       const std::uint8_t* row =
-          seg.data() + static_cast<std::size_t>(r) * row_bytes;
+          data + static_cast<std::size_t>(r) * row_bytes;
       for (std::int64_t x = 0; x < w; ++x) {
         store(x, y, row + static_cast<std::size_t>(x) * bps);
       }
@@ -617,11 +745,7 @@ image::Image<T> decode_typed(const ByteSource& src, const TiffPageInfo& info,
   return img;
 }
 
-}  // namespace
-
-namespace detail {
-
-std::vector<TiffPageInfo> parse_tiff_pages(const ByteSource& source,
+std::vector<TiffPageInfo> parse_pages_impl(const ByteSource& source,
                                            const TiffReadLimits& limits) {
   const Cursor c = open_cursor(source);
   std::uint64_t ifd_off = c.big ? c.u64(8) : c.u32(4);
@@ -651,7 +775,7 @@ std::vector<TiffPageInfo> parse_tiff_pages(const ByteSource& source,
   return pages;
 }
 
-image::AnyImage decode_tiff_page(const ByteSource& source,
+image::AnyImage decode_page_impl(const ByteSource& source,
                                  const TiffPageInfo& info,
                                  const TiffReadLimits& limits,
                                  std::int64_t page_index) {
@@ -670,30 +794,76 @@ image::AnyImage decode_tiff_page(const ByteSource& source,
   }
 }
 
+}  // namespace
+
+namespace detail {
+
+std::vector<TiffPageInfo> parse_tiff_pages(const ByteSource& source,
+                                           const TiffReadLimits& limits) {
+  return parse_pages_impl(source, limits);
+}
+
+image::AnyImage decode_tiff_page(const ByteSource& source,
+                                 const TiffPageInfo& info,
+                                 const TiffReadLimits& limits,
+                                 std::int64_t page_index) {
+  return decode_page_impl(source, info, limits, page_index);
+}
+
 }  // namespace detail
 
 // ---------------------------------------------------------------------------
 // TiffVolumeReader
 // ---------------------------------------------------------------------------
 
+TiffVolumeReader TiffVolumeReader::open(const std::string& path,
+                                        const TiffOpenOptions& options) {
+  const TiffSourceKind kind = concrete_source_kind(options.source_kind);
+  return TiffVolumeReader(make_file_source(path, kind, options.prefetch),
+                          options, kind);
+}
+
+TiffVolumeReader TiffVolumeReader::open(std::vector<std::uint8_t> bytes,
+                                        const TiffOpenOptions& options) {
+  return TiffVolumeReader(
+      std::make_shared<MemoryByteSource>(std::move(bytes)), options,
+      TiffSourceKind::kMemory);
+}
+
+TiffVolumeReader TiffVolumeReader::open(
+    std::shared_ptr<const ByteSource> source, const TiffOpenOptions& options) {
+  return TiffVolumeReader(std::move(source), options,
+                          TiffSourceKind::kMemory);
+}
+
+TiffVolumeReader::TiffVolumeReader(std::shared_ptr<const ByteSource> source,
+                                   const TiffOpenOptions& options,
+                                   TiffSourceKind resolved)
+    : source_(std::move(source)),
+      limits_(options.limits),
+      resolved_kind_(resolved) {
+  if (!source_) {
+    throw std::invalid_argument("TiffVolumeReader: null byte source");
+  }
+  pages_ = parse_pages_impl(*source_, limits_);
+}
+
 TiffVolumeReader::TiffVolumeReader(const std::string& path,
                                    TiffReadLimits limits)
-    : TiffVolumeReader(std::make_shared<FileByteSource>(path), limits) {}
+    : TiffVolumeReader(
+          open(path, TiffOpenOptions{TiffSourceKind::kAuto, limits, true})) {}
 
 TiffVolumeReader TiffVolumeReader::from_bytes(std::vector<std::uint8_t> bytes,
                                               TiffReadLimits limits) {
-  return TiffVolumeReader(std::make_shared<MemoryByteSource>(std::move(bytes)),
-                          limits);
+  return open(std::move(bytes),
+              TiffOpenOptions{TiffSourceKind::kMemory, limits, true});
 }
 
 TiffVolumeReader::TiffVolumeReader(std::shared_ptr<const ByteSource> source,
                                    TiffReadLimits limits)
-    : source_(std::move(source)), limits_(limits) {
-  if (!source_) {
-    throw std::invalid_argument("TiffVolumeReader: null byte source");
-  }
-  pages_ = detail::parse_tiff_pages(*source_, limits_);
-}
+    : TiffVolumeReader(std::move(source),
+                       TiffOpenOptions{TiffSourceKind::kMemory, limits, true},
+                       TiffSourceKind::kMemory) {}
 
 const TiffPageInfo& TiffVolumeReader::page_info(std::int64_t page) const {
   if (page < 0 || page >= pages()) {
@@ -723,7 +893,7 @@ void TiffVolumeReader::require_uniform_geometry() const {
 
 image::AnyImage TiffVolumeReader::read_page(std::int64_t page) const {
   obs::Span span("tiff.read_page", static_cast<std::uint64_t>(page));
-  return detail::decode_tiff_page(*source_, page_info(page), limits_, page);
+  return decode_page_impl(*source_, page_info(page), limits_, page);
 }
 
 image::ImageU16 TiffVolumeReader::read_page_u16(std::int64_t page) const {
@@ -748,9 +918,16 @@ image::VolumeU16 TiffVolumeReader::read_volume_u16() const {
               "; stream pages instead",
           0);
   }
+  // Pages are independent: decode them on the pool (each read_page call
+  // records its own tiff.read_page span), then assemble in order.
+  const std::int64_t n = pages();
+  std::vector<image::ImageU16> slices(static_cast<std::size_t>(n));
+  parallel::parallel_for(0, n, [&](std::int64_t z) {
+    slices[static_cast<std::size_t>(z)] = read_page_u16(z);
+  });
   image::VolumeU16 vol;
-  for (std::int64_t z = 0; z < pages(); ++z) {
-    vol.push_slice(read_page_u16(z));
+  for (auto& slice : slices) {
+    vol.push_slice(std::move(slice));
   }
   return vol;
 }

@@ -7,64 +7,76 @@
 // per read_page call, which is what lets Mode B stream a stack through
 // segment_volume instead of holding it whole. The reader is safe to
 // share across the volume pipeline's worker threads: decoding allocates
-// per call and the file handle is internally synchronized.
+// per call and every ByteSource implementation is lock-free
+// thread-safe (positioned reads or immutable mappings).
+//
+// Opening goes through one front door:
+//
+//   auto reader = TiffVolumeReader::open(path, TiffOpenOptions{...});
+//
+// TiffOpenOptions picks the byte source (mmap for zero-copy streaming,
+// pread for portability, memory to slurp the file — kAuto resolves via
+// ZENESIS_TIFF_SOURCE and platform support), carries the read limits,
+// and toggles madvise prefetch hints. The legacy constructors and the
+// detail:: free functions remain as deprecated forwarders for one
+// release.
 //
 // Format coverage (read): classic TIFF and BigTIFF (version 43), little-
-// and big-endian, strip and tile layouts, uncompressed and PackBits,
-// 8/16/32-bit unsigned grayscale, Photometric BlackIsZero and MinIsWhite
-// (inverted on decode so callers always see "bright = signal"). Palette
-// and RGB pages are rejected with TiffError{kUnsupported}.
+// and big-endian, strip and tile layouts, uncompressed, PackBits, LZW
+// and Deflate/zlib (tags 8 + 32946) compression, horizontal predictor,
+// 8/16/32-bit unsigned grayscale, Photometric BlackIsZero and
+// MinIsWhite (inverted on decode so callers always see
+// "bright = signal"). Palette and RGB pages are rejected with
+// TiffError{kUnsupported}.
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "zenesis/image/image.hpp"
+#include "zenesis/io/byte_source.hpp"
 #include "zenesis/io/tiff_error.hpp"
 
 namespace zenesis::io {
 
-/// Random-access byte provider the parser/decoder run against. Both
-/// methods must be thread-safe; read_at throws TiffError{kTruncated}
-/// when [off, off+n) is not fully available.
-class ByteSource {
- public:
-  virtual ~ByteSource() = default;
-  virtual std::uint64_t size() const = 0;
-  virtual void read_at(std::uint64_t off, std::uint8_t* dst,
-                       std::size_t n) const = 0;
+/// Which ByteSource TiffVolumeReader::open(path, ...) builds.
+enum class TiffSourceKind {
+  kAuto,    ///< ZENESIS_TIFF_SOURCE env if set, else mmap, else pread
+  kMemory,  ///< slurp the whole file into a MemoryByteSource
+  kPread,   ///< PreadByteSource (positioned reads, no mapping)
+  kMmap,    ///< MmapByteSource (zero-copy views; falls back to pread
+            ///< with a warn-once message where mmap is unsupported)
 };
 
-/// ByteSource over an owned in-memory buffer.
-class MemoryByteSource final : public ByteSource {
- public:
-  explicit MemoryByteSource(std::vector<std::uint8_t> bytes)
-      : bytes_(std::move(bytes)) {}
-  std::uint64_t size() const override { return bytes_.size(); }
-  void read_at(std::uint64_t off, std::uint8_t* dst,
-               std::size_t n) const override;
+const char* to_string(TiffSourceKind kind) noexcept;
 
- private:
-  std::vector<std::uint8_t> bytes_;
-};
+/// Parses "auto" | "memory" | "pread" | "mmap"; nullopt otherwise.
+std::optional<TiffSourceKind> parse_source_kind(std::string_view name);
 
-/// ByteSource over a file. Reads seek under a mutex, so concurrent
-/// slice decodes serialize on I/O but never interleave corruptly.
-class FileByteSource final : public ByteSource {
- public:
-  explicit FileByteSource(const std::string& path);
-  ~FileByteSource() override;
-  std::uint64_t size() const override { return size_; }
-  void read_at(std::uint64_t off, std::uint8_t* dst,
-               std::size_t n) const override;
+/// Resolves a selector string against the known kinds, mirroring the
+/// ZENESIS_KERNEL / ZENESIS_PRECISION contract: an unknown value falls
+/// back to kAuto and describes itself in *warning (set to empty when
+/// the value was valid). Pure function, testable without the env.
+TiffSourceKind resolve_tiff_source_selector(std::string_view value,
+                                            std::string* warning);
 
- private:
-  struct Impl;
-  std::unique_ptr<Impl> impl_;
-  std::uint64_t size_ = 0;
-  mutable std::mutex mutex_;
+/// The process-default source kind: ZENESIS_TIFF_SOURCE when set (read
+/// once; an invalid value warns once on stderr and falls back), else
+/// kMmap where supported, else kPread. Never returns kAuto.
+TiffSourceKind default_source_kind();
+
+/// Everything TiffVolumeReader::open needs beyond the path/bytes: the
+/// byte-source choice, the untrusted-input limits and the prefetch
+/// toggle for mmap madvise hints.
+struct TiffOpenOptions {
+  TiffSourceKind source_kind = TiffSourceKind::kAuto;
+  TiffReadLimits limits{};
+  /// madvise(SEQUENTIAL|WILLNEED) on mmap sources — the right hint for
+  /// front-to-back volume streaming; disable for sparse page access.
+  bool prefetch = true;
 };
 
 /// Parsed per-page metadata: everything decode needs, nothing decoded.
@@ -73,7 +85,9 @@ struct TiffPageInfo {
   std::int64_t width = 0;
   std::int64_t height = 0;
   int bits = 8;                 ///< 8, 16 or 32
-  int compression = 1;          ///< 1 = none, 32773 = PackBits
+  int compression = 1;          ///< 1=none, 5=LZW, 8/32946=Deflate,
+                                ///< 32773=PackBits
+  int predictor = 1;            ///< 1 = none, 2 = horizontal differencing
   int photometric = 1;          ///< 0 = MinIsWhite, 1 = BlackIsZero
   bool big_endian = false;      ///< byte order of multi-byte samples
   bool tiled = false;
@@ -91,19 +105,31 @@ struct TiffPageInfo {
   }
 };
 
-/// Streaming multi-page reader: constructor parses and validates every
-/// IFD (cycle-safe, limit-enforced); read_page decodes one slice with
+/// Streaming multi-page reader: open() parses and validates every IFD
+/// (cycle-safe, limit-enforced); read_page decodes one slice with
 /// bounded memory. const methods are safe to call concurrently.
 class TiffVolumeReader {
  public:
-  /// Opens a file without reading pixel data.
+  /// Opens a file without reading pixel data; the byte source is
+  /// picked per options.source_kind (see TiffSourceKind).
+  static TiffVolumeReader open(const std::string& path,
+                               const TiffOpenOptions& options = {});
+  /// Parses an in-memory TIFF (tests, network buffers); always a
+  /// MemoryByteSource regardless of options.source_kind.
+  static TiffVolumeReader open(std::vector<std::uint8_t> bytes,
+                               const TiffOpenOptions& options = {});
+  /// Parses from a caller-provided source (object store, test double).
+  static TiffVolumeReader open(std::shared_ptr<const ByteSource> source,
+                               const TiffOpenOptions& options = {});
+
+  [[deprecated("use TiffVolumeReader::open(path, TiffOpenOptions)")]]
   explicit TiffVolumeReader(const std::string& path, TiffReadLimits limits = {});
-  /// Parses an in-memory TIFF (tests, network buffers).
+  [[deprecated("use TiffVolumeReader::open(bytes, TiffOpenOptions)")]]
   static TiffVolumeReader from_bytes(std::vector<std::uint8_t> bytes,
                                      TiffReadLimits limits = {});
-  /// Parses from an arbitrary source (mmap, object store, ...).
+  [[deprecated("use TiffVolumeReader::open(source, TiffOpenOptions)")]]
   TiffVolumeReader(std::shared_ptr<const ByteSource> source,
-                   TiffReadLimits limits = {});
+                   TiffReadLimits limits);
 
   std::int64_t pages() const noexcept {
     return static_cast<std::int64_t>(pages_.size());
@@ -120,31 +146,40 @@ class TiffVolumeReader {
   void require_uniform_geometry() const;
 
   /// Decodes one page. Thread-safe; allocates only this page (plus a
-  /// transient compressed-segment buffer).
+  /// transient compressed-segment buffer on non-view sources).
   image::AnyImage read_page(std::int64_t page) const;
   /// Decodes one page as 16-bit; throws TiffError{kUnsupported} for
   /// other depths.
   image::ImageU16 read_page_u16(std::int64_t page) const;
 
-  /// Materializes all pages as a 16-bit volume (convenience; defeats
+  /// Materializes all pages as a 16-bit volume, decoding them in
+  /// parallel on the global ThreadPool (convenience; defeats
   /// streaming, cumulative size still checked against the limits).
   image::VolumeU16 read_volume_u16() const;
 
   const TiffReadLimits& limits() const noexcept { return limits_; }
+  /// The concrete source kind this reader ended up with (kAuto and
+  /// unsupported-mmap fallbacks resolved); kMemory for byte/source
+  /// opens.
+  TiffSourceKind source_kind() const noexcept { return resolved_kind_; }
 
  private:
+  TiffVolumeReader(std::shared_ptr<const ByteSource> source,
+                   const TiffOpenOptions& options, TiffSourceKind resolved);
+
   std::shared_ptr<const ByteSource> source_;
   TiffReadLimits limits_;
+  TiffSourceKind resolved_kind_ = TiffSourceKind::kMemory;
   std::vector<TiffPageInfo> pages_;
 };
 
 namespace detail {
-/// Parses and validates every IFD of `source`. Shared by
-/// TiffVolumeReader and the materializing read_tiff* entry points.
+/// Deprecated forwarders: parse/decode are reader internals now; go
+/// through TiffVolumeReader::open + page_info/read_page instead.
+[[deprecated("use TiffVolumeReader::open(...).page_info()")]]
 std::vector<TiffPageInfo> parse_tiff_pages(const ByteSource& source,
                                            const TiffReadLimits& limits);
-/// Decodes one parsed page (strips or tiles, PackBits-aware,
-/// photometric-corrected).
+[[deprecated("use TiffVolumeReader::open(...).read_page()")]]
 image::AnyImage decode_tiff_page(const ByteSource& source,
                                  const TiffPageInfo& info,
                                  const TiffReadLimits& limits,

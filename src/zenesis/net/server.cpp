@@ -823,7 +823,8 @@ void Server::handle_request_frame(const std::shared_ptr<Conn>& conn,
     }
     opts = parsed->options;
     sreq = serve::Request::volume_file(std::move(parsed->path),
-                                       std::move(parsed->prompt));
+                                       std::move(parsed->prompt),
+                                       cfg_.tiff_open);
   }
   sreq.priority = opts.priority;
   if (opts.deadline_ms > 0) {

@@ -103,6 +103,10 @@ struct ServerConfig {
   /// Start with the bridge paused (frames are still read and queued) —
   /// deterministic queue buildup for fairness/shedding tests.
   bool start_bridge_paused = false;
+  /// Ingestion knobs applied to every wire VolumeFile request (byte-source
+  /// kind, TIFF read limits, prefetch). Server-side policy: clients name a
+  /// path, the operator decides how it is opened.
+  io::TiffOpenOptions tiff_open{};
 
   /// One message per invalid knob; empty = valid.
   std::vector<std::string> validate() const;

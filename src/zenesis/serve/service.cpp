@@ -94,11 +94,13 @@ Request Request::volume_batch(image::VolumeU16 vol, std::string text) {
   return r;
 }
 
-Request Request::volume_file(std::string tiff_path, std::string text) {
+Request Request::volume_file(std::string tiff_path, std::string text,
+                             io::TiffOpenOptions open) {
   Request r;
   r.kind = RequestKind::kVolume;
   r.volume_path = std::move(tiff_path);
   r.prompt = std::move(text);
+  r.tiff_open = open;
   return r;
 }
 
@@ -483,7 +485,8 @@ void SegmentService::run_single(Pending& pending) {
           // upload, limits) lands in the catch below as a kError response
           // with its kind mapped to an ErrorCode.
           r.volume = pipeline_.segment_volume(core::VolumeRequest::from_file(
-              pending.req.volume_path, pending.req.prompt));
+              pending.req.volume_path, pending.req.prompt,
+              pending.req.tiff_open));
         } else {
           // Borrow the queued stack — `pending` outlives the call, and
           // copying gigabytes into the request would defeat the point of

@@ -106,6 +106,9 @@ struct Request {
   /// dispatch time. A queued request then holds a path, not gigabytes of
   /// pixels, so volume traffic cannot memory-bomb the admission queue.
   std::string volume_path;
+  /// Ingestion knobs for `volume_path` (byte-source kind, read limits,
+  /// prefetch); defaults mean auto-selected source with default limits.
+  io::TiffOpenOptions tiff_open{};
   std::string prompt;                 ///< kSlice / kVolume text prompt
   std::vector<std::string> prompts;   ///< kMultiObject class prompts
   image::Box box;                     ///< kBox prompt box
@@ -125,11 +128,14 @@ struct Request {
                               std::vector<std::string> class_prompts);
   static Request volume_batch(image::VolumeU16 vol, std::string text);
   /// Mode B streamed from disk: the TIFF (classic or BigTIFF, tiled or
-  /// striped, PackBits or raw) is opened and decoded slice-by-slice when
+  /// striped; raw, PackBits, LZW or Deflate, with or without the
+  /// horizontal predictor) is opened and decoded slice-by-slice when
   /// the request dispatches. A malformed or oversized file produces a
   /// kError response carrying the io::TiffError message; the service
-  /// itself is unaffected.
-  static Request volume_file(std::string tiff_path, std::string text);
+  /// itself is unaffected. `open` picks the byte source (mmap/pread/
+  /// memory), read limits and prefetch behaviour.
+  static Request volume_file(std::string tiff_path, std::string text,
+                             io::TiffOpenOptions open = {});
 
   // Fluent knobs: Request::slice(img, p).with_priority(2).with_deadline_in(5ms)
   Request& with_priority(int p) & { priority = p; return *this; }

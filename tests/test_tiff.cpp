@@ -304,7 +304,7 @@ TEST(TiffHardened, MinIsWhiteRoundTripIsIdentity) {
   opt.min_is_white = true;
   const auto bytes = zio::write_tiff_bytes(stack, opt);
   // The file really is MinIsWhite on the wire...
-  const auto reader = zio::TiffVolumeReader::from_bytes(bytes);
+  const auto reader = zio::TiffVolumeReader::open(bytes);
   EXPECT_EQ(reader.page_info(0).photometric, 0);
   // ...and decodes back to the original samples.
   const zio::TiffStack back = zio::read_tiff_bytes(bytes);
@@ -328,19 +328,21 @@ TEST(TiffHardened, PaletteColorRejectedAsUnsupported) {
 
 // ---------------------------------------------------------------------------
 // Satellite 5: parameterized round-trip sweep across every format axis.
-// Each combination writes, re-reads (materializing AND streaming) and
-// asserts byte-identical pixels.
+// Each combination writes, re-reads (materializing AND streaming, and for
+// every byte-source kind through a temp file) and asserts byte-identical
+// pixels.
 // ---------------------------------------------------------------------------
 
 using SweepParam = std::tuple<zio::TiffFormat, zio::TiffLayout,
-                              zio::TiffCompression, bool /*big_endian*/,
+                              zio::TiffCompression, int /*predictor*/,
+                              bool /*big_endian*/,
                               int /*bits*/, std::int64_t /*width*/,
                               std::int64_t /*pages*/>;
 
 class TiffRoundTripSweep : public ::testing::TestWithParam<SweepParam> {};
 
 TEST_P(TiffRoundTripSweep, PixelsSurviveExactly) {
-  const auto [fmt, layout, comp, be, bits, width, pages] = GetParam();
+  const auto [fmt, layout, comp, predictor, be, bits, width, pages] = GetParam();
   const std::int64_t height = 11;
 
   zio::TiffStack stack;
@@ -377,6 +379,7 @@ TEST_P(TiffRoundTripSweep, PixelsSurviveExactly) {
   opt.format = fmt;
   opt.layout = layout;
   opt.compression = comp;
+  opt.predictor = predictor;
   opt.big_endian = be;
   opt.rows_per_strip = 4;  // 11 rows -> 3 strips, last one partial
   opt.tile_width = 16;     // odd widths leave a clipped edge tile
@@ -387,9 +390,10 @@ TEST_P(TiffRoundTripSweep, PixelsSurviveExactly) {
   const zio::TiffStack back = zio::read_tiff_bytes(bytes);
   ASSERT_EQ(back.pages.size(), static_cast<std::size_t>(pages));
   // Streaming reader must agree slice-for-slice.
-  const auto reader = zio::TiffVolumeReader::from_bytes(bytes);
+  const auto reader = zio::TiffVolumeReader::open(bytes);
   ASSERT_EQ(reader.pages(), pages);
   EXPECT_EQ(reader.bit_depth(), bits);
+  EXPECT_EQ(reader.page_info(0).predictor, predictor);
 
   for (std::int64_t p = 0; p < pages; ++p) {
     const auto idx = static_cast<std::size_t>(p);
@@ -413,6 +417,38 @@ TEST_P(TiffRoundTripSweep, PixelsSurviveExactly) {
         },
         stack.pages[idx]);
   }
+
+  // Cross-source parity: the same file through every byte-source kind
+  // must produce byte-identical pages (zero-copy mmap views, positioned
+  // pread copies and the slurped memory buffer share one decode path).
+  const std::string path = temp_path("zen_sweep_case.tif");
+  zio::write_tiff(path, stack, opt);
+  for (const zio::TiffSourceKind kind :
+       {zio::TiffSourceKind::kMemory, zio::TiffSourceKind::kPread,
+        zio::TiffSourceKind::kMmap}) {
+    zio::TiffOpenOptions oo;
+    oo.source_kind = kind;
+    const auto from_file = zio::TiffVolumeReader::open(path, oo);
+    ASSERT_EQ(from_file.pages(), pages);
+    for (std::int64_t p = 0; p < pages; ++p) {
+      const auto idx = static_cast<std::size_t>(p);
+      const zi::AnyImage got = from_file.read_page(p);
+      std::visit(
+          [&](const auto& want) {
+            using Img = std::decay_t<decltype(want)>;
+            const auto& g = std::get<Img>(got);
+            const auto pw = want.pixels();
+            const auto pg = g.pixels();
+            ASSERT_EQ(pg.size(), pw.size());
+            for (std::size_t i = 0; i < pw.size(); ++i) {
+              ASSERT_EQ(pg[i], pw[i])
+                  << "source " << zio::to_string(kind) << ", page " << p;
+            }
+          },
+          stack.pages[idx]);
+    }
+  }
+  std::remove(path.c_str());
 }
 
 namespace {
@@ -423,12 +459,17 @@ std::string sweep_name(const ::testing::TestParamInfo<SweepParam>& p) {
   std::string name =
       std::get<0>(p.param) == zio::TiffFormat::kBigTiff ? "Big" : "Classic";
   name += std::get<1>(p.param) == zio::TiffLayout::kTiles ? "Tiles" : "Strips";
-  name += std::get<2>(p.param) == zio::TiffCompression::kPackBits ? "PackBits"
-                                                                  : "Raw";
-  name += std::get<3>(p.param) ? "BE" : "LE";
-  name += "U" + std::to_string(std::get<4>(p.param));
-  name += "W" + std::to_string(std::get<5>(p.param));
-  name += "P" + std::to_string(std::get<6>(p.param));
+  switch (std::get<2>(p.param)) {
+    case zio::TiffCompression::kNone: name += "Raw"; break;
+    case zio::TiffCompression::kPackBits: name += "PackBits"; break;
+    case zio::TiffCompression::kLzw: name += "Lzw"; break;
+    case zio::TiffCompression::kDeflate: name += "Deflate"; break;
+  }
+  if (std::get<3>(p.param) == 2) name += "Pred";
+  name += std::get<4>(p.param) ? "BE" : "LE";
+  name += "U" + std::to_string(std::get<5>(p.param));
+  name += "W" + std::to_string(std::get<6>(p.param));
+  name += "P" + std::to_string(std::get<7>(p.param));
   return name;
 }
 
@@ -440,7 +481,10 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(zio::TiffFormat::kClassic, zio::TiffFormat::kBigTiff),
         ::testing::Values(zio::TiffLayout::kStrips, zio::TiffLayout::kTiles),
         ::testing::Values(zio::TiffCompression::kNone,
-                          zio::TiffCompression::kPackBits),
+                          zio::TiffCompression::kPackBits,
+                          zio::TiffCompression::kLzw,
+                          zio::TiffCompression::kDeflate),
+        ::testing::Values(1, 2),                          // predictor
         ::testing::Bool(),                                // big-endian
         ::testing::Values(8, 16, 32),                     // bit depth
         ::testing::Values(std::int64_t{19}, std::int64_t{20}),

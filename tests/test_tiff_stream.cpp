@@ -4,8 +4,11 @@
 // byte-identical to the in-memory pipeline (the ISSUE-4 acceptance bar).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <thread>
 #include <variant>
 #include <vector>
 
@@ -105,7 +108,7 @@ TEST(TiffStream, PageParityWithMaterializingReader) {
           const auto bytes = zio::write_tiff_bytes(stack, opt);
 
           const zio::TiffStack mat = zio::read_tiff_bytes(bytes);
-          const auto reader = zio::TiffVolumeReader::from_bytes(bytes);
+          const auto reader = zio::TiffVolumeReader::open(bytes);
           ASSERT_EQ(reader.pages(), 2);
           EXPECT_TRUE(reader.uniform_geometry());
           for (std::int64_t p = 0; p < reader.pages(); ++p) {
@@ -128,7 +131,7 @@ TEST(TiffStream, ReadVolumeMatchesMaterializedVolume) {
   zio::write_volume_tiff(f.path, synth.volume, opt);
 
   const zi::VolumeU16 mat = zio::read_volume_tiff_u16(f.path);
-  const zio::TiffVolumeReader reader(f.path);
+  const zio::TiffVolumeReader reader = zio::TiffVolumeReader::open(f.path);
   const zi::VolumeU16 streamed = reader.read_volume_u16();
   ASSERT_EQ(streamed.depth(), mat.depth());
   for (std::int64_t z = 0; z < mat.depth(); ++z) {
@@ -147,7 +150,7 @@ TEST(TiffStream, PageInfoExposesParsedGeometry) {
   zio::TiffStack stack;
   stack.pages.emplace_back(ramp<std::uint8_t>(19, 11, 0));
   const auto reader =
-      zio::TiffVolumeReader::from_bytes(zio::write_tiff_bytes(stack, opt));
+      zio::TiffVolumeReader::open(zio::write_tiff_bytes(stack, opt));
   const zio::TiffPageInfo& info = reader.page_info(0);
   EXPECT_EQ(info.width, 19);
   EXPECT_EQ(info.height, 11);
@@ -167,7 +170,7 @@ TEST(TiffStream, NonUniformGeometryDetectedAndRejected) {
   stack.pages.emplace_back(ramp<std::uint16_t>(8, 8, 0));
   stack.pages.emplace_back(ramp<std::uint16_t>(9, 8, 1));
   const auto reader =
-      zio::TiffVolumeReader::from_bytes(zio::write_tiff_bytes(stack));
+      zio::TiffVolumeReader::open(zio::write_tiff_bytes(stack));
   EXPECT_FALSE(reader.uniform_geometry());
   try {
     reader.require_uniform_geometry();
@@ -181,10 +184,10 @@ TEST(TiffStream, ParseTimeLimitEnforcement) {
   zio::TiffStack stack;
   stack.pages.emplace_back(ramp<std::uint16_t>(32, 32, 0));
   const auto bytes = zio::write_tiff_bytes(stack);
-  zio::TiffReadLimits limits;
-  limits.max_decoded_bytes = 64;  // far below 32*32*2
+  zio::TiffOpenOptions oo;
+  oo.limits.max_decoded_bytes = 64;  // far below 32*32*2
   try {
-    (void)zio::TiffVolumeReader::from_bytes(bytes, limits);
+    (void)zio::TiffVolumeReader::open(bytes, oo);
     FAIL() << "expected TiffError at parse time, before any decode";
   } catch (const zio::TiffError& e) {
     EXPECT_EQ(e.kind(), zio::TiffErrorKind::kLimitExceeded);
@@ -193,12 +196,144 @@ TEST(TiffStream, ParseTimeLimitEnforcement) {
 }
 
 TEST(TiffStream, MissingFileThrowsTiffError) {
-  try {
-    zio::TiffVolumeReader reader(temp_path("zen_no_such_file.tif"));
-    FAIL() << "expected TiffError";
-  } catch (const zio::TiffError& e) {
-    EXPECT_EQ(e.kind(), zio::TiffErrorKind::kTruncated);
+  for (const zio::TiffSourceKind kind :
+       {zio::TiffSourceKind::kMemory, zio::TiffSourceKind::kPread,
+        zio::TiffSourceKind::kMmap}) {
+    zio::TiffOpenOptions oo;
+    oo.source_kind = kind;
+    try {
+      (void)zio::TiffVolumeReader::open(temp_path("zen_no_such_file.tif"), oo);
+      FAIL() << "expected TiffError for kind " << zio::to_string(kind);
+    } catch (const zio::TiffError& e) {
+      EXPECT_EQ(e.kind(), zio::TiffErrorKind::kTruncated);
+    }
   }
+}
+
+// --- byte sources and the open() front door ------------------------------
+
+// The same compressed + predicted stack must decode byte-identically no
+// matter which byte source backs the reader (the PR-10 acceptance bar).
+TEST(TiffStream, SourceKindsDecodeByteIdentically) {
+  TempFile f("zen_source_kinds.tif");
+  zio::TiffWriteOptions opt;
+  opt.layout = zio::TiffLayout::kTiles;
+  opt.tile_width = 16;
+  opt.tile_height = 16;
+  opt.compression = zio::TiffCompression::kLzw;
+  opt.predictor = 2;
+  zio::TiffStack stack;
+  stack.pages.emplace_back(ramp<std::uint16_t>(37, 23, 0));
+  stack.pages.emplace_back(ramp<std::uint16_t>(37, 23, 1));
+  zio::write_tiff(f.path, stack, opt);
+
+  const zio::TiffStack want = zio::read_tiff(f.path);
+  for (const zio::TiffSourceKind kind :
+       {zio::TiffSourceKind::kMemory, zio::TiffSourceKind::kPread,
+        zio::TiffSourceKind::kMmap}) {
+    zio::TiffOpenOptions oo;
+    oo.source_kind = kind;
+    const auto reader = zio::TiffVolumeReader::open(f.path, oo);
+    // kMmap may legitimately resolve to kPread on platforms without
+    // mmap; everything else resolves to itself.
+    if (kind == zio::TiffSourceKind::kMmap && zio::MmapByteSource::supported()) {
+      EXPECT_EQ(reader.source_kind(), zio::TiffSourceKind::kMmap);
+    } else if (kind != zio::TiffSourceKind::kMmap) {
+      EXPECT_EQ(reader.source_kind(), kind);
+    }
+    ASSERT_EQ(reader.pages(), 2);
+    for (std::int64_t p = 0; p < reader.pages(); ++p) {
+      expect_pages_equal<std::uint16_t>(reader.read_page(p),
+                                        want.pages[static_cast<std::size_t>(p)]);
+    }
+  }
+}
+
+TEST(TiffStream, SourceSelectorResolvesAndWarns) {
+  for (const zio::TiffSourceKind kind :
+       {zio::TiffSourceKind::kAuto, zio::TiffSourceKind::kMemory,
+        zio::TiffSourceKind::kPread, zio::TiffSourceKind::kMmap}) {
+    const auto parsed = zio::parse_source_kind(zio::to_string(kind));
+    ASSERT_TRUE(parsed.has_value()) << zio::to_string(kind);
+    EXPECT_EQ(*parsed, kind);
+    std::string warning = "sentinel";
+    EXPECT_EQ(zio::resolve_tiff_source_selector(zio::to_string(kind), &warning),
+              kind);
+    EXPECT_TRUE(warning.empty());
+  }
+  EXPECT_FALSE(zio::parse_source_kind("fastest").has_value());
+  std::string warning;
+  EXPECT_EQ(zio::resolve_tiff_source_selector("fastest", &warning),
+            zio::TiffSourceKind::kAuto);
+  EXPECT_NE(warning.find("fastest"), std::string::npos) << warning;
+  // The process default is always concrete.
+  EXPECT_NE(zio::default_source_kind(), zio::TiffSourceKind::kAuto);
+}
+
+// Regression for the old seek-mutex FileByteSource: N threads hammering
+// read_at must be observed in flight simultaneously. The probe records a
+// high-water mark around each pread(2); the mutex design pinned it at 1.
+TEST(TiffStream, PreadReadsRunConcurrently) {
+  TempFile f("zen_pread_conc.tif");
+  zio::TiffStack stack;
+  stack.pages.emplace_back(ramp<std::uint16_t>(256, 256, 0));
+  zio::write_tiff(f.path, stack, {});
+
+  // Time-based rather than iteration-based: on a single-CPU box a fixed
+  // read count can finish inside one scheduler quantum per thread, in
+  // which case reads interleave but never *overlap*. Keeping 8 readers
+  // hammering until overlap is observed (or a generous deadline passes)
+  // guarantees each thread spans many quanta, and since nearly all loop
+  // time sits inside the read_at probe window, a preemption lands inside
+  // it with near certainty. The old seek-mutex FileByteSource could
+  // never reach high_water >= 2 no matter how long this runs.
+  constexpr int kThreads = 8;
+  const zio::PreadByteSource src(f.path);
+  const std::size_t chunk =
+      static_cast<std::size_t>(src.size()) / (kThreads + 1);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::uint8_t> buf(chunk);
+      while (!stop.load(std::memory_order_relaxed)) {
+        src.read_at(static_cast<std::uint64_t>(t) * chunk, buf.data(), chunk);
+      }
+    });
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (src.max_concurrent_reads() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (auto& th : threads) th.join();
+  EXPECT_GE(src.max_concurrent_reads(), 2)
+      << "8 threads of positioned reads never overlapped in 10s";
+}
+
+// The request-level knob: an unknown source kind is a collected
+// validation issue, and the TiffOpenOptions overload threads through.
+TEST(TiffStream, VolumeRequestValidatesSourceKind) {
+  zc::VolumeRequest bad = zc::VolumeRequest::from_file("/tmp/x.tif", kPrompt);
+  bad.tiff_source_kind = "fastest";
+  const auto issues = bad.validate();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].find("fastest"), std::string::npos) << issues[0];
+  EXPECT_NE(issues[0].find("auto|memory|pread|mmap"), std::string::npos);
+
+  zio::TiffOpenOptions oo;
+  oo.source_kind = zio::TiffSourceKind::kPread;
+  oo.limits.max_pages = 7;
+  oo.prefetch = false;
+  const zc::VolumeRequest r = zc::VolumeRequest::from_file("/tmp/x.tif", kPrompt, oo);
+  EXPECT_TRUE(r.validate().empty());
+  const zio::TiffOpenOptions back = r.tiff_open_options();
+  EXPECT_EQ(back.source_kind, zio::TiffSourceKind::kPread);
+  EXPECT_EQ(back.limits.max_pages, 7u);
+  EXPECT_FALSE(back.prefetch);
 }
 
 // --- the ISSUE-4 acceptance test ----------------------------------------
@@ -221,9 +356,10 @@ TEST(TiffStream, StreamedSegmentVolumeMatchesInMemoryPath) {
   const zc::VolumeResult want =
       session.pipeline().segment_volume(zc::VolumeRequest::view(mat, kPrompt));
 
-  // Streaming path (file -> on-demand slices -> pipeline).
-  const zc::VolumeResult got = session.mode_b_segment_volume(
-      zc::VolumeRequest::from_file(f.path, kPrompt));
+  // Streaming path (file -> on-demand slices -> pipeline), through the
+  // TiffOpenOptions session overload.
+  const zc::VolumeResult got =
+      session.mode_b_segment_volume_file(f.path, kPrompt, zio::TiffOpenOptions{});
 
   ASSERT_EQ(got.slices.size(), want.slices.size());
   for (std::size_t z = 0; z < want.slices.size(); ++z) {
@@ -263,8 +399,10 @@ TEST(TiffStream, ServeVolumeFileMatchesBlockingPath) {
       zc::VolumeRequest::in_memory(zio::read_volume_tiff_u16(f.path), kPrompt));
 
   zs::SegmentService service;
+  zio::TiffOpenOptions oo;
+  oo.source_kind = zio::TiffSourceKind::kPread;  // exercise the knob end to end
   const zs::Response r =
-      service.submit(zs::Request::volume_file(f.path, kPrompt)).get();
+      service.submit(zs::Request::volume_file(f.path, kPrompt, oo)).get();
   ASSERT_TRUE(r.ok()) << r.error;
   ASSERT_TRUE(r.volume.has_value());
   ASSERT_EQ(r.volume->slices.size(), want.slices.size());

@@ -59,6 +59,20 @@ TiffStack make_stack(int bits, std::int64_t w, std::int64_t h,
 
 }  // namespace
 
+namespace {
+
+const char* comp_name(TiffCompression comp) {
+  switch (comp) {
+    case TiffCompression::kNone: return "_none";
+    case TiffCompression::kPackBits: return "_packbits";
+    case TiffCompression::kLzw: return "_lzw";
+    case TiffCompression::kDeflate: return "_deflate";
+  }
+  return "_unknown";
+}
+
+}  // namespace
+
 std::vector<CorpusEntry> build_corpus() {
   std::vector<CorpusEntry> corpus;
   const int kBits[] = {8, 16, 32};
@@ -67,24 +81,33 @@ std::vector<CorpusEntry> build_corpus() {
   for (const TiffFormat fmt : {TiffFormat::kClassic, TiffFormat::kBigTiff}) {
     for (const TiffLayout layout : {TiffLayout::kStrips, TiffLayout::kTiles}) {
       for (const TiffCompression comp :
-           {TiffCompression::kNone, TiffCompression::kPackBits}) {
-        for (const int bits : kBits) {
-          for (const bool be : {false, true}) {
-            TiffWriteOptions opt;
-            opt.format = fmt;
-            opt.layout = layout;
-            opt.compression = comp;
-            opt.rows_per_strip = 4;  // multiple strips per page
-            opt.tile_width = 16;
-            opt.tile_height = 16;
-            opt.big_endian = be;
-            CorpusEntry e;
-            e.name = std::string(fmt == TiffFormat::kBigTiff ? "big" : "classic") +
-                     (layout == TiffLayout::kTiles ? "_tiles" : "_strips") +
-                     (comp == TiffCompression::kPackBits ? "_packbits" : "_none") +
-                     "_u" + std::to_string(bits) + (be ? "_be" : "_le");
-            e.bytes = write_tiff_bytes(make_stack(bits, w, h, pages), opt);
-            corpus.push_back(std::move(e));
+           {TiffCompression::kNone, TiffCompression::kPackBits,
+            TiffCompression::kLzw, TiffCompression::kDeflate}) {
+        // Predictor variants only where they change the code stream.
+        const bool codec = comp == TiffCompression::kLzw ||
+                           comp == TiffCompression::kDeflate;
+        for (const int predictor : {1, 2}) {
+          if (predictor == 2 && !codec) continue;
+          for (const int bits : kBits) {
+            for (const bool be : {false, true}) {
+              TiffWriteOptions opt;
+              opt.format = fmt;
+              opt.layout = layout;
+              opt.compression = comp;
+              opt.predictor = predictor;
+              opt.rows_per_strip = 4;  // multiple strips per page
+              opt.tile_width = 16;
+              opt.tile_height = 16;
+              opt.big_endian = be;
+              CorpusEntry e;
+              e.name =
+                  std::string(fmt == TiffFormat::kBigTiff ? "big" : "classic") +
+                  (layout == TiffLayout::kTiles ? "_tiles" : "_strips") +
+                  comp_name(comp) + (predictor == 2 ? "_pred" : "") + "_u" +
+                  std::to_string(bits) + (be ? "_be" : "_le");
+              e.bytes = write_tiff_bytes(make_stack(bits, w, h, pages), opt);
+              corpus.push_back(std::move(e));
+            }
           }
         }
       }
@@ -176,7 +199,7 @@ Scan scan_structure(const std::vector<std::uint8_t>& b) {
 
 void mutate(std::vector<std::uint8_t>& m, const Scan& s, Rng& rng) {
   const std::size_t psz = s.big ? 8 : 4;
-  switch (rng.below(8)) {
+  switch (rng.below(12)) {
     case 0: {  // truncation (keep at least one byte)
       m.resize(1 + static_cast<std::size_t>(rng.below(m.size() - 1)));
       break;
@@ -247,11 +270,60 @@ void mutate(std::vector<std::uint8_t>& m, const Scan& s, Rng& rng) {
       }
       break;
     }
-    default: {  // header corruption
+    case 7: {  // header corruption
       const std::size_t span = s.big ? 16 : 8;
       const std::uint64_t off = rng.below(span);
       m[static_cast<std::size_t>(off)] =
           static_cast<std::uint8_t>(rng.next() & 0xFF);
+      break;
+    }
+    // --- codec-aware mutations: drive the LZW/Deflate/predictor decode
+    // paths into their error branches instead of the IFD parser's.
+    case 8: {  // compression tag rewrite: decode a stream with the wrong
+               // codec (raw bytes as LZW codes, LZW as zlib, ...)
+      for (const EntryLoc& e : s.entries) {
+        if (e.tag != 259) continue;
+        const std::uint64_t codecs[] = {1, 5, 8, 32773, 32946, 6, 0xDEAD};
+        wr(m, e.off + (s.big ? 12 : 8), psz, s.be,
+           codecs[rng.below(std::size(codecs))]);
+      }
+      break;
+    }
+    case 9: {  // predictor tag rewrite: undo differencing that never
+               // happened, or demand an unsupported predictor
+      for (const EntryLoc& e : s.entries) {
+        if (e.tag != 317) continue;
+        const std::uint64_t preds[] = {0, 1, 2, 3, 34892, 0xFFFF};
+        wr(m, e.off + (s.big ? 12 : 8), psz, s.be,
+           preds[rng.below(std::size(preds))]);
+      }
+      break;
+    }
+    case 10: {  // segment-data corruption: flip a burst inside the pixel/
+                // code-stream region (between header and first IFD) so
+                // compressed streams truncate or desync mid-decode
+      const std::uint64_t lo = s.big ? 16 : 8;
+      const std::uint64_t hi =
+          s.ifd_offsets.empty() ? m.size() : s.ifd_offsets.front();
+      if (hi <= lo) break;
+      const std::uint64_t burst = 1 + rng.below(16);
+      const std::uint64_t start = lo + rng.below(hi - lo);
+      for (std::uint64_t i = 0; i < burst && start + i < hi; ++i) {
+        m[static_cast<std::size_t>(start + i)] =
+            static_cast<std::uint8_t>(rng.next() & 0xFF);
+      }
+      break;
+    }
+    default: {  // byte-count bomb on Strip/TileByteCounts (279/325):
+                // declared compressed size wildly off the actual stream
+      for (const EntryLoc& e : s.entries) {
+        if (e.tag != 279 && e.tag != 325) continue;
+        const std::uint64_t bombs[] = {0, 1, 3, m.size(),
+                                       0xFFFFFFF0ull, 0x7FFFFFFFFFFFFFFFull};
+        wr(m, e.off + (s.big ? 12 : 8), psz, s.be,
+           bombs[rng.below(std::size(bombs))]);
+        if (rng.below(2) == 0) break;  // sometimes bomb only one tag
+      }
       break;
     }
   }
@@ -291,8 +363,9 @@ bool check_one(const std::string& label, const std::vector<std::uint8_t>& bytes,
   // The streaming reader must uphold the identical contract, including
   // during on-demand page decode.
   try {
-    const TiffVolumeReader reader =
-        TiffVolumeReader::from_bytes(bytes, limits);
+    TiffOpenOptions opts;
+    opts.limits = limits;
+    const TiffVolumeReader reader = TiffVolumeReader::open(bytes, opts);
     for (std::int64_t p = 0; p < reader.pages(); ++p) {
       try {
         (void)reader.read_page(p);

@@ -6,12 +6,15 @@
 // non-TiffError exception or over-limit allocation. This harness enforces
 // the contract deterministically: it builds a corpus of well-formed
 // stacks covering every supported format feature (classic/BigTIFF,
-// LE/BE, strips/tiles, uncompressed/PackBits, 8/16/32-bit, BlackIsZero/
+// LE/BE, strips/tiles, uncompressed/PackBits/LZW/Deflate with and
+// without the horizontal predictor, 8/16/32-bit, BlackIsZero/
 // MinIsWhite), then applies seeded structure-aware mutations — it scans
 // the real IFD structure of each file and rewrites entry types, counts,
 // value offsets and next-IFD pointers (including cycle grafts), alongside
-// truncations and raw byte flips — and runs every mutant through both the
-// materializing reader and the streaming TiffVolumeReader.
+// truncations, raw byte flips and codec-aware attacks (compression/
+// predictor tag rewrites, code-stream burst corruption, declared-size
+// bombs on Strip/TileByteCounts) — and runs every mutant through both
+// the materializing reader and the streaming TiffVolumeReader.
 //
 // gtest-free by design: tests/test_tiff_fuzz.cpp wraps it in a TEST, and
 // tools/tiff_corpus.cpp runs it standalone (and dumps the corpus for
@@ -32,8 +35,9 @@ struct CorpusEntry {
   std::vector<std::uint8_t> bytes;
 };
 
-/// Builds the feature-complete corpus (50 entries: 2 formats x 2 layouts
-/// x 2 compressions x 3 depths x 2 byte orders, plus MinIsWhite extras).
+/// Builds the feature-complete corpus (146 entries: 2 formats x 2
+/// layouts x 4 compressions x 3 depths x 2 byte orders, plus horizontal-
+/// predictor variants of the LZW/Deflate entries and MinIsWhite extras).
 std::vector<CorpusEntry> build_corpus();
 
 struct FuzzStats {

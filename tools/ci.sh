@@ -30,8 +30,12 @@ cd "$(dirname "$0")/.."
 JOBS="${CI_JOBS:-$(nproc)}"
 # Tests exercising the concurrency and hardened-ingestion paths; extend
 # when adding parallel features. CI_TSAN_ALL=1 / CI_ASAN_ALL=1 widen to
-# the full suite. test_tiff matches test_tiff, test_tiff_fuzz and
-# test_tiff_stream, so the mutation fuzzer runs under every sanitizer;
+# the full suite. test_tiff matches test_tiff, test_tiff_fuzz,
+# test_tiff_stream and test_tiff_codec, so the codec-aware mutation
+# fuzzer (LZW/Deflate/predictor corpus), the LZW/zlib/predictor unit
+# suite, and the mmap/pread byte-source suites (cross-source
+# byte-equality sweep, 8-thread pread concurrency regression) all run
+# under every sanitizer;
 # test_cache matches test_cache, test_cache_disk and test_cache_stress,
 # so the sharded-LRU contention stress and disk-tier corruption suite
 # run under every sanitizer too. test_kernels puts the AVX2/blocked
@@ -71,6 +75,10 @@ echo "=== [4/7] UndefinedBehaviorSanitizer build + fuzz/corruption/kernel corpor
 cmake -B build-ubsan -S . -DZENESIS_SANITIZE=undefined \
       -DZENESIS_BUILD_BENCH=OFF -DZENESIS_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-ubsan -j "$JOBS"
+# test_tiff here pulls in test_tiff_fuzz (7008 structure-aware mutants,
+# a third of them codec-aware LZW/Deflate/predictor attacks) and
+# test_tiff_codec, so the bit-twiddling decoder internals run with UB
+# recovery disabled: any shift/overflow/alignment slip aborts the stage.
 ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" -R "test_tiff|test_cache|test_kernels|test_net_fuzz"
 
 echo "=== [5/7] tracing-enabled rerun of the default suite (ZENESIS_TRACE=1) ==="
